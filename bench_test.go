@@ -1,0 +1,237 @@
+package hipe_test
+
+// One benchmark per table/figure of the paper's evaluation, plus
+// ablations for the design choices DESIGN.md calls out. Each figure
+// bench simulates the full sweep of its panel and reports simulated
+// cycles per architecture point via b.ReportMetric, so `go test -bench`
+// regenerates the paper's series.
+
+import (
+	"fmt"
+	"testing"
+
+	hipe "github.com/hipe-sim/hipe"
+	"github.com/hipe-sim/hipe/internal/dram"
+)
+
+const benchTuples = 4096
+
+func benchConfig() hipe.Config {
+	c := hipe.Default()
+	c.Tuples = benchTuples
+	return c
+}
+
+// benchFigure runs one panel per iteration and reports each row's
+// simulated cycles as a metric.
+func benchFigure(b *testing.B, name string) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		table, err := hipe.Figure(cfg, name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range table.Rows {
+				b.ReportMetric(float64(r.Cycles), "simcyc:"+r.Plan.String())
+			}
+		}
+	}
+}
+
+// BenchmarkFig3aTupleAtATime regenerates Figure 3a: tuple-at-a-time
+// execution time versus operation size (x86, HMC, HIVE on NSM).
+func BenchmarkFig3aTupleAtATime(b *testing.B) { benchFigure(b, "3a") }
+
+// BenchmarkFig3bColumnAtATime regenerates Figure 3b: column-at-a-time
+// execution time versus operation size (x86, HMC, HIVE on DSM).
+func BenchmarkFig3bColumnAtATime(b *testing.B) { benchFigure(b, "3b") }
+
+// BenchmarkFig3cUnrolling regenerates Figure 3c: column-at-a-time
+// execution time versus loop-unroll depth.
+func BenchmarkFig3cUnrolling(b *testing.B) { benchFigure(b, "3c") }
+
+// BenchmarkFig3dBestCases regenerates Figure 3d: the best configuration
+// of every architecture, including HIPE, with DRAM energy.
+func BenchmarkFig3dBestCases(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		table, err := hipe.Figure(cfg, "3d")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range table.Rows {
+				b.ReportMetric(float64(r.Cycles), "simcyc:"+r.Plan.Arch.String())
+				b.ReportMetric(r.Energy.DRAMPJ(), "drampJ:"+r.Plan.Arch.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTableIConfig exercises machine construction with the full
+// Table I parameter set (the paper's configuration table).
+func BenchmarkTableIConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hipe.DefaultMachine()
+		if m.Geometry.Vaults != 32 {
+			b.Fatal("bad geometry")
+		}
+	}
+}
+
+// runPoint simulates one plan and reports its simulated cycles.
+func runPoint(b *testing.B, cfg hipe.Config, tab *hipe.Lineitem, p hipe.Plan) hipe.Result {
+	b.Helper()
+	res, err := hipe.Run(cfg, tab, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationOpenPage compares closed-page (the paper's policy)
+// against open-page vault management for the x86 streaming baseline.
+func BenchmarkAblationOpenPage(b *testing.B) {
+	q := hipe.DefaultQ06()
+	plan := hipe.Plan{Arch: hipe.X86, Strategy: hipe.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q}
+	for _, policy := range []dram.Policy{dram.ClosedPage, dram.OpenPage} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			mc := hipe.DefaultMachine()
+			mc.DRAM.Policy = policy
+			cfg.Machine = &mc
+			tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runPoint(b, cfg, tab, plan).Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcyc")
+		})
+	}
+}
+
+// BenchmarkAblationLinkCount sweeps the SerDes link count (4 in the
+// paper) to expose the off-chip bandwidth sensitivity of the x86 path.
+func BenchmarkAblationLinkCount(b *testing.B) {
+	q := hipe.DefaultQ06()
+	plan := hipe.Plan{Arch: hipe.X86, Strategy: hipe.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q}
+	for _, links := range []uint32{1, 2, 4} {
+		links := links
+		b.Run(fmt.Sprintf("links-%d", links), func(b *testing.B) {
+			cfg := benchConfig()
+			mc := hipe.DefaultMachine()
+			mc.Links.Links = links
+			cfg.Machine = &mc
+			tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runPoint(b, cfg, tab, plan).Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcyc")
+		})
+	}
+}
+
+// BenchmarkAblationHMCWindow sweeps the host controller's in-flight HMC
+// instruction window — the knob controlling how much vault parallelism
+// the HMC baseline extracts.
+func BenchmarkAblationHMCWindow(b *testing.B) {
+	q := hipe.DefaultQ06()
+	plan := hipe.Plan{Arch: hipe.HMC, Strategy: hipe.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q}
+	for _, window := range []int{4, 16, 64} {
+		window := window
+		b.Run(fmt.Sprintf("window-%d", window), func(b *testing.B) {
+			cfg := benchConfig()
+			mc := hipe.DefaultMachine()
+			mc.HMC.MaxInFlight = window
+			cfg.Machine = &mc
+			tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runPoint(b, cfg, tab, plan).Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcyc")
+		})
+	}
+}
+
+// BenchmarkAblationPredicationGranularity sweeps HIPE's operation size:
+// smaller chunks squash more often (finer skip granularity) but pay more
+// per-chunk overhead — the trade-off behind the paper's per-tuple
+// skipping claim.
+func BenchmarkAblationPredicationGranularity(b *testing.B) {
+	q := hipe.DefaultQ06()
+	for _, opsize := range []uint32{16, 64, 256} {
+		opsize := opsize
+		b.Run(fmt.Sprintf("op-%dB", opsize), func(b *testing.B) {
+			cfg := benchConfig()
+			tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+			plan := hipe.Plan{Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime,
+				OpSize: opsize, Unroll: 32, Q: q}
+			var res hipe.Result
+			for i := 0; i < b.N; i++ {
+				res = runPoint(b, cfg, tab, plan)
+			}
+			b.ReportMetric(float64(res.Cycles), "simcyc")
+			b.ReportMetric(float64(res.Squashed), "squashed")
+			b.ReportMetric(float64(res.SquashedDRAMBytes), "savedB")
+		})
+	}
+}
+
+// BenchmarkAblationDateClustering compares HIPE on uniform versus
+// append-ordered (date-clustered) tables: clustering is what converts
+// chunk-granular predication into large DRAM savings.
+func BenchmarkAblationDateClustering(b *testing.B) {
+	q := hipe.DefaultQ06()
+	plan := hipe.Plan{Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q}
+	for _, clustered := range []bool{false, true} {
+		clustered := clustered
+		name := "uniform"
+		if clustered {
+			name = "clustered"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			var tab *hipe.Lineitem
+			if clustered {
+				tab = hipe.GenerateClustered(cfg.Tuples, cfg.Seed, 10)
+			} else {
+				tab = hipe.Generate(cfg.Tuples, cfg.Seed)
+			}
+			var res hipe.Result
+			for i := 0; i < b.N; i++ {
+				res = runPoint(b, cfg, tab, plan)
+			}
+			b.ReportMetric(float64(res.Cycles), "simcyc")
+			b.ReportMetric(res.Energy.DRAMPJ(), "drampJ")
+			b.ReportMetric(float64(res.SquashedDRAMBytes), "savedB")
+		})
+	}
+}
+
+// BenchmarkAblationFusedVsPerColumn compares HIVE's per-column plan
+// (with processor bitmask round trips) against the fused full scan.
+func BenchmarkAblationFusedVsPerColumn(b *testing.B) {
+	q := hipe.DefaultQ06()
+	for _, fused := range []bool{false, true} {
+		fused := fused
+		name := "per-column"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+			plan := hipe.Plan{Arch: hipe.HIVE, Strategy: hipe.ColumnAtATime,
+				OpSize: 256, Unroll: 32, Fused: fused, Q: q}
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runPoint(b, cfg, tab, plan).Cycles
+			}
+			b.ReportMetric(float64(cycles), "simcyc")
+		})
+	}
+}

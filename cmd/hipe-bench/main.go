@@ -1,0 +1,47 @@
+// Command hipe-bench regenerates the paper's evaluation: every panel of
+// Figure 3 as a text table, normalised against the x86 baseline exactly
+// as the paper plots them.
+//
+// Usage:
+//
+//	hipe-bench [-fig 3a|3b|3c|3d|all] [-tuples N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hipe-bench: ")
+	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d or all")
+	tuples := flag.Int("tuples", 16384, "lineitem tuples (multiple of 64)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	cfg := hipe.Default()
+	cfg.Tuples = *tuples
+	cfg.Seed = *seed
+
+	figures := hipe.Figures()
+	if *fig != "all" {
+		figures = []string{*fig}
+	}
+	fmt.Printf("HIPE reproduction — TPC-H Q06 selection scan, %d tuples, seed %d\n\n", *tuples, *seed)
+	for _, name := range figures {
+		start := time.Now()
+		table, err := hipe.Figure(cfg, name)
+		if err != nil {
+			log.Printf("figure %s failed: %v", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(table.String())
+		fmt.Printf("   (simulated in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,47 @@
+// predication demonstrates the paper's core mechanism: on a
+// date-clustered table (an append-ordered fact table), HIPE's predicated
+// loads squash the discount and quantity column reads of every chunk
+// whose shipdate window is empty — only useful data is loaded and
+// compared, which is where the DRAM energy saving comes from. HIVE's
+// full scan reads everything regardless.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	cfg := hipe.Default()
+	q := hipe.DefaultQ06()
+	hivePlan := hipe.Plan{Arch: hipe.HIVE, Strategy: hipe.ColumnAtATime,
+		OpSize: 256, Unroll: 32, Fused: true, Q: q}
+	hipePlan := hipe.Plan{Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime,
+		OpSize: 256, Unroll: 32, Q: q}
+
+	for _, c := range []struct {
+		name string
+		tab  *hipe.Lineitem
+	}{
+		{"uniform shipdates ", hipe.Generate(cfg.Tuples, cfg.Seed)},
+		{"clustered shipdates", hipe.GenerateClustered(cfg.Tuples, cfg.Seed, 10)},
+	} {
+		hive, err := hipe.Run(cfg, c.tab, hivePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hipeRes, err := hipe.Run(cfg, c.tab, hipePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saving := 100 * (1 - hipeRes.Energy.DRAMPJ()/hive.Energy.DRAMPJ())
+		fmt.Printf("%s: HIVE %8d cyc / %.0f pJ   HIPE %8d cyc / %.0f pJ\n",
+			c.name, hive.Cycles, hive.Energy.DRAMPJ(), hipeRes.Cycles, hipeRes.Energy.DRAMPJ())
+		fmt.Printf("%s  squashed %5d predicated instructions, %7d DRAM bytes never read,"+
+			" DRAM energy saving %.1f%%\n\n",
+			"                   ", hipeRes.Squashed, hipeRes.SquashedDRAMBytes, saving)
+	}
+	fmt.Println("paper reference: HIPE saves ~4% DRAM energy vs HIVE on TPC-H Q06")
+}

@@ -1,0 +1,34 @@
+// q06comparison runs every architecture's best configuration on the same
+// data — a miniature of the paper's Figure 3d — and prints speedups and
+// DRAM energy side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	cfg := hipe.Default()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	plans := hipe.BestPlans(hipe.DefaultQ06())
+
+	order := []hipe.Arch{hipe.X86, hipe.HMC, hipe.HIVE, hipe.HIPE}
+	var base uint64
+	fmt.Printf("%-42s %12s %8s %14s\n", "best configuration", "cycles", "speedup", "DRAM energy pJ")
+	for _, arch := range order {
+		res, err := hipe.Run(cfg, tab, plans[arch])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arch == hipe.X86 {
+			base = res.Cycles
+		}
+		fmt.Printf("%-42s %12d %7.2fx %14.0f\n",
+			plans[arch].String(), res.Cycles, float64(base)/float64(res.Cycles),
+			res.Energy.DRAMPJ())
+	}
+	fmt.Println("\npaper reference: HMC 5.15x, HIVE 7.55x, HIPE 6.46x")
+}

@@ -1,0 +1,38 @@
+// Quickstart: run the TPC-H Query 06 selection scan on the HIPE engine
+// and compare it against the x86 baseline — the paper's headline result
+// in twenty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	cfg := hipe.Default()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	q := hipe.DefaultQ06()
+
+	x86, err := hipe.Run(cfg, tab, hipe.Plan{
+		Arch: hipe.X86, Strategy: hipe.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pim, err := hipe.Run(cfg, tab, hipe.Plan{
+		Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Q06 over %d tuples (selectivity %.3f)\n", tab.N, hipe.Selectivity(tab, q))
+	fmt.Printf("x86 (AVX-512, caches):     %10d cycles\n", x86.Cycles)
+	fmt.Printf("HIPE (predicated, in-HMC): %10d cycles\n", pim.Cycles)
+	fmt.Printf("speedup:                   %10.2fx (paper: 6.46x)\n",
+		float64(x86.Cycles)/float64(pim.Cycles))
+	fmt.Printf("HIPE DRAM energy:          %10.0f pJ (x86: %.0f pJ)\n",
+		pim.Energy.DRAMPJ(), x86.Energy.DRAMPJ())
+}

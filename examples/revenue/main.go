@@ -1,0 +1,40 @@
+// revenue runs the complete TPC-H Query 06 — selection AND the
+// sum(l_extendedprice * l_discount) aggregation — entirely inside the
+// memory cube: an extension beyond the paper's select-scan evaluation,
+// built from the HIPE ISA's predicated Mul/And/Add lanes. The engine's
+// accumulator is verified against the reference evaluator on every run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	cfg := hipe.Default()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	q := hipe.DefaultQ06()
+
+	scanOnly := hipe.Plan{Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime,
+		OpSize: 256, Unroll: 32, Q: q}
+	fullQuery := scanOnly
+	fullQuery.Aggregate = true
+
+	scan, err := hipe.Run(cfg, tab, scanOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg, err := hipe.Run(cfg, tab, fullQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("HIPE select scan only:        %8d cycles\n", scan.Cycles)
+	fmt.Printf("HIPE full Q06 (in-memory sum): %7d cycles (+%.0f%%)\n",
+		agg.Cycles, 100*(float64(agg.Cycles)/float64(scan.Cycles)-1))
+	fmt.Println("\nthe aggregation result was computed by the engine's predicated")
+	fmt.Println("Mul/And/Add lanes and verified against the reference evaluator —")
+	fmt.Println("no bitmask or data column ever travelled to the processor")
+}

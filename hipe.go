@@ -1,0 +1,117 @@
+// Package hipe is the public API of the HIPE reproduction: a simulator
+// for HMC Instruction Predication Extension (Tomé et al., DATE 2018) and
+// every substrate its evaluation rests on — the out-of-order x86
+// baseline with its cache hierarchy, the Hybrid Memory Cube DRAM and
+// SerDes links, the extended HMC 2.1 instruction baseline, the HIVE
+// vector engine, and the HIPE predicated engine itself, exercised by a
+// TPC-H Query 06 selection-scan workload over row-store and column-store
+// layouts.
+//
+// Quick start:
+//
+//	tab := hipe.Generate(16384, 42)
+//	res, err := hipe.Run(hipe.Default(), tab, hipe.Plan{
+//		Arch:     hipe.HIPE,
+//		Strategy: hipe.ColumnAtATime,
+//		OpSize:   256,
+//		Unroll:   32,
+//		Q:        hipe.DefaultQ06(),
+//	})
+//
+// Every figure of the paper regenerates through Figure:
+//
+//	table, err := hipe.Figure(hipe.Default(), "3d")
+//	fmt.Print(table)
+package hipe
+
+import (
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/energy"
+	"github.com/hipe-sim/hipe/internal/harness"
+	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// Core workload and experiment types (aliases into the implementation
+// packages so external users need only this package).
+type (
+	// Plan selects architecture, scan strategy, operation size and
+	// unroll depth for one experiment.
+	Plan = query.Plan
+	// Arch is one of the four evaluated architectures.
+	Arch = query.Arch
+	// Strategy is the scan strategy / storage layout pair.
+	Strategy = query.Strategy
+	// Lineitem is the generated TPC-H lineitem subset.
+	Lineitem = db.Table
+	// Q06 is the TPC-H Query 06 predicate.
+	Q06 = db.Q06
+	// Config parameterises experiment runs (tuples, seed, machine).
+	Config = harness.Config
+	// Result is the outcome of one simulated plan.
+	Result = harness.Result
+	// FigureTable is a rendered experiment series.
+	FigureTable = harness.Table
+	// MachineConfig exposes every Table I parameter for customisation.
+	MachineConfig = machine.Config
+	// EnergyModel holds the energy constants.
+	EnergyModel = energy.Model
+	// EnergyBreakdown is a per-component energy audit.
+	EnergyBreakdown = energy.Breakdown
+)
+
+// Architectures.
+const (
+	X86  = query.X86
+	HMC  = query.HMC
+	HIVE = query.HIVE
+	HIPE = query.HIPE
+)
+
+// Scan strategies.
+const (
+	TupleAtATime  = query.TupleAtATime
+	ColumnAtATime = query.ColumnAtATime
+)
+
+// Default returns the standard experiment configuration (Table I machine,
+// 16384 tuples, seed 42).
+func Default() Config { return harness.Default() }
+
+// DefaultMachine returns the paper's Table I machine configuration.
+func DefaultMachine() MachineConfig { return machine.Default() }
+
+// DefaultEnergy returns the default energy constants.
+func DefaultEnergy() EnergyModel { return energy.Default() }
+
+// DefaultQ06 returns the TPC-H Query 06 predicate parameters.
+func DefaultQ06() Q06 { return db.DefaultQ06() }
+
+// Generate builds a lineitem table with dbgen-like distributions,
+// deterministically from seed. n must be a multiple of 64.
+func Generate(n int, seed uint64) *Lineitem { return db.Generate(n, seed) }
+
+// GenerateClustered builds a lineitem table whose shipdates follow the
+// physical row order (an append-ordered fact table). Clustering is what
+// lets HIPE's predication skip whole chunks of the later columns; see the
+// ablation benches.
+func GenerateClustered(n int, seed uint64, noiseDays int32) *Lineitem {
+	return db.GenerateClustered(n, seed, noiseDays)
+}
+
+// Selectivity reports the fraction of t matching q.
+func Selectivity(t *Lineitem, q Q06) float64 { return db.Selectivity(t, q) }
+
+// Run executes one plan on a fresh machine, verifies the computed
+// bitmask against the reference evaluator, and audits energy.
+func Run(cfg Config, tab *Lineitem, p Plan) (Result, error) { return cfg.Run(tab, p) }
+
+// Figure regenerates one panel of the paper's Figure 3 ("3a".."3d").
+func Figure(cfg Config, name string) (*FigureTable, error) { return cfg.Figure(name) }
+
+// Figures lists the reproducible panels.
+func Figures() []string { return harness.Figures() }
+
+// BestPlans returns the per-architecture best configurations compared in
+// Figure 3d.
+func BestPlans(q Q06) map[Arch]Plan { return harness.BestPlans(q) }

@@ -1,0 +1,90 @@
+package hipe_test
+
+import (
+	"strings"
+	"testing"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func smallConfig() hipe.Config {
+	c := hipe.Default()
+	c.Tuples = 1024
+	return c
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := smallConfig()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	res, err := hipe.Run(cfg, tab, hipe.Plan{
+		Arch:     hipe.HIPE,
+		Strategy: hipe.ColumnAtATime,
+		OpSize:   256,
+		Unroll:   32,
+		Q:        hipe.DefaultQ06(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Energy.DRAMPJ() <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestPublicAPIFigure(t *testing.T) {
+	table, err := hipe.Figure(smallConfig(), "3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "hipe/column-at-a-time/256B/32x") {
+		t.Fatalf("missing HIPE row:\n%s", table)
+	}
+	if len(hipe.Figures()) != 4 {
+		t.Fatal("figure list wrong")
+	}
+	if _, err := hipe.Figure(smallConfig(), "9z"); err == nil {
+		t.Fatal("bad figure name accepted")
+	}
+}
+
+func TestPublicAPIDefaults(t *testing.T) {
+	if hipe.DefaultMachine().Geometry.Vaults != 32 {
+		t.Fatal("machine default wrong")
+	}
+	if hipe.DefaultEnergy().ReadBitPJ <= 0 {
+		t.Fatal("energy default wrong")
+	}
+	q := hipe.DefaultQ06()
+	tab := hipe.Generate(4096, 7)
+	sel := hipe.Selectivity(tab, q)
+	if sel <= 0 || sel > 0.05 {
+		t.Fatalf("selectivity %f", sel)
+	}
+	plans := hipe.BestPlans(q)
+	if len(plans) != 4 {
+		t.Fatal("best plans wrong")
+	}
+}
+
+func TestClusteredDataEnablesSquash(t *testing.T) {
+	cfg := smallConfig()
+	q := hipe.DefaultQ06()
+	plan := hipe.Plan{Arch: hipe.HIPE, Strategy: hipe.ColumnAtATime,
+		OpSize: 256, Unroll: 32, Q: q}
+
+	uniform, err := hipe.Run(cfg, hipe.Generate(cfg.Tuples, 1), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := hipe.Run(cfg, hipe.GenerateClustered(cfg.Tuples, 1, 10), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clustered.Squashed <= uniform.Squashed {
+		t.Fatalf("clustering did not raise squashes: %d vs %d",
+			clustered.Squashed, uniform.Squashed)
+	}
+	if clustered.SquashedDRAMBytes == 0 {
+		t.Fatal("no DRAM bytes saved on clustered data")
+	}
+}

@@ -1,0 +1,117 @@
+package cache
+
+import "github.com/hipe-sim/hipe/internal/mem"
+
+// prefetcher observes the demand access stream and proposes line
+// addresses to fetch ahead.
+type prefetcher interface {
+	observe(addr mem.Addr, miss bool) []mem.Addr
+}
+
+const pfTableSize = 16
+
+// stridePrefetcher tracks per-4KiB-region strides and, once the same
+// stride is seen twice, fetches degree strides ahead. This is the classic
+// table-based stride prefetcher attached to the L1 in Table I.
+type stridePrefetcher struct {
+	lineBytes uint32
+	degree    uint32
+	entries   [pfTableSize]strideEntry
+}
+
+type strideEntry struct {
+	valid      bool
+	region     uint64
+	lastAddr   mem.Addr
+	stride     int64
+	confidence uint8
+}
+
+func newStridePrefetcher(lineBytes, degree uint32) *stridePrefetcher {
+	if degree == 0 {
+		degree = 2
+	}
+	return &stridePrefetcher{lineBytes: lineBytes, degree: degree}
+}
+
+func (p *stridePrefetcher) observe(addr mem.Addr, miss bool) []mem.Addr {
+	region := uint64(addr) >> 12
+	slot := &p.entries[region%pfTableSize]
+	if !slot.valid || slot.region != region {
+		*slot = strideEntry{valid: true, region: region, lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(slot.lastAddr)
+	if stride == 0 {
+		return nil
+	}
+	if stride == slot.stride {
+		if slot.confidence < 3 {
+			slot.confidence++
+		}
+	} else {
+		slot.stride = stride
+		slot.confidence = 1
+	}
+	slot.lastAddr = addr
+	if slot.confidence < 2 {
+		return nil
+	}
+	var out []mem.Addr
+	for d := uint32(1); d <= p.degree; d++ {
+		target := int64(addr) + stride*int64(d)
+		if target < 0 {
+			break
+		}
+		out = append(out, mem.Addr(target))
+	}
+	return out
+}
+
+// streamPrefetcher detects sequential miss streams (ascending line-by-line
+// within a region) and runs degree lines ahead of the demand stream. This
+// models the L2 stream prefetcher in Table I.
+type streamPrefetcher struct {
+	lineBytes uint32
+	degree    uint32
+	entries   [pfTableSize]streamEntry
+}
+
+type streamEntry struct {
+	valid    bool
+	region   uint64
+	lastLine uint64
+	trained  bool
+}
+
+func newStreamPrefetcher(lineBytes, degree uint32) *streamPrefetcher {
+	if degree == 0 {
+		degree = 4
+	}
+	return &streamPrefetcher{lineBytes: lineBytes, degree: degree}
+}
+
+func (p *streamPrefetcher) observe(addr mem.Addr, miss bool) []mem.Addr {
+	if !miss {
+		return nil
+	}
+	lineNo := uint64(addr) / uint64(p.lineBytes)
+	region := uint64(addr) >> 12
+	slot := &p.entries[region%pfTableSize]
+	if !slot.valid || slot.region != region {
+		*slot = streamEntry{valid: true, region: region, lastLine: lineNo}
+		return nil
+	}
+	ascending := lineNo == slot.lastLine+1
+	slot.lastLine = lineNo
+	if !ascending {
+		slot.trained = false
+		return nil
+	}
+	slot.trained = true
+	var out []mem.Addr
+	for d := uint64(1); d <= uint64(p.degree); d++ {
+		out = append(out, mem.Addr((lineNo+d)*uint64(p.lineBytes)))
+	}
+	return out
+}

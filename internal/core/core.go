@@ -1,0 +1,589 @@
+// Package core implements the paper's contribution: the HIPE engine — an
+// instruction sequencer in the HMC logic layer with a 36×256 B
+// interlocked register bank, unified vector functional units, and the
+// predication match logic that turns control-flow dependencies into
+// data-flow dependencies inside the memory.
+//
+// The same machinery, with predication disabled, is the balanced HIVE
+// design the paper evaluates as prior work (DATE 2016, resized to 256 B
+// operands and 36 registers); the internal/hive package instantiates that
+// mode.
+//
+// Mechanism summary (paper §III):
+//
+//   - Instructions arrive from the processor over the SerDes links into
+//     an instruction buffer and execute in order at the 1 GHz engine
+//     clock.
+//   - Three instruction classes: lock/unlock (register-bank ownership),
+//     load/store (DRAM ↔ register bank), and ALU operations.
+//   - The register bank is interlocked: a load marks its destination
+//     pending and execution continues; only an instruction that *uses* a
+//     pending register stalls. This overlaps computation with DRAM
+//     accesses.
+//   - Every register write also stores a zero flag. A HIPE instruction
+//     may carry a predicate naming a register and a wanted flag value;
+//     the predication match logic squashes the instruction (no DRAM
+//     access, no FU occupancy — one sequencer slot only) when the flag
+//     does not match. Waiting for the predicate register's flag is a real
+//     data dependency and is the 15% performance cost the paper reports
+//     against HIVE; the squashed DRAM reads are the energy win.
+package core
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/link"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Config parameterises the engine.
+type Config struct {
+	// Name is the stats scope ("hipe", "hive").
+	Name string
+	// Target declares which ISA the engine accepts; predication is only
+	// legal when Target == isa.TargetHIPE.
+	Target isa.Target
+
+	// ClockDivider is CPU cycles per engine cycle (2 ⇒ 1 GHz under the
+	// paper's 2 GHz core).
+	ClockDivider sim.Cycle
+	// Width is instructions issued per engine cycle.
+	Width int
+
+	// Functional-unit latencies in CPU cycles (Table I).
+	IntALULatency sim.Cycle // 2
+	IntMulLatency sim.Cycle // 6
+	IntDivLatency sim.Cycle // 40
+	FPALULatency  sim.Cycle // 10
+	FPMulLatency  sim.Cycle // 10
+	FPDivLatency  sim.Cycle // 40
+
+	// InstructionVault routes instruction packets on the links (all
+	// engine instructions share one ordered path to the sequencer).
+	InstructionVault uint32
+
+	// PredExtraSlots is the additional sequencer occupancy of a
+	// predicated instruction: the predication match logic reads the
+	// predicate register's zero flag through a dedicated port before the
+	// instruction may issue, costing extra engine cycles. This — plus
+	// the stalls waiting for flags of in-flight producers — is the
+	// "additional data dependencies" cost the paper measures as HIPE
+	// losing ~15% against HIVE.
+	PredExtraSlots int
+
+	// ZeroingSquash makes a squashed predicated instruction zero its
+	// destination register and set its zero flag (AVX-512 zeroing-mask
+	// style) instead of leaving it unchanged. This lets plans chain
+	// predicates (stage 3 predicated on stage 2's result even when stage
+	// 2 was itself squashed) without reading stale flags. The paper does
+	// not pin this down; the ablation bench compares both.
+	ZeroingSquash bool
+}
+
+// DefaultHIPE returns the paper's HIPE engine configuration.
+func DefaultHIPE() Config {
+	return Config{
+		Name:          "hipe",
+		Target:        isa.TargetHIPE,
+		ClockDivider:  2,
+		Width:         2,
+		IntALULatency: 2, IntMulLatency: 6, IntDivLatency: 40,
+		FPALULatency: 10, FPMulLatency: 10, FPDivLatency: 40,
+		PredExtraSlots: 1,
+		ZeroingSquash:  true,
+	}
+}
+
+// DefaultHIVE returns the balanced HIVE design the paper evaluates
+// (identical resources, no predication).
+func DefaultHIVE() Config {
+	c := DefaultHIPE()
+	c.Name = "hive"
+	c.Target = isa.TargetHIVE
+	return c
+}
+
+// Validate rejects broken configurations.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("core: empty name")
+	}
+	if c.Target != isa.TargetHIVE && c.Target != isa.TargetHIPE {
+		return fmt.Errorf("core: target %s is not an engine ISA", c.Target)
+	}
+	if c.ClockDivider == 0 || c.Width <= 0 {
+		return fmt.Errorf("core: bad clocking %+v", c)
+	}
+	for _, l := range []sim.Cycle{c.IntALULatency, c.IntMulLatency, c.IntDivLatency,
+		c.FPALULatency, c.FPMulLatency, c.FPDivLatency} {
+		if l == 0 {
+			return fmt.Errorf("core: zero FU latency")
+		}
+	}
+	return nil
+}
+
+// register is one entry of the interlocked register bank.
+type register struct {
+	data    [isa.RegisterBytes]byte
+	zero    bool
+	pending bool
+}
+
+// rowFetch tracks one logic-layer row read and the mask loads waiting on
+// it. A superseded fetch (the buffer moved to another row) still
+// completes its own waiters when its DRAM read returns.
+type rowFetch struct {
+	row     mem.Addr
+	done    bool
+	doneAt  sim.Cycle
+	waiting []func(now sim.Cycle)
+}
+
+type queued struct {
+	inst *isa.OffloadInst
+	// complete, when non-nil, serialises a response to the CPU (lock and
+	// unlock acknowledgements).
+	complete func()
+}
+
+// Engine is a HIPE (or HIVE) logic-layer engine.
+type Engine struct {
+	cfg    Config
+	engine *sim.Engine
+	links  *link.Controller
+	vaults *dram.HMC
+	geom   mem.Geometry
+	image  []byte
+
+	regs  [isa.NumRegisters]register
+	queue []queued
+
+	locked            bool
+	outstandingStores int
+	domain            *sim.ClockDomain
+
+	// maskBuf is the engine's bitmask write-combine buffer: one DRAM row
+	// that accumulates VMaskStore output, so that 8-byte mask pieces do
+	// not each pay a closed-page activation. Dirty contents flush as one
+	// row write when the row changes or a lock block ends.
+	maskBuf struct {
+		valid bool
+		dirty bool
+		row   mem.Addr
+	}
+	// maskRead is the matching read-side row buffer: a VMaskLoad miss
+	// fetches the whole row once and later same-row loads are served
+	// from the logic layer (coalescing onto an in-flight fetch).
+	maskRead *rowFetch
+
+	instructions   *stats.Counter
+	loads          *stats.Counter
+	stores         *stats.Counter
+	aluOps         *stats.Counter
+	squashed       *stats.Counter
+	squashedLoads  *stats.Counter
+	squashedBytes  *stats.Counter
+	interlockStall *stats.Counter
+	predStall      *stats.Counter
+	lockBlocks     *stats.Counter
+	dramReadBytes  *stats.Counter
+	dramWriteBytes *stats.Counter
+	maskBufHits    *stats.Counter
+	maskBufMisses  *stats.Counter
+	maskBufFlushes *stats.Counter
+}
+
+// New builds an engine over the DRAM and link models. image is the
+// functional backing store shared with the rest of the machine.
+func New(engine *sim.Engine, cfg Config, links *link.Controller, vaults *dram.HMC, image []byte, reg *stats.Registry) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		engine: engine,
+		links:  links,
+		vaults: vaults,
+		geom:   vaults.Geom,
+		image:  image,
+	}
+	for i := range e.regs {
+		e.regs[i].zero = true // fresh registers hold all-zero data
+	}
+	sc := reg.Scope(cfg.Name)
+	e.instructions = sc.Counter("instructions")
+	e.loads = sc.Counter("vloads")
+	e.stores = sc.Counter("vstores")
+	e.aluOps = sc.Counter("alu_ops")
+	e.squashed = sc.Counter("squashed")
+	e.squashedLoads = sc.Counter("squashed_loads")
+	e.squashedBytes = sc.Counter("squashed_dram_bytes")
+	e.interlockStall = sc.Counter("interlock_stall_cycles")
+	e.predStall = sc.Counter("predicate_stall_cycles")
+	e.lockBlocks = sc.Counter("lock_blocks")
+	e.dramReadBytes = sc.Counter("dram_read_bytes")
+	e.dramWriteBytes = sc.Counter("dram_write_bytes")
+	e.maskBufHits = sc.Counter("maskbuf_hits")
+	e.maskBufMisses = sc.Counter("maskbuf_misses")
+	e.maskBufFlushes = sc.Counter("maskbuf_flushes")
+	e.domain = sim.NewClockDomain(engine, cfg.ClockDivider, e)
+	return e, nil
+}
+
+// Submit implements the processor offload port. Unlock returns a
+// response to the CPU (the block-completion acknowledgement that orders
+// later bitmask reads); all other instructions — including Lock, since a
+// single-host system needs no grant message — are posted: the done
+// callback fires as soon as the instruction has left the core, which is
+// what lets the processor stream whole lock blocks back to back while
+// the engine's in-order queue serialises their execution.
+func (e *Engine) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
+	if inst.Target != e.cfg.Target {
+		panic(fmt.Sprintf("core %s: wrong target %s", e.cfg.Name, inst.Target))
+	}
+	if err := inst.Validate(); err != nil {
+		panic("core: invalid instruction: " + err.Error())
+	}
+	acked := inst.Op == isa.Unlock
+	var respond func()
+	e.links.Send(&link.Packet{
+		Vault:       e.cfg.InstructionVault,
+		ReqPayload:  0, // one 16 B instruction packet
+		RespPayload: 0, // lock/unlock acks are header-only
+		Execute: func(complete func()) {
+			if acked {
+				respond = complete
+			}
+			e.enqueue(queued{inst: inst, complete: func() {
+				if respond != nil {
+					respond()
+				}
+			}})
+		},
+		Done: func(now sim.Cycle) {
+			if acked && done != nil {
+				done(now)
+			}
+		},
+	})
+	if !acked && done != nil {
+		// Posted: the CPU retires the µop once the packet is on its way.
+		e.engine.After(1, func() { done(e.engine.Now()) })
+	}
+	return true
+}
+
+func (e *Engine) enqueue(q queued) {
+	e.queue = append(e.queue, q)
+	e.domain.Kick()
+}
+
+// Tick implements sim.Ticker: one engine cycle of in-order issue. A
+// predicated instruction costs extra issue slots (the predication match
+// logic's flag read).
+func (e *Engine) Tick(now sim.Cycle) bool {
+	issued := 0
+	for issued < e.cfg.Width {
+		if len(e.queue) == 0 {
+			break
+		}
+		head := e.queue[0]
+		cost := 1
+		if head.inst.Pred.Valid {
+			cost += e.cfg.PredExtraSlots
+		}
+		if issued+cost > e.cfg.Width && issued > 0 {
+			break // does not fit in this cycle's remaining slots
+		}
+		if !e.canIssue(head.inst, now) {
+			break
+		}
+		e.queue = e.queue[1:]
+		e.issue(head, now)
+		issued += cost
+	}
+	return len(e.queue) > 0
+}
+
+// canIssue applies the interlock and predication-readiness rules.
+func (e *Engine) canIssue(inst *isa.OffloadInst, now sim.Cycle) bool {
+	if inst.Pred.Valid && e.regs[inst.Pred.Reg].pending {
+		// Predication match logic needs the flag: data dependency.
+		e.predStall.Inc()
+		return false
+	}
+	switch inst.Op {
+	case isa.Lock:
+		return true
+	case isa.Unlock:
+		// Unlock drains the block: every register write completed, the
+		// mask buffer flushed, and every store accepted by DRAM.
+		if e.maskBuf.dirty {
+			e.flushMaskBuf()
+			e.interlockStall.Inc()
+			return false
+		}
+		if e.outstandingStores > 0 {
+			e.interlockStall.Inc()
+			return false
+		}
+		for i := range e.regs {
+			if e.regs[i].pending {
+				e.interlockStall.Inc()
+				return false
+			}
+		}
+		return true
+	case isa.VLoad, isa.VMaskLoad:
+		if e.regs[inst.Dst].pending {
+			e.interlockStall.Inc()
+			return false
+		}
+		return true
+	case isa.VStore, isa.VMaskStore:
+		if e.regs[inst.Src1].pending {
+			e.interlockStall.Inc()
+			return false
+		}
+		return true
+	case isa.VALU:
+		if e.regs[inst.Dst].pending || e.regs[inst.Src1].pending ||
+			(!inst.UseImm && e.regs[inst.Src2].pending) {
+			e.interlockStall.Inc()
+			return false
+		}
+		return true
+	default:
+		panic(fmt.Sprintf("core: cannot issue %s", inst.Op))
+	}
+}
+
+// issue executes one instruction (or squashes it under predication).
+func (e *Engine) issue(q queued, now sim.Cycle) {
+	inst := q.inst
+	e.instructions.Inc()
+
+	if inst.Pred.Valid {
+		flag := e.regs[inst.Pred.Reg].zero
+		if flag != inst.Pred.WhenZero {
+			// Predicate mismatch: squash. One sequencer slot consumed,
+			// no DRAM traffic, no FU occupancy.
+			e.squashed.Inc()
+			switch inst.Op {
+			case isa.VLoad, isa.VMaskLoad:
+				e.squashedLoads.Inc()
+				if inst.Op == isa.VLoad {
+					e.squashedBytes.Add(uint64(inst.Size))
+				} else {
+					e.squashedBytes.Add(uint64(isa.MaskBytes(inst.Size)))
+				}
+			}
+			if e.cfg.ZeroingSquash {
+				switch inst.Op {
+				case isa.VLoad, isa.VMaskLoad, isa.VALU:
+					dst := &e.regs[inst.Dst]
+					dst.data = [isa.RegisterBytes]byte{}
+					dst.zero = true
+				}
+			}
+			q.complete()
+			return
+		}
+	}
+
+	switch inst.Op {
+	case isa.Lock:
+		e.locked = true
+		e.lockBlocks.Inc()
+		q.complete()
+
+	case isa.Unlock:
+		e.locked = false
+		q.complete()
+
+	case isa.VLoad:
+		e.loads.Inc()
+		e.dramReadBytes.Add(uint64(inst.Size))
+		dst := &e.regs[inst.Dst]
+		dst.pending = true
+		e.fanOut(inst.Addr, inst.Size, mem.Read, func(sim.Cycle) {
+			copy(dst.data[:inst.Size], e.image[inst.Addr:uint64(inst.Addr)+uint64(inst.Size)])
+			dst.zero = isa.IsZero(dst.data[:], int(inst.Size))
+			dst.pending = false
+		})
+		q.complete()
+
+	case isa.VMaskLoad:
+		e.loads.Inc()
+		nb := isa.MaskBytes(inst.Size)
+		dst := &e.regs[inst.Dst]
+		dst.pending = true
+		fill := func(sim.Cycle) {
+			packed := e.image[inst.Addr : uint64(inst.Addr)+uint64(nb)]
+			isa.ExpandMask(dst.data[:], packed, int(inst.Size))
+			dst.zero = isa.IsZero(dst.data[:], int(inst.Size))
+			dst.pending = false
+		}
+		row := e.geom.RowBase(inst.Addr)
+		switch {
+		case e.maskBuf.valid && e.maskBuf.row == row:
+			// Forwarded from the write-combine buffer: no DRAM access.
+			e.maskBufHits.Inc()
+			at := now + e.cfg.ClockDivider
+			e.engine.Schedule(at, func() { fill(at) })
+		case e.maskRead != nil && e.maskRead.row == row:
+			e.maskBufHits.Inc()
+			f := e.maskRead
+			if !f.done {
+				// The row fetch is still in flight: coalesce onto it.
+				f.waiting = append(f.waiting, fill)
+				break
+			}
+			at := now + e.cfg.ClockDivider
+			if f.doneAt > at {
+				at = f.doneAt
+			}
+			e.engine.Schedule(at, func() { fill(at) })
+		default:
+			// Miss: fetch the whole row once into the logic layer.
+			e.maskBufMisses.Inc()
+			e.dramReadBytes.Add(uint64(e.geom.RowBytes))
+			f := &rowFetch{row: row, waiting: []func(sim.Cycle){fill}}
+			e.maskRead = f
+			e.fanOut(row, e.geom.RowBytes, mem.Read, func(done sim.Cycle) {
+				f.done = true
+				f.doneAt = done
+				for _, wfn := range f.waiting {
+					wfn(done)
+				}
+				f.waiting = nil
+			})
+		}
+		q.complete()
+
+	case isa.VStore:
+		e.stores.Inc()
+		e.dramWriteBytes.Add(uint64(inst.Size))
+		src := &e.regs[inst.Src1]
+		copy(e.image[inst.Addr:uint64(inst.Addr)+uint64(inst.Size)], src.data[:inst.Size])
+		e.outstandingStores++
+		e.fanOut(inst.Addr, inst.Size, mem.Write, func(sim.Cycle) {
+			e.outstandingStores--
+		})
+		q.complete()
+
+	case isa.VMaskStore:
+		e.stores.Inc()
+		src := &e.regs[inst.Src1]
+		nb := isa.MaskBytes(inst.Size)
+		mask := make([]byte, nb)
+		isa.CompactMask(mask, src.data[:], int(inst.Size))
+		copy(e.image[inst.Addr:uint64(inst.Addr)+uint64(nb)], mask)
+		if inst.OnResult != nil {
+			inst.OnResult(mask)
+		}
+		// Accumulate in the mask write-combine buffer; the row flushes
+		// to DRAM when the target row changes or at unlock.
+		row := e.geom.RowBase(inst.Addr)
+		if e.maskBuf.valid && e.maskBuf.row != row && e.maskBuf.dirty {
+			e.flushMaskBuf()
+		}
+		e.maskBuf.valid = true
+		e.maskBuf.row = row
+		e.maskBuf.dirty = true
+		q.complete()
+
+	case isa.VALU:
+		e.aluOps.Inc()
+		dst := &e.regs[inst.Dst]
+		src1 := &e.regs[inst.Src1]
+		n := int(isa.RegisterBytes)
+		result := make([]byte, n)
+		if inst.UseImm {
+			isa.LaneOpImm(inst.ALU, result, src1.data[:], inst.Imm, n)
+		} else {
+			isa.LaneOp(inst.ALU, result, src1.data[:], e.regs[inst.Src2].data[:], n)
+		}
+		dst.pending = true
+		done := now + e.aluLatency(inst)
+		e.engine.Schedule(done, func() {
+			copy(dst.data[:], result)
+			dst.zero = isa.IsZero(dst.data[:], n)
+			dst.pending = false
+		})
+		q.complete()
+
+	default:
+		panic(fmt.Sprintf("core: cannot execute %s", inst.Op))
+	}
+}
+
+// aluLatency maps an ALU kind to its Table I latency.
+func (e *Engine) aluLatency(inst *isa.OffloadInst) sim.Cycle {
+	if inst.FP {
+		switch inst.ALU {
+		case isa.Mul:
+			return e.cfg.FPMulLatency
+		default:
+			return e.cfg.FPALULatency
+		}
+	}
+	switch inst.ALU {
+	case isa.Mul:
+		return e.cfg.IntMulLatency
+	default:
+		return e.cfg.IntALULatency
+	}
+}
+
+// flushMaskBuf writes the mask buffer's row to DRAM as one row-sized
+// store.
+func (e *Engine) flushMaskBuf() {
+	e.maskBufFlushes.Inc()
+	e.maskBuf.dirty = false
+	e.dramWriteBytes.Add(uint64(e.geom.RowBytes))
+	e.outstandingStores++
+	e.fanOut(e.maskBuf.row, e.geom.RowBytes, mem.Write, func(sim.Cycle) {
+		e.outstandingStores--
+	})
+}
+
+// fanOut issues the DRAM accesses for a (possibly row-straddling) engine
+// memory operation and invokes done when all complete.
+func (e *Engine) fanOut(addr mem.Addr, size uint32, kind mem.Kind, done func(now sim.Cycle)) {
+	chunks := e.geom.Split(addr, size)
+	remaining := len(chunks)
+	for _, ch := range chunks {
+		e.vaults.Access(&mem.Request{Addr: ch.Addr, Size: ch.Size, Kind: kind,
+			Done: func(now sim.Cycle) {
+				remaining--
+				if remaining == 0 {
+					done(now)
+				}
+			}})
+	}
+}
+
+// Locked reports whether a lock block is open (for tests).
+func (e *Engine) Locked() bool { return e.locked }
+
+// RegisterData returns a copy of a register's contents (for tests).
+func (e *Engine) RegisterData(i int) []byte {
+	out := make([]byte, isa.RegisterBytes)
+	copy(out, e.regs[i].data[:])
+	return out
+}
+
+// RegisterZero reports a register's zero flag (for tests).
+func (e *Engine) RegisterZero(i int) bool { return e.regs[i].zero }
+
+// RegisterPending reports whether a register is interlocked (for tests).
+func (e *Engine) RegisterPending(i int) bool { return e.regs[i].pending }
+
+// QueueDepth reports buffered instructions (for tests).
+func (e *Engine) QueueDepth() int { return len(e.queue) }

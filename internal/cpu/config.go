@@ -1,0 +1,151 @@
+// Package cpu models the out-of-order x86 core of the paper's baseline
+// (Table I: Sandy-Bridge-like, 2 GHz, 6-wide issue, 168-entry ROB,
+// 64-read/36-write memory order buffer, two-level GAs branch predictor
+// with a 4096-entry BTB, AVX-512 capable).
+//
+// The model is trace-driven: it consumes a program-order stream of µops
+// whose branch outcomes are known, models fetch/decode/dispatch/issue/
+// commit with functional-unit and memory-level-parallelism limits, and
+// charges branch mispredictions as front-end refill penalties. Wrong-path
+// µops are not simulated — the standard trace-driven simplification, also
+// used by the paper's SiNUCA simulator traces.
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/sim"
+)
+
+// FUClass identifies a functional-unit pool.
+type FUClass uint8
+
+// Functional-unit pools per Table I.
+const (
+	FUIntALU FUClass = iota
+	FUIntMul
+	FUIntDiv
+	FUFPALU
+	FUFPMul
+	FUFPDiv
+	FULoad
+	FUStore
+	fuClasses
+)
+
+// FUConfig describes one pool.
+type FUConfig struct {
+	Units   int
+	Latency sim.Cycle
+	// Pipelined pools accept one op per unit per cycle; non-pipelined
+	// pools (dividers) block a unit for the full latency.
+	Pipelined bool
+}
+
+// Config is the core configuration.
+type Config struct {
+	Name string
+
+	FetchBytes     uint32 // bytes fetched per cycle (16)
+	InstBytes      uint32 // mean instruction length used to convert fetch bytes to µops (4)
+	FetchBufSize   int    // 18
+	DecodeBufSize  int    // 28
+	DecodeWidth    int    // µops decoded per cycle (issue width)
+	IssueWidth     int    // 6
+	CommitWidth    int    // 6
+	ROBSize        int    // 168
+	MOBReads       int    // 64 in-flight loads/offloads
+	MOBWrites      int    // 36 in-flight stores
+	MaxBranchFetch int    // branches per fetch group (1)
+
+	FUs [fuClasses]FUConfig
+
+	// MispredictPenalty is the front-end refill charged after a
+	// mispredicted branch resolves.
+	MispredictPenalty sim.Cycle
+	// BTBMissPenalty is the fetch-redirect bubble for taken branches
+	// absent from the BTB.
+	BTBMissPenalty sim.Cycle
+
+	BTBEntries int // 4096
+	GHRBits    uint8
+	PHTEntries int
+}
+
+// TableI returns the paper's core configuration.
+func TableI(name string) Config {
+	var c Config
+	c.Name = name
+	c.FetchBytes = 16
+	c.InstBytes = 4
+	c.FetchBufSize = 18
+	c.DecodeBufSize = 28
+	c.DecodeWidth = 6
+	c.IssueWidth = 6
+	c.CommitWidth = 6
+	c.ROBSize = 168
+	c.MOBReads = 64
+	c.MOBWrites = 36
+	c.MaxBranchFetch = 1
+	c.FUs[FUIntALU] = FUConfig{Units: 3, Latency: 1, Pipelined: true}
+	c.FUs[FUIntMul] = FUConfig{Units: 1, Latency: 3, Pipelined: true}
+	c.FUs[FUIntDiv] = FUConfig{Units: 1, Latency: 32, Pipelined: false}
+	c.FUs[FUFPALU] = FUConfig{Units: 1, Latency: 3, Pipelined: true}
+	c.FUs[FUFPMul] = FUConfig{Units: 1, Latency: 5, Pipelined: true}
+	c.FUs[FUFPDiv] = FUConfig{Units: 1, Latency: 10, Pipelined: false}
+	c.FUs[FULoad] = FUConfig{Units: 1, Latency: 1, Pipelined: true}
+	c.FUs[FUStore] = FUConfig{Units: 1, Latency: 1, Pipelined: true}
+	c.MispredictPenalty = 14
+	c.BTBMissPenalty = 8
+	c.BTBEntries = 4096
+	c.GHRBits = 12
+	c.PHTEntries = 4096
+	return c
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchBytes == 0 || c.InstBytes == 0:
+		return fmt.Errorf("cpu %s: zero fetch/inst bytes", c.Name)
+	case c.FetchBufSize <= 0 || c.DecodeBufSize <= 0 || c.ROBSize <= 0:
+		return fmt.Errorf("cpu %s: zero buffer sizes", c.Name)
+	case c.IssueWidth <= 0 || c.CommitWidth <= 0 || c.DecodeWidth <= 0:
+		return fmt.Errorf("cpu %s: zero widths", c.Name)
+	case c.MOBReads <= 0 || c.MOBWrites <= 0:
+		return fmt.Errorf("cpu %s: zero MOB entries", c.Name)
+	case c.BTBEntries <= 0 || c.PHTEntries <= 0 || c.GHRBits == 0 || c.GHRBits > 30:
+		return fmt.Errorf("cpu %s: bad predictor geometry", c.Name)
+	}
+	for i, fu := range c.FUs {
+		if fu.Units <= 0 || fu.Latency == 0 {
+			return fmt.Errorf("cpu %s: FU pool %d has %d units latency %d", c.Name, i, fu.Units, fu.Latency)
+		}
+	}
+	return nil
+}
+
+// fuFor maps a µop class to its functional-unit pool.
+func fuFor(class isa.OpClass) FUClass {
+	switch class {
+	case isa.IntALU, isa.Branch, isa.Nop:
+		return FUIntALU
+	case isa.IntMul:
+		return FUIntMul
+	case isa.IntDiv:
+		return FUIntDiv
+	case isa.FPALU, isa.VecALU, isa.VecCmp:
+		return FUFPALU
+	case isa.FPMul:
+		return FUFPMul
+	case isa.FPDiv:
+		return FUFPDiv
+	case isa.Load, isa.Offload:
+		return FULoad
+	case isa.Store:
+		return FUStore
+	default:
+		panic(fmt.Sprintf("cpu: no FU for class %s", class))
+	}
+}

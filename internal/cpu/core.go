@@ -1,0 +1,485 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Stream supplies µops in program order (the correct execution path).
+type Stream interface {
+	// Next returns the next µop; ok=false ends the program.
+	Next() (isa.MicroOp, bool)
+}
+
+// SliceStream adapts a pre-built µop slice to the Stream interface.
+type SliceStream struct {
+	Ops []isa.MicroOp
+	pos int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (isa.MicroOp, bool) {
+	if s.pos >= len(s.Ops) {
+		return isa.MicroOp{}, false
+	}
+	op := s.Ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// OffloadPort accepts HMC/HIVE/HIPE instructions departing the core.
+type OffloadPort interface {
+	// Submit sends one instruction toward the cube; done fires when the
+	// response arrives back at the core. Submit reports false if the port
+	// cannot accept this cycle (retry later).
+	Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool
+}
+
+type entryState uint8
+
+const (
+	stWaiting entryState = iota
+	stReady
+	stExecuting
+	stDone
+)
+
+type fetchedOp struct {
+	uop          isa.MicroOp
+	seq          uint64
+	mispredicted bool
+}
+
+type robEntry struct {
+	fetchedOp
+	state   entryState
+	deps    int
+	waiters []*robEntry
+	inROB   bool
+}
+
+// pendingStore is a committed store waiting to drain to memory.
+type pendingStore struct {
+	req         *mem.Request
+	uncacheable bool
+}
+
+// Core is one out-of-order processor core.
+type Core struct {
+	cfg    Config
+	engine *sim.Engine
+
+	dcache  mem.Port    // cacheable path (L1D)
+	umem    mem.Port    // uncacheable path (directly toward the cube)
+	offload OffloadPort // HMC/HIVE/HIPE instruction path
+
+	stream     Stream
+	streamDone bool
+	nextSeq    uint64
+
+	fetchBuf  []fetchedOp
+	decodeBuf []fetchedOp
+	rob       []*robEntry
+	readyQ    []*robEntry
+
+	producers map[isa.Reg]*robEntry
+
+	mobReads      int // in-flight loads + offloads
+	mobWrites     int // in-flight committed stores
+	pendingStores []pendingStore
+
+	fetchStallUntil sim.Cycle
+	blockingBranch  uint64 // seq of the unresolved mispredicted branch
+	hasBlockingBr   bool
+	issuedThisCycle [fuClasses]int
+	divBusyUntil    [fuClasses][]sim.Cycle
+	pred            *branchPredictor
+	domain          *sim.ClockDomain
+	startCycle      sim.Cycle
+	finishCycle     sim.Cycle
+	running         bool
+	onFinish        func()
+
+	committed   *stats.Counter
+	branches    *stats.Counter
+	mispredicts *stats.Counter
+	btbMisses   *stats.Counter
+	fetchStalls *stats.Counter
+	robStalls   *stats.Counter
+	mobStalls   *stats.Counter
+	cacheRetry  *stats.Counter
+	loads       *stats.Counter
+	stores      *stats.Counter
+	offloads    *stats.Counter
+	cycles      *stats.Counter
+}
+
+// New builds a core. dcache is the L1 entry point; umem is the
+// uncacheable path to memory; offloadPort carries cube instructions (may
+// be nil for a pure x86 core, in which case Offload µops panic).
+func New(engine *sim.Engine, cfg Config, dcache, umem mem.Port, offloadPort OffloadPort, reg *stats.Registry) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:       cfg,
+		engine:    engine,
+		dcache:    dcache,
+		umem:      umem,
+		offload:   offloadPort,
+		producers: make(map[isa.Reg]*robEntry),
+		pred:      newBranchPredictor(cfg.GHRBits, cfg.PHTEntries, cfg.BTBEntries),
+	}
+	for i := range c.divBusyUntil {
+		if !cfg.FUs[i].Pipelined {
+			c.divBusyUntil[i] = make([]sim.Cycle, cfg.FUs[i].Units)
+		}
+	}
+	sc := reg.Scope(cfg.Name)
+	c.committed = sc.Counter("committed_uops")
+	c.branches = sc.Counter("branches")
+	c.mispredicts = sc.Counter("branch_mispredicts")
+	c.btbMisses = sc.Counter("btb_misses")
+	c.fetchStalls = sc.Counter("fetch_stall_cycles")
+	c.robStalls = sc.Counter("rob_full_stalls")
+	c.mobStalls = sc.Counter("mob_stalls")
+	c.cacheRetry = sc.Counter("cache_retries")
+	c.loads = sc.Counter("loads")
+	c.stores = sc.Counter("stores")
+	c.offloads = sc.Counter("offload_insts")
+	c.cycles = sc.Counter("active_cycles")
+	c.domain = sim.NewClockDomain(engine, 1, c)
+	return c, nil
+}
+
+// Start begins executing a µop stream; onFinish (optional) fires when the
+// last µop has committed and all stores have drained.
+func (c *Core) Start(s Stream, onFinish func()) {
+	if c.running {
+		panic("cpu: core already running")
+	}
+	c.stream = s
+	c.streamDone = false
+	c.running = true
+	c.onFinish = onFinish
+	c.startCycle = c.engine.Now()
+	c.domain.Kick()
+}
+
+// Cycles reports the cycles consumed by the last completed run.
+func (c *Core) Cycles() sim.Cycle { return c.finishCycle - c.startCycle }
+
+// Committed reports total committed µops.
+func (c *Core) Committed() uint64 { return c.committed.Value() }
+
+// Tick implements sim.Ticker: one pipeline cycle.
+func (c *Core) Tick(now sim.Cycle) bool {
+	c.cycles.Inc()
+	for i := range c.issuedThisCycle {
+		c.issuedThisCycle[i] = 0
+	}
+	c.commit(now)
+	c.issue(now)
+	c.dispatch()
+	c.decode()
+	c.fetch(now)
+	c.drainStores()
+
+	if c.idle() {
+		c.running = false
+		c.finishCycle = now
+		if c.onFinish != nil {
+			f := c.onFinish
+			c.onFinish = nil
+			f()
+		}
+		return false
+	}
+	return true
+}
+
+func (c *Core) idle() bool {
+	return c.streamDone &&
+		len(c.fetchBuf) == 0 && len(c.decodeBuf) == 0 && len(c.rob) == 0 &&
+		len(c.pendingStores) == 0 && c.mobWrites == 0 && c.mobReads == 0
+}
+
+// fetch brings µops into the fetch buffer, honoring the fetch-group byte
+// budget, the one-branch-per-fetch rule, and branch-induced stalls.
+func (c *Core) fetch(now sim.Cycle) {
+	if c.streamDone || c.hasBlockingBr {
+		return
+	}
+	if now < c.fetchStallUntil {
+		c.fetchStalls.Inc()
+		return
+	}
+	budget := int(c.cfg.FetchBytes / c.cfg.InstBytes)
+	branches := 0
+	for budget > 0 && len(c.fetchBuf) < c.cfg.FetchBufSize {
+		uop, ok := c.stream.Next()
+		if !ok {
+			c.streamDone = true
+			return
+		}
+		f := fetchedOp{uop: uop, seq: c.nextSeq}
+		c.nextSeq++
+		if uop.Class == isa.Branch {
+			branches++
+			c.branches.Inc()
+			predicted := c.pred.predict(uop.PC)
+			c.pred.update(uop.PC, uop.Taken)
+			btbHit := c.pred.btbHit(uop.PC)
+			if predicted != uop.Taken {
+				// Fetch halts until this branch resolves at execute.
+				f.mispredicted = true
+				c.mispredicts.Inc()
+				c.hasBlockingBr = true
+				c.blockingBranch = f.seq
+				c.fetchBuf = append(c.fetchBuf, f)
+				return
+			}
+			if uop.Taken && !btbHit {
+				// Correct direction but unknown target: redirect bubble.
+				c.btbMisses.Inc()
+				c.fetchStallUntil = now + c.cfg.BTBMissPenalty
+				c.fetchBuf = append(c.fetchBuf, f)
+				return
+			}
+			if uop.Taken || branches >= c.cfg.MaxBranchFetch {
+				// Taken branches end the fetch group.
+				c.fetchBuf = append(c.fetchBuf, f)
+				return
+			}
+		}
+		c.fetchBuf = append(c.fetchBuf, f)
+		budget--
+	}
+}
+
+// decode moves µops from the fetch buffer to the decode buffer.
+func (c *Core) decode() {
+	n := c.cfg.DecodeWidth
+	for n > 0 && len(c.fetchBuf) > 0 && len(c.decodeBuf) < c.cfg.DecodeBufSize {
+		c.decodeBuf = append(c.decodeBuf, c.fetchBuf[0])
+		c.fetchBuf = c.fetchBuf[1:]
+		n--
+	}
+}
+
+// dispatch renames µops into the ROB and resolves dependencies.
+func (c *Core) dispatch() {
+	n := c.cfg.IssueWidth
+	for n > 0 && len(c.decodeBuf) > 0 {
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.robStalls.Inc()
+			return
+		}
+		f := c.decodeBuf[0]
+		c.decodeBuf = c.decodeBuf[1:]
+		e := &robEntry{fetchedOp: f, inROB: true}
+		for _, src := range []isa.Reg{f.uop.Src1, f.uop.Src2} {
+			if src == isa.RegNone {
+				continue
+			}
+			if p, ok := c.producers[src]; ok && p.state != stDone {
+				e.deps++
+				p.waiters = append(p.waiters, e)
+			}
+		}
+		if f.uop.Dst != isa.RegNone {
+			c.producers[f.uop.Dst] = e
+		}
+		c.rob = append(c.rob, e)
+		if e.deps == 0 {
+			e.state = stReady
+			c.readyQ = append(c.readyQ, e)
+		}
+		n--
+	}
+}
+
+// issue selects ready µops (oldest first) respecting FU and MOB limits.
+func (c *Core) issue(now sim.Cycle) {
+	issued := 0
+	var keep []*robEntry
+	for _, e := range c.readyQ {
+		if issued >= c.cfg.IssueWidth {
+			keep = append(keep, e)
+			continue
+		}
+		if !c.tryIssue(e, now) {
+			keep = append(keep, e)
+			continue
+		}
+		issued++
+	}
+	c.readyQ = keep
+}
+
+// tryIssue attempts to start execution of one µop.
+func (c *Core) tryIssue(e *robEntry, now sim.Cycle) bool {
+	fu := fuFor(e.uop.Class)
+	fuCfg := &c.cfg.FUs[fu]
+	if fuCfg.Pipelined {
+		if c.issuedThisCycle[fu] >= fuCfg.Units {
+			return false
+		}
+	} else {
+		unit := -1
+		for i, busy := range c.divBusyUntil[fu] {
+			if busy <= now {
+				unit = i
+				break
+			}
+		}
+		if unit < 0 {
+			return false
+		}
+		c.divBusyUntil[fu][unit] = now + fuCfg.Latency
+	}
+
+	switch e.uop.Class {
+	case isa.Load:
+		if c.mobReads >= c.cfg.MOBReads {
+			c.mobStalls.Inc()
+			return false
+		}
+		port := c.dcache
+		if e.uop.Uncacheable {
+			port = c.umem
+		}
+		req := &mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Read,
+			Done: func(sim.Cycle) {
+				c.mobReads--
+				c.complete(e)
+			}}
+		if !port.Access(req) {
+			c.cacheRetry.Inc()
+			return false
+		}
+		c.mobReads++
+		c.loads.Inc()
+		e.state = stExecuting
+		c.issuedThisCycle[fu]++
+		return true
+
+	case isa.Offload:
+		if c.offload == nil {
+			panic(fmt.Sprintf("cpu %s: offload µop without an offload port", c.cfg.Name))
+		}
+		if c.mobReads >= c.cfg.MOBReads {
+			c.mobStalls.Inc()
+			return false
+		}
+		if !c.offload.Submit(e.uop.Offload, func(sim.Cycle) {
+			c.mobReads--
+			c.complete(e)
+		}) {
+			c.cacheRetry.Inc()
+			return false
+		}
+		c.mobReads++
+		c.offloads.Inc()
+		e.state = stExecuting
+		c.issuedThisCycle[fu]++
+		return true
+
+	case isa.Store:
+		// Address generation only; the write drains post-commit.
+		e.state = stExecuting
+		c.issuedThisCycle[fu]++
+		c.scheduleDone(e, now+fuCfg.Latency)
+		return true
+
+	default:
+		e.state = stExecuting
+		c.issuedThisCycle[fu]++
+		done := now + fuCfg.Latency
+		if e.uop.Class == isa.Branch && e.mispredicted {
+			// Resolving mispredicted branch: restart the front end after
+			// the refill penalty.
+			c.scheduleBranchResolve(e, done)
+		} else {
+			c.scheduleDone(e, done)
+		}
+		return true
+	}
+}
+
+func (c *Core) scheduleDone(e *robEntry, at sim.Cycle) {
+	c.engine.Schedule(at, func() { c.complete(e) })
+}
+
+func (c *Core) scheduleBranchResolve(e *robEntry, at sim.Cycle) {
+	c.engine.Schedule(at, func() {
+		if c.hasBlockingBr && c.blockingBranch == e.seq {
+			c.hasBlockingBr = false
+			c.fetchStallUntil = at + c.cfg.MispredictPenalty
+		}
+		c.complete(e)
+	})
+}
+
+// complete marks a µop done and wakes dependents.
+func (c *Core) complete(e *robEntry) {
+	e.state = stDone
+	if e.uop.Dst != isa.RegNone {
+		if p, ok := c.producers[e.uop.Dst]; ok && p == e {
+			delete(c.producers, e.uop.Dst)
+		}
+	}
+	for _, w := range e.waiters {
+		w.deps--
+		if w.deps == 0 && w.state == stWaiting {
+			w.state = stReady
+			c.readyQ = append(c.readyQ, w)
+		}
+	}
+	e.waiters = nil
+}
+
+// commit retires done µops in order; stores enter the store buffer here.
+func (c *Core) commit(now sim.Cycle) {
+	n := c.cfg.CommitWidth
+	for n > 0 && len(c.rob) > 0 {
+		e := c.rob[0]
+		if e.state != stDone {
+			return
+		}
+		if e.uop.Class == isa.Store {
+			if c.mobWrites >= c.cfg.MOBWrites {
+				c.mobStalls.Inc()
+				return
+			}
+			c.mobWrites++
+			c.stores.Inc()
+			req := &mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Write,
+				Done: func(sim.Cycle) { c.mobWrites-- }}
+			c.pendingStores = append(c.pendingStores, pendingStore{req: req, uncacheable: e.uop.Uncacheable})
+		}
+		c.rob = c.rob[1:]
+		e.inROB = false
+		c.committed.Inc()
+		n--
+	}
+}
+
+// drainStores pushes buffered stores into the memory system in order.
+func (c *Core) drainStores() {
+	for len(c.pendingStores) > 0 {
+		ps := c.pendingStores[0]
+		port := c.dcache
+		if ps.uncacheable {
+			port = c.umem
+		}
+		if !port.Access(ps.req) {
+			return
+		}
+		c.pendingStores = c.pendingStores[1:]
+	}
+}

@@ -1,0 +1,69 @@
+package cpu
+
+// branchPredictor is the two-level GAs predictor of Table I: a global
+// history register indexes (hashed with the branch PC) into a pattern
+// history table of 2-bit saturating counters, beside a direct-mapped
+// 4096-entry branch target buffer.
+type branchPredictor struct {
+	ghr     uint32
+	ghrMask uint32
+	pht     []uint8 // 2-bit counters
+	btb     []uint64
+	btbMask uint64
+}
+
+func newBranchPredictor(ghrBits uint8, phtEntries, btbEntries int) *branchPredictor {
+	p := &branchPredictor{
+		ghrMask: (1 << ghrBits) - 1,
+		pht:     make([]uint8, phtEntries),
+		btb:     make([]uint64, btbEntries),
+		btbMask: uint64(btbEntries - 1),
+	}
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	for i := range p.btb {
+		p.btb[i] = ^uint64(0)
+	}
+	return p
+}
+
+func (p *branchPredictor) phtIndex(pc uint64) int {
+	return int((uint64(p.ghr) ^ (pc >> 2)) % uint64(len(p.pht)))
+}
+
+// predict returns the predicted direction for the branch at pc.
+func (p *branchPredictor) predict(pc uint64) bool {
+	return p.pht[p.phtIndex(pc)] >= 2
+}
+
+// update trains the direction predictor and the global history.
+func (p *branchPredictor) update(pc uint64, taken bool) {
+	i := p.phtIndex(pc)
+	if taken {
+		if p.pht[i] < 3 {
+			p.pht[i]++
+		}
+	} else {
+		if p.pht[i] > 0 {
+			p.pht[i]--
+		}
+	}
+	p.ghr = ((p.ghr << 1) | b2u(taken)) & p.ghrMask
+}
+
+// btbHit checks and trains the BTB; taken branches missing from the BTB
+// cost a fetch redirect even when the direction was predicted correctly.
+func (p *branchPredictor) btbHit(pc uint64) bool {
+	slot := (pc >> 2) & p.btbMask
+	hit := p.btb[slot] == pc
+	p.btb[slot] = pc
+	return hit
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

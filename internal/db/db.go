@@ -1,0 +1,308 @@
+// Package db is the database substrate of the reproduction: a
+// deterministic TPC-H-style lineitem generator (the columns TPC-H Query
+// 06 touches, with dbgen's value distributions), the two physical layouts
+// the paper evaluates — NSM (row-store, 64-byte tuples) and DSM
+// (column-store) — and a pure-Go reference evaluator used as the
+// correctness oracle for every simulated architecture.
+package db
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// Day numbers use an epoch of 1992-01-01 (the start of dbgen's date
+// range), so TPC-H date literals become small integers.
+const (
+	// ShipDateDays is the span of l_shipdate values (7 years).
+	ShipDateDays = 2557
+	// Day19940101 is '1994-01-01', the Q06 lower bound.
+	Day19940101 = 731
+	// Day19950101 is '1995-01-01', the Q06 upper bound.
+	Day19950101 = 1096
+)
+
+// Tuple field layout in the NSM (row-store) image: 16 little-endian
+// int32 fields = 64 bytes per tuple, one cache line (paper §IV:
+// "each tuple in the table occupies 64-bytes").
+const (
+	FieldShipDate = iota
+	FieldDiscount
+	FieldQuantity
+	FieldExtendedPrice
+	NumFields   = 16
+	TupleBytes  = NumFields * 4
+	ColumnWidth = 4 // bytes per value in the DSM layout
+)
+
+// Table is the in-memory (pre-layout) lineitem subset.
+type Table struct {
+	N             int
+	ShipDate      []int32 // days since 1992-01-01
+	Discount      []int32 // percent ×1 (0..10)
+	Quantity      []int32 // 1..50
+	ExtendedPrice []int32 // cents
+}
+
+// rng is a splitmix64 generator: tiny, fast and deterministic across
+// platforms, so every experiment is reproducible bit-for-bit.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int64) int64 { return int64(r.next() % uint64(n)) }
+
+// Generate builds a lineitem table of n tuples with dbgen-like
+// distributions, deterministically from seed.
+func Generate(n int, seed uint64) *Table {
+	r := &rng{state: seed}
+	t := &Table{
+		N:             n,
+		ShipDate:      make([]int32, n),
+		Discount:      make([]int32, n),
+		Quantity:      make([]int32, n),
+		ExtendedPrice: make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		// dbgen: shipdate = orderdate + uniform(1..121); orderdates are
+		// uniform over the 7-year range. The sum is near-uniform over the
+		// range, which is what Q06's ~15% date selectivity relies on.
+		t.ShipDate[i] = int32(r.intn(ShipDateDays))
+		t.Discount[i] = int32(r.intn(11))     // 0.00 .. 0.10
+		t.Quantity[i] = int32(1 + r.intn(50)) // 1 .. 50
+		t.ExtendedPrice[i] = int32(90000 + r.intn(16000))
+	}
+	return t
+}
+
+// GenerateClustered builds a table whose shipdates increase with the
+// physical row order, plus ±noiseDays of jitter — the layout of an
+// append-ordered fact table where rows arrive in shipping order. Date
+// clustering concentrates Q06's one-year window in a contiguous slice of
+// the table, which is what lets HIPE's chunk-granular predication squash
+// the discount/quantity loads of out-of-window chunks.
+func GenerateClustered(n int, seed uint64, noiseDays int32) *Table {
+	t := Generate(n, seed)
+	r := &rng{state: seed ^ 0xC1D5_7E8E_D00D_F00D}
+	for i := 0; i < n; i++ {
+		base := int64(i) * ShipDateDays / int64(n)
+		jitter := int64(0)
+		if noiseDays > 0 {
+			jitter = r.intn(int64(2*noiseDays+1)) - int64(noiseDays)
+		}
+		d := base + jitter
+		if d < 0 {
+			d = 0
+		}
+		if d >= ShipDateDays {
+			d = ShipDateDays - 1
+		}
+		t.ShipDate[i] = int32(d)
+	}
+	return t
+}
+
+// Q06 is the paper's benchmark query predicate — the selection scan of
+// TPC-H Query 06:
+//
+//	l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+//	AND l_discount BETWEEN 0.05 AND 0.07
+//	AND l_quantity < 24
+type Q06 struct {
+	ShipLo, ShipHi int32 // [ShipLo, ShipHi)
+	DiscLo, DiscHi int32 // [DiscLo, DiscHi]
+	QtyHi          int32 // < QtyHi
+}
+
+// DefaultQ06 returns the TPC-H Query 06 parameters.
+func DefaultQ06() Q06 {
+	return Q06{
+		ShipLo: Day19940101, ShipHi: Day19950101,
+		DiscLo: 5, DiscHi: 7,
+		QtyHi: 24,
+	}
+}
+
+// Match evaluates the full predicate for tuple i.
+func (q Q06) Match(t *Table, i int) bool {
+	return t.ShipDate[i] >= q.ShipLo && t.ShipDate[i] < q.ShipHi &&
+		t.Discount[i] >= q.DiscLo && t.Discount[i] <= q.DiscHi &&
+		t.Quantity[i] < q.QtyHi
+}
+
+// ReferenceResult is the oracle outcome of the Q06 selection scan.
+type ReferenceResult struct {
+	// Bitmask has one bit per tuple (LSB-first within each byte).
+	Bitmask []byte
+	// Matches is the popcount of Bitmask.
+	Matches int
+	// Revenue is sum(l_extendedprice * l_discount) over matches — the
+	// Q06 aggregate, useful as an end-to-end checksum.
+	Revenue int64
+}
+
+// Reference evaluates the scan in plain Go.
+func Reference(t *Table, q Q06) *ReferenceResult {
+	res := &ReferenceResult{Bitmask: make([]byte, (t.N+7)/8)}
+	for i := 0; i < t.N; i++ {
+		if q.Match(t, i) {
+			res.Bitmask[i/8] |= 1 << (i % 8)
+			res.Matches++
+			res.Revenue += int64(t.ExtendedPrice[i]) * int64(t.Discount[i])
+		}
+	}
+	return res
+}
+
+// ColumnMask evaluates a single column's predicate for all tuples —
+// the oracle for column-at-a-time intermediate bitmasks.
+// col selects FieldShipDate, FieldDiscount or FieldQuantity.
+func ColumnMask(t *Table, q Q06, col int) []byte {
+	mask := make([]byte, (t.N+7)/8)
+	for i := 0; i < t.N; i++ {
+		var ok bool
+		switch col {
+		case FieldShipDate:
+			ok = t.ShipDate[i] >= q.ShipLo && t.ShipDate[i] < q.ShipHi
+		case FieldDiscount:
+			ok = t.Discount[i] >= q.DiscLo && t.Discount[i] <= q.DiscHi
+		case FieldQuantity:
+			ok = t.Quantity[i] < q.QtyHi
+		default:
+			panic(fmt.Sprintf("db: column %d has no predicate", col))
+		}
+		if ok {
+			mask[i/8] |= 1 << (i % 8)
+		}
+	}
+	return mask
+}
+
+// Selectivity reports the fraction of tuples matching the full predicate.
+func Selectivity(t *Table, q Q06) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(Reference(t, q).Matches) / float64(t.N)
+}
+
+// Arena is a bump allocator for laying regions into the physical image.
+type Arena struct {
+	next mem.Addr
+	size uint64
+}
+
+// NewArena manages [0, size).
+func NewArena(size uint64) *Arena { return &Arena{size: size} }
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns
+// the base address.
+func (a *Arena) Alloc(n uint64, align uint64) mem.Addr {
+	if align == 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("db: alignment %d not a power of two", align))
+	}
+	base := (uint64(a.next) + align - 1) &^ (align - 1)
+	if base+n > a.size {
+		panic(fmt.Sprintf("db: arena exhausted: need %d at %#x of %#x", n, base, a.size))
+	}
+	a.next = mem.Addr(base + n)
+	return mem.Addr(base)
+}
+
+// Used reports the bytes consumed so far.
+func (a *Arena) Used() uint64 { return uint64(a.next) }
+
+// NSMLayout is the row-store physical placement.
+type NSMLayout struct {
+	Base  mem.Addr
+	N     int
+	Bytes uint64
+}
+
+// TupleAddr returns the address of tuple i.
+func (l NSMLayout) TupleAddr(i int) mem.Addr {
+	return l.Base + mem.Addr(i*TupleBytes)
+}
+
+// FieldAddr returns the address of a field of tuple i.
+func (l NSMLayout) FieldAddr(i, field int) mem.Addr {
+	return l.TupleAddr(i) + mem.Addr(field*4)
+}
+
+// LayoutNSM writes the table into the image as 64-byte tuples, base
+// aligned to the 256 B row buffer so four tuples share one DRAM row
+// (the property behind the paper's HMC-256B result).
+func LayoutNSM(image []byte, a *Arena, t *Table) NSMLayout {
+	bytes := uint64(t.N * TupleBytes)
+	base := a.Alloc(bytes, 256)
+	l := NSMLayout{Base: base, N: t.N, Bytes: bytes}
+	for i := 0; i < t.N; i++ {
+		off := uint64(l.TupleAddr(i))
+		isa.SetLane(image[off:], FieldShipDate, t.ShipDate[i])
+		isa.SetLane(image[off:], FieldDiscount, t.Discount[i])
+		isa.SetLane(image[off:], FieldQuantity, t.Quantity[i])
+		isa.SetLane(image[off:], FieldExtendedPrice, t.ExtendedPrice[i])
+		// Filler fields carry a deterministic pattern so that accidental
+		// reads of the wrong field fail tests loudly rather than seeing
+		// zeros.
+		for f := FieldExtendedPrice + 1; f < NumFields; f++ {
+			isa.SetLane(image[off:], f, int32(0x0F00+f))
+		}
+	}
+	return l
+}
+
+// DSMLayout is the column-store physical placement.
+type DSMLayout struct {
+	N int
+	// ColBase maps field index → base address of its contiguous array.
+	ColBase map[int]mem.Addr
+	Bytes   uint64
+}
+
+// ValueAddr returns the address of tuple i's value in column col.
+func (l DSMLayout) ValueAddr(col, i int) mem.Addr {
+	return l.ColBase[col] + mem.Addr(i*ColumnWidth)
+}
+
+// LayoutDSM writes the four Q06 columns as contiguous arrays, each
+// aligned to the 256 B row buffer (64 values per row).
+func LayoutDSM(image []byte, a *Arena, t *Table) DSMLayout {
+	l := DSMLayout{N: t.N, ColBase: make(map[int]mem.Addr)}
+	cols := map[int][]int32{
+		FieldShipDate:      t.ShipDate,
+		FieldDiscount:      t.Discount,
+		FieldQuantity:      t.Quantity,
+		FieldExtendedPrice: t.ExtendedPrice,
+	}
+	// Deterministic placement order. Each column is padded to whole rows
+	// and staggered by one extra row so that chunk k of different
+	// columns lands in different vaults: column lengths are typically
+	// exact multiples of the vault interleave stride, and without the
+	// stagger every per-tuple-range access to shipdate, discount and
+	// quantity would serialise on one vault's bank timing.
+	stagger := 0
+	for _, col := range []int{FieldShipDate, FieldDiscount, FieldQuantity, FieldExtendedPrice} {
+		vals := cols[col]
+		bytes := uint64(len(vals) * ColumnWidth)
+		// Round up to whole rows so vector ops never straddle columns.
+		padded := (bytes + 255) &^ 255
+		base := a.Alloc(padded+uint64(stagger+1)*256, 256)
+		base += mem.Addr((stagger + 1) * 256)
+		stagger++
+		l.ColBase[col] = base
+		for i, v := range vals {
+			isa.SetLane(image[uint64(base):], i, v)
+		}
+		l.Bytes += padded
+	}
+	return l
+}

@@ -1,0 +1,115 @@
+// Package energy models DRAM and link energy for the HMC, following the
+// Micron-style current-based accounting the paper's toolchain uses:
+// per-activation, per-read/write-bit and background components for the
+// DRAM layers, plus per-bit SerDes energy for the off-chip links and a
+// per-operation cost for the logic-layer functional units.
+//
+// Absolute joules are not the point of the reproduction (the paper's
+// constants are not published); the *relative* DRAM energy of the four
+// architectures is, because it follows from countable events: HIPE saves
+// the 3-5% the paper reports by squashing predicated loads and by never
+// moving intermediate bitmasks, while x86 pays for streaming every byte
+// through the links.
+package energy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Model holds the energy constants in picojoules.
+type Model struct {
+	// DRAM components.
+	ActivationPJ  float64 // per row activation (ACT+PRE pair)
+	ReadBitPJ     float64 // per bit read from the DRAM arrays
+	WriteBitPJ    float64 // per bit written
+	RefreshPJ     float64 // per refresh command
+	BackgroundPJC float64 // per DRAM-cycle-equivalent background, per vault
+
+	// Link components.
+	LinkBitPJ float64 // per bit serialised across a SerDes link
+
+	// Logic-layer components.
+	EngineOpPJ float64 // per HIVE/HIPE instruction executed
+	HMCOpPJ    float64 // per HMC baseline instruction executed
+}
+
+// Default returns constants in the range published for HMC-class stacks
+// (≈3.7 pJ/bit DRAM access, ≈1.5 pJ/bit link, sub-nanojoule activations).
+func Default() Model {
+	return Model{
+		ActivationPJ:  900,
+		ReadBitPJ:     3.7,
+		WriteBitPJ:    3.7,
+		RefreshPJ:     2400,
+		BackgroundPJC: 0.4,
+		LinkBitPJ:     1.5,
+		EngineOpPJ:    30,
+		HMCOpPJ:       20,
+	}
+}
+
+// Breakdown is the audited energy of one simulation run.
+type Breakdown struct {
+	ActivationPJ float64
+	ReadPJ       float64
+	WritePJ      float64
+	RefreshPJ    float64
+	BackgroundPJ float64
+	LinkPJ       float64
+	LogicPJ      float64
+}
+
+// DRAMPJ is the DRAM-only total (the quantity the paper reports savings
+// on).
+func (b Breakdown) DRAMPJ() float64 {
+	return b.ActivationPJ + b.ReadPJ + b.WritePJ + b.RefreshPJ + b.BackgroundPJ
+}
+
+// TotalPJ includes links and logic-layer units.
+func (b Breakdown) TotalPJ() float64 {
+	return b.DRAMPJ() + b.LinkPJ + b.LogicPJ
+}
+
+// String renders the breakdown for reports.
+func (b Breakdown) String() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "activation %.0f pJ, read %.0f pJ, write %.0f pJ, ", b.ActivationPJ, b.ReadPJ, b.WritePJ)
+	fmt.Fprintf(&s, "background %.0f pJ, link %.0f pJ, logic %.0f pJ, ", b.BackgroundPJ, b.LinkPJ, b.LogicPJ)
+	fmt.Fprintf(&s, "dram %.0f pJ, total %.0f pJ", b.DRAMPJ(), b.TotalPJ())
+	return s.String()
+}
+
+// Audit derives the energy of a completed run from its statistics
+// registry and duration in CPU cycles.
+func (m Model) Audit(reg *stats.Registry, cpuCycles uint64, vaults int, clockRatio uint64) Breakdown {
+	var b Breakdown
+	acts := reg.Total("dram.", "activations")
+	readBytes := reg.Total("dram.", "bytes_read")
+	writeBytes := reg.Total("dram.", "bytes_written")
+	refreshes := reg.Total("dram.", "refreshes")
+
+	b.ActivationPJ = float64(acts) * m.ActivationPJ
+	b.ReadPJ = float64(readBytes*8) * m.ReadBitPJ
+	b.WritePJ = float64(writeBytes*8) * m.WriteBitPJ
+	b.RefreshPJ = float64(refreshes) * m.RefreshPJ
+	if clockRatio > 0 {
+		dramCycles := cpuCycles / clockRatio
+		b.BackgroundPJ = float64(dramCycles) * float64(vaults) * m.BackgroundPJC
+	}
+
+	var linkBytes uint64
+	for _, scope := range reg.Scopes() {
+		if strings.HasPrefix(scope.Name(), "link") {
+			linkBytes += scope.Get("req_bytes") + scope.Get("resp_bytes")
+		}
+	}
+	b.LinkPJ = float64(linkBytes*8) * m.LinkBitPJ
+
+	engineOps := reg.Total("hive", "instructions") + reg.Total("hipe", "instructions")
+	hmcOps := reg.Total("hmc", "instructions")
+	b.LogicPJ = float64(engineOps)*m.EngineOpPJ + float64(hmcOps)*m.HMCOpPJ
+	return b
+}

@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+func TestAuditCountsComponents(t *testing.T) {
+	reg := stats.NewRegistry()
+	v := reg.Scope("dram.vault00")
+	v.Counter("activations").Add(10)
+	v.Counter("bytes_read").Add(1000)
+	v.Counter("bytes_written").Add(500)
+	v.Counter("refreshes").Add(2)
+	reg.Scope("link0").Counter("req_bytes").Add(100)
+	reg.Scope("link0").Counter("resp_bytes").Add(200)
+	reg.Scope("hive").Counter("instructions").Add(50)
+	reg.Scope("hmc").Counter("instructions").Add(20)
+
+	m := Default()
+	b := m.Audit(reg, 24000, 32, 12)
+
+	if b.ActivationPJ != 10*m.ActivationPJ {
+		t.Fatalf("activation = %f", b.ActivationPJ)
+	}
+	if b.ReadPJ != 8000*m.ReadBitPJ {
+		t.Fatalf("read = %f", b.ReadPJ)
+	}
+	if b.WritePJ != 4000*m.WriteBitPJ {
+		t.Fatalf("write = %f", b.WritePJ)
+	}
+	if b.RefreshPJ != 2*m.RefreshPJ {
+		t.Fatalf("refresh = %f", b.RefreshPJ)
+	}
+	wantBG := float64(24000/12) * 32 * m.BackgroundPJC
+	if b.BackgroundPJ != wantBG {
+		t.Fatalf("background = %f, want %f", b.BackgroundPJ, wantBG)
+	}
+	if b.LinkPJ != 300*8*m.LinkBitPJ {
+		t.Fatalf("link = %f", b.LinkPJ)
+	}
+	if b.LogicPJ != 50*m.EngineOpPJ+20*m.HMCOpPJ {
+		t.Fatalf("logic = %f", b.LogicPJ)
+	}
+	if b.DRAMPJ() <= 0 || b.TotalPJ() <= b.DRAMPJ() {
+		t.Fatal("aggregates inconsistent")
+	}
+	if !strings.Contains(b.String(), "dram") {
+		t.Fatal("String() missing dram total")
+	}
+}
+
+func TestAuditZeroClockRatio(t *testing.T) {
+	b := Default().Audit(stats.NewRegistry(), 1000, 32, 0)
+	if b.BackgroundPJ != 0 {
+		t.Fatal("background charged with zero clock ratio")
+	}
+}
+
+// More DRAM traffic must mean more DRAM energy (monotonicity property the
+// paper's comparison rests on).
+func TestMonotoneInTraffic(t *testing.T) {
+	mk := func(bytes uint64) Breakdown {
+		reg := stats.NewRegistry()
+		v := reg.Scope("dram.vault00")
+		v.Counter("bytes_read").Add(bytes)
+		v.Counter("activations").Add(bytes / 256)
+		return Default().Audit(reg, 1000, 32, 12)
+	}
+	if mk(10000).DRAMPJ() <= mk(1000).DRAMPJ() {
+		t.Fatal("DRAM energy not monotone in bytes read")
+	}
+}

@@ -1,0 +1,297 @@
+// Package harness defines and runs the paper's experiments: one runner
+// per panel of Figure 3 (the paper's only results figure) plus the
+// Table I configuration dump, producing the same rows/series the paper
+// reports — execution time normalised to the x86 baseline, and DRAM
+// energy for the best configurations.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/energy"
+	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// Config parameterises a harness run.
+type Config struct {
+	// Tuples is the lineitem row count (multiple of 64). The paper uses
+	// TPC-H SF1 (~6M rows); the default is large enough for steady-state
+	// behaviour while keeping runs interactive.
+	Tuples int
+	// Seed drives the deterministic generator.
+	Seed uint64
+	// Machine overrides the default Table I machine when non-nil.
+	Machine *machine.Config
+	// Energy overrides the default energy constants when non-nil.
+	Energy *energy.Model
+}
+
+// Default returns the standard harness configuration.
+func Default() Config {
+	return Config{Tuples: 16384, Seed: 42}
+}
+
+func (c Config) machineConfig() machine.Config {
+	if c.Machine != nil {
+		return *c.Machine
+	}
+	return machine.Default()
+}
+
+func (c Config) energyModel() energy.Model {
+	if c.Energy != nil {
+		return *c.Energy
+	}
+	return energy.Default()
+}
+
+// Result is the outcome of one simulated plan.
+type Result struct {
+	Plan    query.Plan
+	Cycles  uint64
+	Energy  energy.Breakdown
+	Checked int
+	// Squashed reports HIPE predication squashes (0 elsewhere).
+	Squashed uint64
+	// SquashedDRAMBytes reports DRAM reads avoided by predication.
+	SquashedDRAMBytes uint64
+}
+
+// Speedup reports baseCycles / this result's cycles.
+func (r Result) Speedup(baseCycles uint64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(r.Cycles)
+}
+
+// Run executes one plan on a fresh machine and verifies the result.
+func (c Config) Run(tab *db.Table, p query.Plan) (Result, error) {
+	m, err := machine.New(c.machineConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := query.Prepare(m, tab, p)
+	if err != nil {
+		return Result{}, err
+	}
+	cycles := uint64(m.Run(w.Stream()))
+	if err := w.Verify(); err != nil {
+		return Result{}, err
+	}
+	mc := c.machineConfig()
+	breakdown := c.energyModel().Audit(m.Registry, cycles,
+		int(mc.Geometry.Vaults), uint64(mc.DRAM.ClockRatio))
+	scope := "hipe"
+	if p.Arch == query.HIVE {
+		scope = "hive"
+	}
+	return Result{
+		Plan:              p,
+		Cycles:            cycles,
+		Energy:            breakdown,
+		Checked:           w.Checked(),
+		Squashed:          m.Registry.Scope(scope).Get("squashed"),
+		SquashedDRAMBytes: m.Registry.Scope(scope).Get("squashed_dram_bytes"),
+	}, nil
+}
+
+// Table renders a result series as an aligned text table with speedups
+// against the first row flagged as baseline.
+type Table struct {
+	Title    string
+	Baseline uint64 // cycles of the normalisation baseline
+	Rows     []Result
+	Notes    []string
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	fmt.Fprintf(&b, "%-40s %14s %10s %14s\n", "configuration", "cycles", "vs x86", "DRAM energy pJ")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-40s %14d %9.2fx %14.0f\n",
+			r.Plan.String(), r.Cycles, r.Speedup(t.Baseline), r.Energy.DRAMPJ())
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+var opSizesCube = []uint32{16, 32, 64, 128, 256}
+var opSizesX86 = []uint32{16, 32, 64}
+
+// Fig3a reproduces "Tuple-at-a-time execution varying operation size":
+// x86 (16..64 B), HMC and HIVE (16..256 B) on the NSM layout, unroll 1.
+func (c Config) Fig3a() (*Table, error) {
+	tab := db.Generate(c.Tuples, c.Seed)
+	t := &Table{Title: "Figure 3a — tuple-at-a-time (NSM) vs operation size"}
+	q := db.DefaultQ06()
+
+	var bestX86 uint64
+	for _, s := range opSizesX86 {
+		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.TupleAtATime, OpSize: s, Unroll: 1, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, r)
+		if bestX86 == 0 || r.Cycles < bestX86 {
+			bestX86 = r.Cycles
+		}
+	}
+	t.Baseline = bestX86
+	for _, arch := range []query.Arch{query.HMC, query.HIVE} {
+		for _, s := range opSizesCube {
+			r, err := c.Run(tab, query.Plan{Arch: arch, Strategy: query.TupleAtATime, OpSize: s, Unroll: 1, Q: q})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, r)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: HMC/HIVE small ops lose badly; HMC-256B beats x86; HIVE-256B near x86")
+	return t, nil
+}
+
+// Fig3b reproduces "Column-at-a-time execution varying operation size":
+// same sweep on the DSM layout, unroll 1 (HIVE with per-column bitmask
+// round trips through the processor).
+func (c Config) Fig3b() (*Table, error) {
+	tab := db.Generate(c.Tuples, c.Seed)
+	t := &Table{Title: "Figure 3b — column-at-a-time (DSM) vs operation size"}
+	q := db.DefaultQ06()
+
+	var bestX86 uint64
+	for _, s := range opSizesX86 {
+		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: s, Unroll: 1, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, r)
+		if bestX86 == 0 || r.Cycles < bestX86 {
+			bestX86 = r.Cycles
+		}
+	}
+	t.Baseline = bestX86
+	for _, arch := range []query.Arch{query.HMC, query.HIVE} {
+		for _, s := range opSizesCube {
+			r, err := c.Run(tab, query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: s, Unroll: 1, Q: q})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, r)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: HMC-256B ≈4.4x over x86; HIVE-256B ≈2x slower (bitmask round trips)")
+	return t, nil
+}
+
+var unrolls = []int{1, 2, 8, 16, 32}
+var unrollsX86 = []int{1, 2, 8}
+
+// Fig3c reproduces "Column-at-a-time execution varying loop unrolling
+// depth": 256 B cube ops (64 B for x86), unroll 1..32 (x86 capped at 8).
+// Both the per-column HIVE plan and the fused full-scan variant are
+// reported; the fused one is HIVE's best case (Figure 3d).
+func (c Config) Fig3c() (*Table, error) {
+	tab := db.Generate(c.Tuples, c.Seed)
+	t := &Table{Title: "Figure 3c — column-at-a-time (DSM) vs unroll depth"}
+	q := db.DefaultQ06()
+
+	var bestX86 uint64
+	for _, u := range unrollsX86 {
+		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: u, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, r)
+		if bestX86 == 0 || r.Cycles < bestX86 {
+			bestX86 = r.Cycles
+		}
+	}
+	t.Baseline = bestX86
+	for _, u := range unrolls {
+		r, err := c.Run(tab, query.Plan{Arch: query.HMC, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: u, Q: q})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	for _, fused := range []bool{false, true} {
+		for _, u := range unrolls {
+			r, err := c.Run(tab, query.Plan{Arch: query.HIVE, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: u, Fused: fused, Q: q})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, r)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: unrolling lifts HIVE past HMC (7.57x vs 5.15x at 32x)")
+	return t, nil
+}
+
+// BestPlans returns the per-architecture best configurations compared in
+// Figure 3d.
+func BestPlans(q db.Q06) map[query.Arch]query.Plan {
+	return map[query.Arch]query.Plan{
+		query.X86:  {Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q},
+		query.HMC:  {Arch: query.HMC, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q},
+		query.HIVE: {Arch: query.HIVE, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Fused: true, Q: q},
+		query.HIPE: {Arch: query.HIPE, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q},
+	}
+}
+
+// Fig3d reproduces "Best cases of each architecture compared to HIPE":
+// speedup over x86 and DRAM energy of each architecture's best
+// configuration.
+func (c Config) Fig3d() (*Table, error) {
+	tab := db.Generate(c.Tuples, c.Seed)
+	t := &Table{Title: "Figure 3d — best case of each architecture"}
+	plans := BestPlans(db.DefaultQ06())
+
+	for _, arch := range []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE} {
+		r, err := c.Run(tab, plans[arch])
+		if err != nil {
+			return nil, err
+		}
+		if arch == query.X86 {
+			t.Baseline = r.Cycles
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	hive := t.Rows[2]
+	hipe := t.Rows[3]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: HMC 5.15x, HIVE 7.55x, HIPE 6.46x vs x86; HIPE ~15%% behind HIVE"),
+		fmt.Sprintf("HIPE DRAM energy vs HIVE: %.1f%% (paper: ~4%% lower; mask traffic + %d squashed loads)",
+			100*(1-hipe.Energy.DRAMPJ()/hive.Energy.DRAMPJ()), hipe.Squashed),
+	)
+	return t, nil
+}
+
+// Figure runs one panel by name ("3a".."3d").
+func (c Config) Figure(name string) (*Table, error) {
+	switch name {
+	case "3a":
+		return c.Fig3a()
+	case "3b":
+		return c.Fig3b()
+	case "3c":
+		return c.Fig3c()
+	case "3d":
+		return c.Fig3d()
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q (have 3a..3d)", name)
+	}
+}
+
+// Figures lists the reproducible panels.
+func Figures() []string { return []string{"3a", "3b", "3c", "3d"} }

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+func small() Config {
+	c := Default()
+	c.Tuples = 1024
+	return c
+}
+
+func TestRunSinglePlan(t *testing.T) {
+	c := small()
+	tab := db.Generate(c.Tuples, c.Seed)
+	r, err := c.Run(tab, query.Plan{Arch: query.HIPE, Strategy: query.ColumnAtATime,
+		OpSize: 256, Unroll: 8, Q: db.DefaultQ06()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.Energy.DRAMPJ() <= 0 || r.Checked == 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.Speedup(r.Cycles*2) != 2.0 {
+		t.Fatal("Speedup arithmetic wrong")
+	}
+}
+
+func TestRunRejectsBadPlan(t *testing.T) {
+	c := small()
+	tab := db.Generate(c.Tuples, c.Seed)
+	_, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.TupleAtATime,
+		OpSize: 128, Unroll: 1, Q: db.DefaultQ06()})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestFig3d(t *testing.T) {
+	table, err := small().Fig3d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("fig3d rows = %d", len(table.Rows))
+	}
+	// Headline orderings of the paper, at small scale: every cube
+	// architecture beats x86 at its best configuration.
+	base := table.Baseline
+	for _, r := range table.Rows[1:] {
+		if r.Cycles >= base {
+			t.Errorf("%s (%d cycles) not faster than x86 (%d)", r.Plan, r.Cycles, base)
+		}
+	}
+	out := table.String()
+	if !strings.Contains(out, "Figure 3d") || !strings.Contains(out, "hipe") {
+		t.Fatalf("table render wrong:\n%s", out)
+	}
+}
+
+func TestFigureDispatch(t *testing.T) {
+	if _, err := small().Figure("nope"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if len(Figures()) != 4 {
+		t.Fatal("figure list wrong")
+	}
+}
+
+func TestBestPlansValidate(t *testing.T) {
+	for arch, p := range BestPlans(db.DefaultQ06()) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("best plan for %s invalid: %v", arch, err)
+		}
+	}
+}

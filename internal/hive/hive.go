@@ -1,0 +1,35 @@
+// Package hive instantiates the balanced HIVE design the paper evaluates
+// as prior work (Alves et al., "Large vector extensions inside the HMC",
+// DATE 2016, resized by this paper to 256 B operands and a 36×256 B
+// register bank — 96% and 94% smaller than the original proposal).
+//
+// HIVE shares all of its machinery with the HIPE engine in internal/core:
+// an in-order sequencer, lock/unlock register-bank ownership, vector
+// functional units, and the interlocked register bank that overlaps
+// computation with DRAM accesses. The one difference is that HIVE has no
+// predication match logic: control-flow decisions over in-memory data
+// must round-trip through the processor.
+package hive
+
+import (
+	"github.com/hipe-sim/hipe/internal/core"
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/link"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Engine is a HIVE logic-layer engine (a core.Engine that rejects
+// predicated instructions).
+type Engine = core.Engine
+
+// Config aliases the shared engine configuration.
+type Config = core.Config
+
+// Default returns the paper's balanced HIVE configuration.
+func Default() Config { return core.DefaultHIVE() }
+
+// New builds a HIVE engine over the DRAM and link models.
+func New(engine *sim.Engine, cfg Config, links *link.Controller, vaults *dram.HMC, image []byte, reg *stats.Registry) (*Engine, error) {
+	return core.New(engine, cfg, links, vaults, image, reg)
+}

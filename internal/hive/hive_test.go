@@ -1,0 +1,59 @@
+package hive
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/link"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+func TestHIVEConfiguration(t *testing.T) {
+	cfg := Default()
+	if cfg.Target != isa.TargetHIVE {
+		t.Fatal("HIVE default has wrong target")
+	}
+	if cfg.Name != "hive" {
+		t.Fatal("HIVE default has wrong stats scope")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHIVEEngineExecutes(t *testing.T) {
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	ti := dram.HMC21Timing()
+	ti.RefreshInterval = 0
+	vaults, err := dram.New(e, mem.HMC21(), ti, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := link.New(e, link.Default(), 32, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := make([]byte, 1<<16)
+	for i := 0; i < 64; i++ {
+		isa.SetLane(image, i, int32(i))
+	}
+	eng, err := New(e, Default(), links, vaults, image, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Submit(&isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad, Dst: 1, Addr: 0, Size: 256},
+		func(sim.Cycle) {})
+	eng.Submit(&isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU, ALU: isa.CmpGE,
+		Dst: 2, Src1: 1, UseImm: true, Imm: 32}, func(sim.Cycle) {})
+	e.Run()
+	if isa.LaneAt(eng.RegisterData(2), 31) != 0 || isa.LaneAt(eng.RegisterData(2), 32) != -1 {
+		t.Fatal("HIVE compare lanes wrong")
+	}
+	if reg.Scope("hive").Get("instructions") != 2 {
+		t.Fatal("instruction count wrong")
+	}
+}

@@ -1,0 +1,203 @@
+// Package hmc implements the HMC baseline's logic-layer execution: the
+// HMC 2.1 update instructions (extended per the paper with operand sizes
+// from 16 B up to 256 B and a load-compare instruction) executed by one
+// functional unit per vault, plus the host-side controller that sends
+// instruction packets over the SerDes links and bounds the number of
+// in-flight instructions.
+//
+// Instructions execute functionally against the backing image so tests
+// can verify the computed bitmasks and in-place updates.
+package hmc
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/link"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Config parameterises the HMC instruction path.
+type Config struct {
+	// FULatency is the per-vault functional-unit latency in CPU cycles
+	// (Table I: 1 cycle, logical bitwise & integer units).
+	FULatency sim.Cycle
+	// MaxInFlight bounds host-side outstanding HMC instructions — the
+	// memory controller's atomic-request window. This is the knob that
+	// controls how much vault parallelism one core can extract from
+	// HMC-ISA offload.
+	MaxInFlight int
+	// RequestBytes is the instruction packet payload (operand pattern /
+	// immediate). The HMC spec's 16-byte request is the paper's "small
+	// HMC instruction size" limitation.
+	RequestBytes uint32
+}
+
+// Default returns the paper's HMC baseline parameters.
+func Default() Config {
+	return Config{FULatency: 1, MaxInFlight: 16, RequestBytes: 16}
+}
+
+// Validate rejects degenerate configurations.
+func (c Config) Validate() error {
+	if c.FULatency == 0 || c.MaxInFlight <= 0 {
+		return fmt.Errorf("hmc: bad config %+v", c)
+	}
+	return nil
+}
+
+// Engine is the HMC baseline offload path. It satisfies the processor's
+// OffloadPort interface.
+type Engine struct {
+	cfg    Config
+	engine *sim.Engine
+	links  *link.Controller
+	vaults *dram.HMC
+	geom   mem.Geometry
+	image  []byte
+
+	inFlight int
+
+	executed  *stats.Counter
+	cmpReads  *stats.Counter
+	updates   *stats.Counter
+	rejected  *stats.Counter
+	maskBytes *stats.Counter
+}
+
+// New builds the baseline engine over the given DRAM and link models.
+// image is the functional backing store (its length bounds the usable
+// physical address space).
+func New(engine *sim.Engine, cfg Config, links *link.Controller, vaults *dram.HMC, image []byte, reg *stats.Registry) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc := reg.Scope("hmc")
+	return &Engine{
+		cfg:       cfg,
+		engine:    engine,
+		links:     links,
+		vaults:    vaults,
+		geom:      vaults.Geom,
+		image:     image,
+		executed:  sc.Counter("instructions"),
+		cmpReads:  sc.Counter("cmp_reads"),
+		updates:   sc.Counter("updates"),
+		rejected:  sc.Counter("window_rejects"),
+		maskBytes: sc.Counter("mask_bytes_returned"),
+	}, nil
+}
+
+// Submit implements the processor offload port for TargetHMC
+// instructions. It reports false when the in-flight window is full.
+func (e *Engine) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
+	if inst.Target != isa.TargetHMC {
+		panic(fmt.Sprintf("hmc: wrong target %s", inst.Target))
+	}
+	if err := inst.Validate(); err != nil {
+		panic("hmc: invalid instruction: " + err.Error())
+	}
+	if e.inFlight >= e.cfg.MaxInFlight {
+		e.rejected.Inc()
+		return false
+	}
+	e.inFlight++
+
+	loc := e.geom.Decompose(inst.Addr)
+	respPayload := uint32(0)
+	if inst.Op == isa.CmpRead {
+		respPayload = isa.MaskBytes(inst.Size)
+	}
+	e.links.Send(&link.Packet{
+		Vault:       loc.Vault,
+		ReqPayload:  e.cfg.RequestBytes,
+		RespPayload: respPayload,
+		Execute: func(complete func()) {
+			e.execute(inst, complete)
+		},
+		Done: func(now sim.Cycle) {
+			e.inFlight--
+			done(now)
+		},
+	})
+	return true
+}
+
+// execute runs one instruction in the vault: DRAM read, FU op, and (for
+// updates) DRAM write-back, then completes toward the response link.
+func (e *Engine) execute(inst *isa.OffloadInst, complete func()) {
+	size := inst.Size
+	if inst.Op == isa.CompareSwap {
+		size = isa.LaneBytes
+	}
+	read := &mem.Request{Addr: inst.Addr, Size: size, Kind: mem.Read,
+		Done: func(now sim.Cycle) {
+			writeBack := e.apply(inst)
+			after := now + e.cfg.FULatency
+			e.engine.Schedule(after, func() {
+				e.executed.Inc()
+				if !writeBack {
+					complete()
+					return
+				}
+				e.vaults.Access(&mem.Request{Addr: inst.Addr, Size: size, Kind: mem.Write,
+					Done: func(sim.Cycle) { complete() }})
+			})
+		}}
+	e.vaults.Access(read)
+}
+
+// apply performs the functional effect; it reports whether the
+// instruction writes DRAM back.
+func (e *Engine) apply(inst *isa.OffloadInst) bool {
+	data := e.image[inst.Addr : uint64(inst.Addr)+uint64(sizeOf(inst))]
+	switch inst.Op {
+	case isa.CmpRead:
+		e.cmpReads.Inc()
+		lanes := make([]byte, inst.Size)
+		if len(inst.Pattern) > 0 {
+			isa.LaneOpPattern(inst.ALU, lanes, data, inst.Pattern, int(inst.Size))
+		} else {
+			isa.LaneOpImm(inst.ALU, lanes, data, inst.Imm, int(inst.Size))
+		}
+		mask := make([]byte, isa.MaskBytes(inst.Size))
+		isa.CompactMask(mask, lanes, int(inst.Size))
+		e.maskBytes.Add(uint64(len(mask)))
+		if inst.OnResult != nil {
+			inst.OnResult(mask)
+		}
+		return false
+	case isa.AddImm:
+		e.updates.Inc()
+		isa.LaneOpImm(isa.Add, data, data, inst.Imm, int(inst.Size))
+		return true
+	case isa.CompareSwap:
+		e.updates.Inc()
+		old := isa.LaneAt(data, 0)
+		swapped := old == inst.Imm
+		if swapped {
+			isa.SetLane(data, 0, inst.Imm2)
+		}
+		if inst.OnResult != nil {
+			res := make([]byte, isa.LaneBytes)
+			isa.SetLane(res, 0, old)
+			inst.OnResult(res)
+		}
+		return swapped
+	default:
+		panic(fmt.Sprintf("hmc: cannot execute %s", inst.Op))
+	}
+}
+
+func sizeOf(inst *isa.OffloadInst) uint32 {
+	if inst.Op == isa.CompareSwap {
+		return isa.LaneBytes
+	}
+	return inst.Size
+}
+
+// InFlight reports the current window occupancy (for tests).
+func (e *Engine) InFlight() int { return e.inFlight }

@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The engines execute instructions functionally over byte images so the
+// simulated queries compute real answers. Vector registers and DRAM rows
+// are treated as sequences of little-endian signed 32-bit lanes.
+
+// LaneAt reads the i-th 32-bit lane of b.
+func LaneAt(b []byte, i int) int32 {
+	return int32(binary.LittleEndian.Uint32(b[i*LaneBytes:]))
+}
+
+// SetLane writes the i-th 32-bit lane of b.
+func SetLane(b []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(b[i*LaneBytes:], uint32(v))
+}
+
+// compare1 applies a scalar compare.
+func compare1(k ALUKind, a, b int32) bool {
+	switch k {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("isa: compare1 with non-compare kind %s", k))
+	}
+}
+
+// arith1 applies a scalar arithmetic/logic op.
+func arith1(k ALUKind, a, b int32) int32 {
+	switch k {
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	default:
+		panic(fmt.Sprintf("isa: arith1 with kind %s", k))
+	}
+}
+
+// LaneOp computes dst = a op b lane-wise over n bytes. Compare kinds
+// produce SIMD-style masks: all-ones lanes on match, zero lanes otherwise.
+// dst may alias a or b. n must be lane-aligned and within all slices.
+func LaneOp(k ALUKind, dst, a, b []byte, n int) {
+	if n%LaneBytes != 0 {
+		panic(fmt.Sprintf("isa: LaneOp size %d not lane aligned", n))
+	}
+	lanes := n / LaneBytes
+	if k.IsCompare() {
+		for i := 0; i < lanes; i++ {
+			if compare1(k, LaneAt(a, i), LaneAt(b, i)) {
+				SetLane(dst, i, -1)
+			} else {
+				SetLane(dst, i, 0)
+			}
+		}
+		return
+	}
+	for i := 0; i < lanes; i++ {
+		SetLane(dst, i, arith1(k, LaneAt(a, i), LaneAt(b, i)))
+	}
+}
+
+// LaneOpImm computes dst = a op imm lane-wise over n bytes.
+func LaneOpImm(k ALUKind, dst, a []byte, imm int32, n int) {
+	if n%LaneBytes != 0 {
+		panic(fmt.Sprintf("isa: LaneOpImm size %d not lane aligned", n))
+	}
+	lanes := n / LaneBytes
+	if k.IsCompare() {
+		for i := 0; i < lanes; i++ {
+			if compare1(k, LaneAt(a, i), imm) {
+				SetLane(dst, i, -1)
+			} else {
+				SetLane(dst, i, 0)
+			}
+		}
+		return
+	}
+	for i := 0; i < lanes; i++ {
+		SetLane(dst, i, arith1(k, LaneAt(a, i), imm))
+	}
+}
+
+// LaneOpPattern computes dst = a op pattern lane-wise over n bytes, with
+// the pattern tiled across the lanes (pattern[i % len(pattern)]). This is
+// the semantics of an HMC CmpRead whose 16-byte immediate field holds
+// per-lane constants.
+func LaneOpPattern(k ALUKind, dst, a []byte, pattern []int32, n int) {
+	if n%LaneBytes != 0 {
+		panic(fmt.Sprintf("isa: LaneOpPattern size %d not lane aligned", n))
+	}
+	if len(pattern) == 0 {
+		panic("isa: empty pattern")
+	}
+	lanes := n / LaneBytes
+	if k.IsCompare() {
+		for i := 0; i < lanes; i++ {
+			if compare1(k, LaneAt(a, i), pattern[i%len(pattern)]) {
+				SetLane(dst, i, -1)
+			} else {
+				SetLane(dst, i, 0)
+			}
+		}
+		return
+	}
+	for i := 0; i < lanes; i++ {
+		SetLane(dst, i, arith1(k, LaneAt(a, i), pattern[i%len(pattern)]))
+	}
+}
+
+// IsZero reports whether the first n bytes of b are all zero — the zero
+// flag HIPE stores alongside every register write.
+func IsZero(b []byte, n int) bool {
+	for _, v := range b[:n] {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaskBytes reports the size of a compacted bitmask covering dataBytes of
+// 32-bit lanes (one bit per lane, rounded up to whole bytes).
+func MaskBytes(dataBytes uint32) uint32 {
+	lanes := dataBytes / LaneBytes
+	return (lanes + 7) / 8
+}
+
+// CompactMask converts SIMD lane masks (from compare ops) into a packed
+// bitmask, one bit per lane, LSB-first — the representation the paper's
+// column-at-a-time scan stores as its intermediate result.
+func CompactMask(dst, lanesrc []byte, dataBytes int) {
+	if dataBytes%LaneBytes != 0 {
+		panic(fmt.Sprintf("isa: CompactMask size %d not lane aligned", dataBytes))
+	}
+	lanes := dataBytes / LaneBytes
+	for i := range dst[:MaskBytes(uint32(dataBytes))] {
+		dst[i] = 0
+	}
+	for i := 0; i < lanes; i++ {
+		if LaneAt(lanesrc, i) != 0 {
+			dst[i/8] |= 1 << (i % 8)
+		}
+	}
+}
+
+// ExpandMask is the inverse of CompactMask: packed bits to lane masks.
+func ExpandMask(dst, packed []byte, dataBytes int) {
+	if dataBytes%LaneBytes != 0 {
+		panic(fmt.Sprintf("isa: ExpandMask size %d not lane aligned", dataBytes))
+	}
+	lanes := dataBytes / LaneBytes
+	for i := 0; i < lanes; i++ {
+		if packed[i/8]&(1<<(i%8)) != 0 {
+			SetLane(dst, i, -1)
+		} else {
+			SetLane(dst, i, 0)
+		}
+	}
+}
+
+// PopcountMask counts set bits in a packed bitmask.
+func PopcountMask(packed []byte) int {
+	n := 0
+	for _, b := range packed {
+		for ; b != 0; b &= b - 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package isa
+
+import "testing"
+
+func TestLaneOpPatternTiles(t *testing.T) {
+	// 8 lanes, pattern of 4: lane i compares against pattern[i%4].
+	a := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		SetLane(a, i, int32(i))
+	}
+	pattern := []int32{0, 10, 2, 10} // lanes 0,2 match CmpGE at even spots
+	dst := make([]byte, 32)
+	LaneOpPattern(CmpGE, dst, a, pattern, 32)
+	want := []int32{-1, 0, -1, 0, -1, 0, -1, 0}
+	for i, w := range want {
+		if LaneAt(dst, i) != w {
+			t.Fatalf("lane %d = %d, want %d", i, LaneAt(dst, i), w)
+		}
+	}
+	// Arithmetic with pattern.
+	LaneOpPattern(Add, dst, a, []int32{100, 200}, 32)
+	if LaneAt(dst, 0) != 100 || LaneAt(dst, 1) != 201 || LaneAt(dst, 2) != 102 {
+		t.Fatal("pattern add wrong")
+	}
+}
+
+func TestLaneOpPatternPanics(t *testing.T) {
+	a := make([]byte, 8)
+	for _, f := range []func(){
+		func() { LaneOpPattern(Add, a, a, []int32{1}, 6) },
+		func() { LaneOpPattern(Add, a, a, nil, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCmpReadPatternValidation(t *testing.T) {
+	ok := OffloadInst{Target: TargetHMC, Op: CmpRead, ALU: CmpGE, Size: 64,
+		Pattern: []int32{1, 2, 3, 4}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := OffloadInst{Target: TargetHMC, Op: CmpRead, ALU: CmpGE, Size: 64,
+		Pattern: []int32{1, 2, 3}} // 16 lanes not divisible by 3
+	if bad.Validate() == nil {
+		t.Fatal("non-tiling pattern accepted")
+	}
+}
+
+func TestVMaskLoadValidationAndDisasm(t *testing.T) {
+	in := OffloadInst{Target: TargetHIVE, Op: VMaskLoad, Dst: 2, Addr: 0x300, Size: 256}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.String(); got != "hive vmaskload r2, [0x300], 256B" {
+		t.Fatalf("disasm = %q", got)
+	}
+	hmcBad := OffloadInst{Target: TargetHMC, Op: VMaskLoad, Size: 64}
+	if hmcBad.Validate() == nil {
+		t.Fatal("vmaskload accepted on HMC target")
+	}
+}

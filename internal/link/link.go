@@ -1,0 +1,183 @@
+// Package link models the off-chip SerDes links that connect the processor
+// to the Hybrid Memory Cube: 4 full-duplex links (Table I: 4-links@8GHz),
+// each carrying packetised traffic with a 16-byte header/tail overhead per
+// packet, a fixed traversal latency, and a serialisation rate.
+//
+// Traffic is routed to a link by vault quadrant, matching the HMC
+// specification's association of links with vault groups. Each direction
+// of each link is an independent serialisation resource.
+package link
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Config describes the link subsystem.
+type Config struct {
+	Links uint32 // number of links (4)
+	// BytesPerCycle is the serialisation rate of one direction of one
+	// link in bytes per CPU cycle. 16 lanes at 8 GHz against a 2 GHz core
+	// yields 16 B/cycle per direction.
+	BytesPerCycle uint32
+	// Latency is the fixed one-way traversal latency in CPU cycles
+	// (SerDes, package, controller).
+	Latency sim.Cycle
+	// PacketOverhead is the header+tail bytes added to every packet
+	// (16 B in HMC 2.1).
+	PacketOverhead uint32
+}
+
+// Default returns the paper's link configuration.
+func Default() Config {
+	return Config{Links: 4, BytesPerCycle: 16, Latency: 8, PacketOverhead: 16}
+}
+
+// Validate rejects degenerate configurations.
+func (c Config) Validate() error {
+	if c.Links == 0 || c.Links&(c.Links-1) != 0 {
+		return fmt.Errorf("link: link count %d not a power of two", c.Links)
+	}
+	if c.BytesPerCycle == 0 {
+		return fmt.Errorf("link: zero bandwidth")
+	}
+	return nil
+}
+
+// Packet is one request/response exchange across the links.
+type Packet struct {
+	// Vault selects the destination vault, which determines the link.
+	Vault uint32
+	// ReqPayload is the request payload size in bytes (0 for reads).
+	ReqPayload uint32
+	// RespPayload is the response payload size in bytes.
+	RespPayload uint32
+	// Execute runs on the cube side when the request arrives; the
+	// callee must invoke the supplied completion function exactly once
+	// when the in-cube operation finishes, which triggers response
+	// serialisation back to the requester.
+	Execute func(complete func())
+	// Done fires on the requester side when the response has fully
+	// arrived. May be nil.
+	Done func(now sim.Cycle)
+}
+
+type direction struct {
+	freeAt sim.Cycle
+	bytes  *stats.Counter
+	pkts   *stats.Counter
+}
+
+type phyLink struct {
+	req  direction
+	resp direction
+}
+
+// Controller is the CPU-side link controller plus the cube-side response
+// scheduler.
+type Controller struct {
+	cfg    Config
+	engine *sim.Engine
+	links  []phyLink
+	vaults uint32
+}
+
+// New builds a link controller for a cube with the given vault count.
+func New(engine *sim.Engine, cfg Config, vaults uint32, reg *stats.Registry) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if vaults%cfg.Links != 0 {
+		return nil, fmt.Errorf("link: %d vaults not divisible by %d links", vaults, cfg.Links)
+	}
+	c := &Controller{cfg: cfg, engine: engine, vaults: vaults}
+	for i := uint32(0); i < cfg.Links; i++ {
+		sc := reg.Scope(fmt.Sprintf("link%d", i))
+		c.links = append(c.links, phyLink{
+			req:  direction{bytes: sc.Counter("req_bytes"), pkts: sc.Counter("req_packets")},
+			resp: direction{bytes: sc.Counter("resp_bytes"), pkts: sc.Counter("resp_packets")},
+		})
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// linkFor maps a vault to its link (vault quadrants).
+func (c *Controller) linkFor(vault uint32) *phyLink {
+	perLink := c.vaults / c.cfg.Links
+	return &c.links[(vault/perLink)%c.cfg.Links]
+}
+
+func (c *Controller) serialize(d *direction, payload uint32) sim.Cycle {
+	bytes := payload + c.cfg.PacketOverhead
+	cycles := sim.Cycle((bytes + c.cfg.BytesPerCycle - 1) / c.cfg.BytesPerCycle)
+	start := c.engine.Now()
+	if d.freeAt > start {
+		start = d.freeAt
+	}
+	d.freeAt = start + cycles
+	d.bytes.Add(uint64(bytes))
+	d.pkts.Inc()
+	return d.freeAt
+}
+
+// Send transmits a packet: request serialisation + latency, Execute at the
+// cube, then response serialisation + latency, then Done.
+func (c *Controller) Send(p *Packet) {
+	if p.Execute == nil {
+		panic("link: packet without Execute")
+	}
+	l := c.linkFor(p.Vault)
+	txDone := c.serialize(&l.req, p.ReqPayload)
+	arrive := txDone + c.cfg.Latency
+	c.engine.Schedule(arrive, func() {
+		p.Execute(func() {
+			respDone := c.serialize(&l.resp, p.RespPayload)
+			deliver := respDone + c.cfg.Latency
+			if p.Done != nil {
+				c.engine.Schedule(deliver, func() { p.Done(deliver) })
+			}
+		})
+	})
+}
+
+// MemPort adapts the link controller into a mem.Port in front of the
+// DRAM (the plain "HMC as main memory" path used by the cache hierarchy):
+// reads carry a header-only request and a payload response; writes carry a
+// payload request and a header-only acknowledgement.
+type MemPort struct {
+	Ctl   *Controller
+	Geom  mem.Geometry
+	Inner mem.Port
+}
+
+// Access implements mem.Port. Requests must be row-contained (cache lines
+// and HMC operands always are); larger transfers must be pre-split.
+func (m *MemPort) Access(req *mem.Request) bool {
+	loc := m.Geom.Decompose(req.Addr)
+	var reqPayload, respPayload uint32
+	if req.Kind == mem.Write {
+		reqPayload = req.Size
+	} else {
+		respPayload = req.Size
+	}
+	inner := &mem.Request{Addr: req.Addr, Size: req.Size, Kind: req.Kind}
+	m.Ctl.Send(&Packet{
+		Vault:       loc.Vault,
+		ReqPayload:  reqPayload,
+		RespPayload: respPayload,
+		Execute: func(complete func()) {
+			inner.Done = func(sim.Cycle) { complete() }
+			m.Inner.Access(inner)
+		},
+		Done: req.Done,
+	})
+	return true
+}
+
+var _ mem.Port = (*MemPort)(nil)

@@ -1,0 +1,214 @@
+package link
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+func newCtl(t *testing.T) (*sim.Engine, *Controller, *stats.Registry) {
+	t.Helper()
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	c, err := New(e, Default(), 32, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, c, reg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{Links: 3, BytesPerCycle: 16}).Validate() == nil {
+		t.Fatal("non-power-of-two links accepted")
+	}
+	if (Config{Links: 4}).Validate() == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	e := sim.NewEngine()
+	if _, err := New(e, Default(), 30, stats.NewRegistry()); err == nil {
+		t.Fatal("vaults not divisible by links accepted")
+	}
+}
+
+func TestPacketRoundTripTiming(t *testing.T) {
+	e, c, _ := newCtl(t)
+	var doneAt sim.Cycle
+	executed := false
+	c.Send(&Packet{
+		Vault:       0,
+		ReqPayload:  0,  // 16B header only → 1 cycle at 16B/cyc
+		RespPayload: 16, // 32B → 2 cycles
+		Execute: func(complete func()) {
+			executed = true
+			if e.Now() != 9 { // 1 serialisation + 8 latency
+				t.Fatalf("request arrived at %d, want 9", e.Now())
+			}
+			complete()
+		},
+		Done: func(now sim.Cycle) { doneAt = now },
+	})
+	e.Run()
+	if !executed {
+		t.Fatal("Execute never ran")
+	}
+	// 9 (arrive) + 2 (resp serialisation) + 8 (latency) = 19.
+	if doneAt != 19 {
+		t.Fatalf("response delivered at %d, want 19", doneAt)
+	}
+}
+
+func TestRequestSerialisationQueues(t *testing.T) {
+	e, c, _ := newCtl(t)
+	var arrivals []sim.Cycle
+	for i := 0; i < 3; i++ {
+		c.Send(&Packet{
+			Vault:      0,
+			ReqPayload: 48, // 64B → 4 cycles each
+			Execute: func(complete func()) {
+				arrivals = append(arrivals, e.Now())
+				complete()
+			},
+		})
+	}
+	e.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// Serialisation finishes at 4, 8, 12; +8 latency → 12, 16, 20.
+	want := []sim.Cycle{12, 16, 20}
+	for i, a := range arrivals {
+		if a != want[i] {
+			t.Fatalf("arrival %d at %d, want %d", i, a, want[i])
+		}
+	}
+}
+
+func TestVaultQuadrantRouting(t *testing.T) {
+	e, c, reg := newCtl(t)
+	// Vaults 0..7 → link0, 8..15 → link1, etc.
+	for v := uint32(0); v < 32; v++ {
+		c.Send(&Packet{Vault: v, Execute: func(complete func()) { complete() }})
+	}
+	e.Run()
+	for l := 0; l < 4; l++ {
+		if got := reg.Total(formatLink(l), "req_packets"); got != 8 {
+			t.Fatalf("link %d carried %d packets, want 8", l, got)
+		}
+	}
+}
+
+func formatLink(i int) string { return "link" + string(rune('0'+i)) }
+
+func TestPacketsOnDifferentLinksDoNotContend(t *testing.T) {
+	e, c, _ := newCtl(t)
+	var arrivals []sim.Cycle
+	for _, v := range []uint32{0, 8, 16, 24} {
+		c.Send(&Packet{Vault: v, ReqPayload: 48,
+			Execute: func(complete func()) {
+				arrivals = append(arrivals, e.Now())
+				complete()
+			}})
+	}
+	e.Run()
+	for i, a := range arrivals {
+		if a != 12 {
+			t.Fatalf("packet %d arrived at %d, want 12 (no contention)", i, a)
+		}
+	}
+}
+
+func TestSendWithoutExecutePanics(t *testing.T) {
+	_, c, _ := newCtl(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Execute did not panic")
+		}
+	}()
+	c.Send(&Packet{})
+}
+
+func TestMemPortReadThroughDRAM(t *testing.T) {
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	ti := dram.HMC21Timing()
+	ti.RefreshInterval = 0
+	h, err := dram.New(e, mem.HMC21(), ti, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(e, Default(), 32, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := &MemPort{Ctl: c, Geom: mem.HMC21(), Inner: h}
+
+	var doneAt sim.Cycle
+	port.Access(&mem.Request{Addr: 0, Size: 64, Kind: mem.Read,
+		Done: func(now sim.Cycle) { doneAt = now }})
+	e.Run()
+	// 1 (req ser) + 8 + 232 (64B read) + 5 (80B resp ser) + 8 = 254.
+	if doneAt != 254 {
+		t.Fatalf("cache-line fill completed at %d, want 254", doneAt)
+	}
+	if reg.Total("dram.", "reads") != 1 {
+		t.Fatal("DRAM read not performed")
+	}
+	if reg.Total("link", "resp_bytes") != 80 {
+		t.Fatalf("response bytes = %d, want 80", reg.Total("link", "resp_bytes"))
+	}
+}
+
+func TestMemPortWrite(t *testing.T) {
+	e := sim.NewEngine()
+	reg := stats.NewRegistry()
+	ti := dram.HMC21Timing()
+	ti.RefreshInterval = 0
+	h, _ := dram.New(e, mem.HMC21(), ti, reg)
+	c, _ := New(e, Default(), 32, reg)
+	port := &MemPort{Ctl: c, Geom: mem.HMC21(), Inner: h}
+
+	fired := false
+	port.Access(&mem.Request{Addr: 256, Size: 64, Kind: mem.Write,
+		Done: func(now sim.Cycle) { fired = true }})
+	e.Run()
+	if !fired {
+		t.Fatal("write ack never delivered")
+	}
+	if reg.Total("dram.", "writes") != 1 {
+		t.Fatal("DRAM write not performed")
+	}
+	// Write request carries 64B payload + 16B header = 80 bytes.
+	if reg.Total("link", "req_bytes") != 80 {
+		t.Fatalf("request bytes = %d, want 80", reg.Total("link", "req_bytes"))
+	}
+}
+
+func TestAggregateLinkBandwidth(t *testing.T) {
+	// Saturating all 4 links: aggregate response bandwidth ≈ 64 B/cycle.
+	e, c, _ := newCtl(t)
+	const pkts = 400
+	var last sim.Cycle
+	for i := 0; i < pkts; i++ {
+		c.Send(&Packet{
+			Vault:       uint32(i) % 32,
+			RespPayload: 240, // 256B packets → 16 cycles each
+			Execute:     func(complete func()) { complete() },
+			Done: func(now sim.Cycle) {
+				if now > last {
+					last = now
+				}
+			},
+		})
+	}
+	e.Run()
+	bw := float64(pkts*240) / float64(last)
+	if bw < 48 || bw > 64.1 {
+		t.Fatalf("aggregate payload bandwidth = %.1f B/cyc, want near 60", bw)
+	}
+}

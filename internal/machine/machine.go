@@ -1,0 +1,166 @@
+// Package machine assembles the full simulated system of the paper: one
+// active out-of-order core with its three-level cache hierarchy, the four
+// SerDes links, the 32-vault HMC DRAM, and the three offload engines
+// (HMC baseline, HIVE, HIPE) sharing the logic layer.
+//
+// Every experiment in the reproduction builds a Machine, lays the
+// database into its physical image, generates a µop stream with the query
+// code generators, and runs the core to completion.
+package machine
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/cache"
+	"github.com/hipe-sim/hipe/internal/core"
+	"github.com/hipe-sim/hipe/internal/cpu"
+	"github.com/hipe-sim/hipe/internal/dram"
+	"github.com/hipe-sim/hipe/internal/hive"
+	"github.com/hipe-sim/hipe/internal/hmc"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/link"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Config selects the sizes and parameters of every component. The zero
+// value is not usable; start from Default.
+type Config struct {
+	// ImageBytes is the size of the functional backing image (the
+	// simulated physical memory actually touched by experiments). It can
+	// be far smaller than the HMC's 8 GiB address space.
+	ImageBytes uint64
+
+	Geometry mem.Geometry
+	DRAM     dram.Timing
+	Links    link.Config
+	CPU      cpu.Config
+	L1, L2   cache.Config
+	L3       cache.Config
+	HMC      hmc.Config
+	HIVE     core.Config
+	HIPE     core.Config
+}
+
+// Default returns the paper's Table I configuration.
+func Default() Config {
+	return Config{
+		ImageBytes: 64 << 20,
+		Geometry:   mem.HMC21(),
+		DRAM:       dram.HMC21Timing(),
+		Links:      link.Default(),
+		CPU:        cpu.TableI("cpu0"),
+		L1:         cache.TableIL1(),
+		L2:         cache.TableIL2(),
+		L3:         cache.TableIL3(),
+		HMC:        hmc.Default(),
+		HIVE:       hive.Default(),
+		HIPE:       core.DefaultHIPE(),
+	}
+}
+
+// Machine is one fully wired system instance.
+type Machine struct {
+	Engine   *sim.Engine
+	Registry *stats.Registry
+	Image    []byte
+
+	DRAM   *dram.HMC
+	Links  *link.Controller
+	Caches *cache.Hierarchy
+	CPU    *cpu.Core
+	HMC    *hmc.Engine
+	HIVE   *core.Engine
+	HIPE   *core.Engine
+
+	// UMem is the uncacheable CPU path to DRAM (through the links).
+	UMem mem.Port
+}
+
+// offloadMux routes offload instructions to the engine their target
+// names.
+type offloadMux struct {
+	hmc  *hmc.Engine
+	hive *core.Engine
+	hipe *core.Engine
+}
+
+// Submit implements cpu.OffloadPort.
+func (m *offloadMux) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
+	switch inst.Target {
+	case isa.TargetHMC:
+		return m.hmc.Submit(inst, done)
+	case isa.TargetHIVE:
+		return m.hive.Submit(inst, done)
+	case isa.TargetHIPE:
+		return m.hipe.Submit(inst, done)
+	default:
+		panic(fmt.Sprintf("machine: unroutable offload target %s", inst.Target))
+	}
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.ImageBytes == 0 {
+		return nil, fmt.Errorf("machine: zero image size")
+	}
+	if cfg.ImageBytes > cfg.Geometry.Total {
+		return nil, fmt.Errorf("machine: image %d exceeds HMC capacity %d", cfg.ImageBytes, cfg.Geometry.Total)
+	}
+	engine := sim.NewEngine()
+	reg := stats.NewRegistry()
+	image := make([]byte, cfg.ImageBytes)
+
+	d, err := dram.New(engine, cfg.Geometry, cfg.DRAM, reg)
+	if err != nil {
+		return nil, err
+	}
+	links, err := link.New(engine, cfg.Links, cfg.Geometry.Vaults, reg)
+	if err != nil {
+		return nil, err
+	}
+	umem := &link.MemPort{Ctl: links, Geom: cfg.Geometry, Inner: d}
+	caches, err := cache.NewHierarchy(engine, cfg.L1, cfg.L2, cfg.L3, umem, reg)
+	if err != nil {
+		return nil, err
+	}
+	hmcEng, err := hmc.New(engine, cfg.HMC, links, d, image, reg)
+	if err != nil {
+		return nil, err
+	}
+	hiveEng, err := hive.New(engine, cfg.HIVE, links, d, image, reg)
+	if err != nil {
+		return nil, err
+	}
+	hipeEng, err := core.New(engine, cfg.HIPE, links, d, image, reg)
+	if err != nil {
+		return nil, err
+	}
+	mux := &offloadMux{hmc: hmcEng, hive: hiveEng, hipe: hipeEng}
+	c, err := cpu.New(engine, cfg.CPU, caches, umem, mux, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Engine:   engine,
+		Registry: reg,
+		Image:    image,
+		DRAM:     d,
+		Links:    links,
+		Caches:   caches,
+		CPU:      c,
+		HMC:      hmcEng,
+		HIVE:     hiveEng,
+		HIPE:     hipeEng,
+		UMem:     umem,
+	}, nil
+}
+
+// Run executes a µop stream to completion and returns the consumed
+// cycles.
+func (m *Machine) Run(stream cpu.Stream) sim.Cycle {
+	m.CPU.Start(stream, nil)
+	m.Engine.Run()
+	return m.CPU.Cycles()
+}

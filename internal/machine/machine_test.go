@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/cpu"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+	"github.com/hipe-sim/hipe/internal/sim"
+)
+
+func TestDefaultMachineBuilds(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU == nil || m.DRAM == nil || m.Links == nil || m.Caches == nil ||
+		m.HMC == nil || m.HIVE == nil || m.HIPE == nil {
+		t.Fatal("machine missing components")
+	}
+	if len(m.Image) != int(Default().ImageBytes) {
+		t.Fatal("image size wrong")
+	}
+}
+
+func TestBadConfigsRejected(t *testing.T) {
+	cfg := Default()
+	cfg.ImageBytes = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero image accepted")
+	}
+	cfg = Default()
+	cfg.ImageBytes = cfg.Geometry.Total * 2
+	if _, err := New(cfg); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+	cfg = Default()
+	cfg.CPU.ROBSize = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad CPU config accepted")
+	}
+	cfg = Default()
+	cfg.L1.Ways = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad cache config accepted")
+	}
+	cfg = Default()
+	cfg.HIVE.Width = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bad engine config accepted")
+	}
+}
+
+func TestRunSimpleStream(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A load through the cache hierarchy, an uncacheable load, and one
+	// offload instruction to each engine.
+	ops := []isa.MicroOp{
+		{PC: 0, Class: isa.Load, Dst: 1, Addr: 0, Size: 8},
+		{PC: 4, Class: isa.Load, Dst: 2, Addr: 4096, Size: 8, Uncacheable: true},
+		{PC: 8, Class: isa.Offload, Dst: 3, Offload: &isa.OffloadInst{
+			Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpGE, Addr: 0, Size: 64}},
+		{PC: 12, Class: isa.Offload, Dst: 4, Offload: &isa.OffloadInst{
+			Target: isa.TargetHIVE, Op: isa.VLoad, Dst: 0, Addr: 256, Size: 256}},
+		{PC: 16, Class: isa.Offload, Dst: 5, Offload: &isa.OffloadInst{
+			Target: isa.TargetHIPE, Op: isa.VLoad, Dst: 0, Addr: 512, Size: 256}},
+	}
+	cycles := m.Run(&cpu.SliceStream{Ops: ops})
+	if cycles == 0 {
+		t.Fatal("no time elapsed")
+	}
+	if m.Registry.Total("dram.", "reads") < 3 {
+		t.Fatalf("dram reads = %d", m.Registry.Total("dram.", "reads"))
+	}
+	if m.Registry.Scope("hmc").Get("instructions") != 1 {
+		t.Fatal("HMC engine not reached")
+	}
+	if m.Registry.Scope("hive").Get("vloads") != 1 {
+		t.Fatal("HIVE engine not reached")
+	}
+	if m.Registry.Scope("hipe").Get("vloads") != 1 {
+		t.Fatal("HIPE engine not reached")
+	}
+}
+
+func TestOffloadMuxPanicsOnBadTarget(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad target routed")
+		}
+	}()
+	m.Run(&cpu.SliceStream{Ops: []isa.MicroOp{
+		{Class: isa.Offload, Offload: &isa.OffloadInst{Target: isa.Target(7)}},
+	}})
+}
+
+func TestMemoryPathsShareDRAM(t *testing.T) {
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uncacheable path reaches the same DRAM model as the cache path.
+	fired := false
+	m.UMem.Access(&mem.Request{Addr: 0, Size: 64, Kind: mem.Read,
+		Done: func(sim.Cycle) { fired = true }})
+	m.Engine.Run()
+	if !fired {
+		t.Fatal("uncacheable read never completed")
+	}
+	if m.Registry.Total("dram.", "reads") != 1 {
+		t.Fatal("uncacheable read did not reach DRAM")
+	}
+}

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// hiveFusedColumn generates HIVE's best-case column scan (the paper's
+// Figure 3d "full scan in columns"): one pass in which every chunk's
+// three predicate columns are loaded unconditionally, compared, and
+// AND-combined in the register bank, storing only the final bitmask. No
+// intermediate bitmask ever reaches the processor and no branch depends
+// on in-memory data — but, unlike HIPE, nothing is skipped either: all
+// three columns are always read, which is where HIPE's DRAM energy
+// saving comes from.
+//
+// The structure is deliberately identical to the HIPE plan with the
+// predicates removed (same wave depth, same phases), so the measured
+// HIPE-vs-HIVE gap isolates the cost of predication itself: the extra
+// sequencer occupancy of every predicated instruction's flag read and
+// the data dependencies on flag producers.
+func (w *Workload) hiveFusedColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	maskBytes := isa.MaskBytes(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	q := p.Q
+	blocks := (chunks + p.Unroll - 1) / p.Unroll
+
+	const tmpA, tmpB = 30, 31
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	block := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if block >= blocks {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x6800)
+		first := block * p.Unroll
+		last := first + p.Unroll
+		if last > chunks {
+			last = chunks
+		}
+		hive := func(inst isa.OffloadInst) *isa.OffloadInst {
+			inst.Target = isa.TargetHIVE
+			return &inst
+		}
+
+		oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.Lock}))
+		for ws := first; ws < last; ws += hipeWave {
+			we := ws + hipeWave
+			if we > last {
+				we = last
+			}
+			regX := func(k int) uint8 { return uint8(k - ws) }
+			regM := func(k int) uint8 { return uint8(hipeWave + k - ws) }
+			// Phase A: hoisted shipdate loads.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					Addr: w.DSM.ColBase[db.FieldShipDate] + mem.Addr(k*S), Size: p.OpSize}))
+			}
+			// Phase B+C: shipdate range into the chunk's mask register,
+			// then immediately reuse the data register for the discount
+			// load — the unpredicated plan is free to hoist it here.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.ShipLo}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.ShipHi}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpA, Src2: tmpB}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					Addr: w.DSM.ColBase[db.FieldDiscount] + mem.Addr(k*S), Size: p.OpSize}))
+			}
+			// Phase D+E: discount range refined into the running mask,
+			// quantity load hoisted behind it.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.DiscLo}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLE,
+					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.DiscHi}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: tmpA, Src1: tmpA, Src2: tmpB}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpA, Src2: regM(k)}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					Addr: w.DSM.ColBase[db.FieldQuantity] + mem.Addr(k*S), Size: p.OpSize}))
+			}
+			// Phase F: quantity compare, final AND, bitmask store.
+			for k := ws; k < we; k++ {
+				t0 := k * tuplesPerChunk
+				want := packBits(w.prefix[2], t0, t0+tuplesPerChunk)
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.QtyHi}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpA, Src2: regM(k)}))
+				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
+					Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
+					OnResult: func(r []byte) { w.check(r, want) }}))
+			}
+		}
+		oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		block++
+		return ops
+	}}
+}

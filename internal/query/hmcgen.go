@@ -1,0 +1,240 @@
+package query
+
+import (
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// hmcTuple generates the HMC-baseline tuple-at-a-time scan: per chunk of
+// OpSize bytes of tuple data, two load-compare instructions (GE and LE
+// lane patterns) execute inside the vault; the processor ANDs the
+// returned bitmasks, branches per tuple, and materialises matches with
+// cache-assisted stores.
+func (w *Workload) hmcTuple() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	// A chunk covers whole tuples for S >= 64, or the predicate-bearing
+	// prefix of a single tuple for smaller sizes.
+	tuplesPerChunk := S / db.TupleBytes
+	stride := S
+	if tuplesPerChunk == 0 {
+		tuplesPerChunk = 1
+		stride = db.TupleBytes
+	}
+	chunks := w.Table.N / tuplesPerChunk
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	lanePattern := w.patternLanes()
+
+	vr := &vregs{}
+	group := 0
+	matched := 0
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x3000)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			firstTuple := c * tuplesPerChunk
+			addr := w.NSM.Base + mem.Addr(c*stride)
+			wantGE, wantLE := w.expectPatternMasks(firstTuple, S)
+
+			g, l := vr.fresh(), vr.fresh()
+			emit(isa.MicroOp{Class: isa.Offload, Dst: g, Offload: &isa.OffloadInst{
+				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpGE,
+				Addr: addr, Size: p.OpSize, Pattern: lanePattern,
+				OnResult: func(r []byte) { w.check(r, wantGE) },
+			}})
+			emit(isa.MicroOp{Class: isa.Offload, Dst: l, Offload: &isa.OffloadInst{
+				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpLE,
+				Addr: addr, Size: p.OpSize, Pattern: w.patternLanesLE(),
+				OnResult: func(r []byte) { w.check(r, wantLE) },
+			}})
+			m := vr.fresh()
+			emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: g, Src2: l})
+			for t := 0; t < tuplesPerChunk; t++ {
+				i := firstTuple + t
+				tv := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
+				match := w.tupleMatch(i)
+				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				if match {
+					emit(isa.MicroOp{Class: isa.Store,
+						Addr: w.Materialize + mem.Addr(matched*db.TupleBytes),
+						Size: db.TupleBytes})
+					matched++
+				}
+			}
+			// Store the chunk's bitmask with cache assistance.
+			emit(isa.MicroOp{Class: isa.Store, Src1: m,
+				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(isa.MaskBytes(p.OpSize)),
+				Size: isa.MaskBytes(p.OpSize)})
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
+// patternLanes returns the GE pattern truncated/tiled to the instruction
+// immediate (at most one tuple of 16 lanes, fewer for sub-tuple ops).
+func (w *Workload) patternLanes() []int32 {
+	n := int(w.Plan.OpSize) / 4
+	if n > db.NumFields {
+		n = db.NumFields
+	}
+	return w.patGE[:n]
+}
+
+func (w *Workload) patternLanesLE() []int32 {
+	n := int(w.Plan.OpSize) / 4
+	if n > db.NumFields {
+		n = db.NumFields
+	}
+	return w.patLE[:n]
+}
+
+// expectColCmp computes the packed bitmask a lane-uniform CmpRead over
+// column values [t0, t0+n) must return.
+func (w *Workload) expectColCmp(col int, kind isa.ALUKind, imm int32, t0, n int) []byte {
+	vals := w.columnValues(col)
+	lanes := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		v := vals[t0+i]
+		hit := false
+		switch kind {
+		case isa.CmpGE:
+			hit = v >= imm
+		case isa.CmpLE:
+			hit = v <= imm
+		case isa.CmpLT:
+			hit = v < imm
+		case isa.CmpGT:
+			hit = v > imm
+		case isa.CmpEQ:
+			hit = v == imm
+		case isa.CmpNE:
+			hit = v != imm
+		}
+		if hit {
+			isa.SetLane(lanes, i, -1)
+		}
+	}
+	out := make([]byte, isa.MaskBytes(uint32(n*4)))
+	isa.CompactMask(out, lanes, n*4)
+	return out
+}
+
+func (w *Workload) columnValues(col int) []int32 {
+	switch col {
+	case db.FieldShipDate:
+		return w.Table.ShipDate
+	case db.FieldDiscount:
+		return w.Table.Discount
+	case db.FieldQuantity:
+		return w.Table.Quantity
+	default:
+		return w.Table.ExtendedPrice
+	}
+}
+
+// hmcColumn generates the HMC-baseline column-at-a-time scan: per column
+// chunk, lane-uniform load-compare instructions run in the vaults, the
+// processor combines the returned masks with the running bitmask (read
+// and written with cache assistance) — branchless except loop control.
+func (w *Workload) hmcColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	maskBytes := isa.MaskBytes(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	q := p.Q
+
+	vr := &vregs{}
+	stage := 0
+	group := 0
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if stage >= len(predCols) {
+			return nil
+		}
+		col := predCols[stage]
+		var ops []isa.MicroOp
+		pc := uint64(0x4000 + 0x400*stage)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		// Per-stage compare set: kinds and immediates.
+		type cmp struct {
+			kind isa.ALUKind
+			imm  int32
+		}
+		var cmps []cmp
+		switch stage {
+		case 0:
+			cmps = []cmp{{isa.CmpGE, q.ShipLo}, {isa.CmpLT, q.ShipHi}}
+		case 1:
+			cmps = []cmp{{isa.CmpGE, q.DiscLo}, {isa.CmpLE, q.DiscHi}}
+		case 2:
+			cmps = []cmp{{isa.CmpLT, q.QtyHi}}
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			t0 := c * tuplesPerChunk
+			dataAddr := w.DSM.ColBase[col] + mem.Addr(c*S)
+			var results []isa.Reg
+			for _, cm := range cmps {
+				cm := cm
+				want := w.expectColCmp(col, cm.kind, cm.imm, t0, tuplesPerChunk)
+				r := vr.fresh()
+				results = append(results, r)
+				emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
+					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: cm.kind,
+					Addr: dataAddr, Size: p.OpSize, Imm: cm.imm,
+					OnResult: func(r []byte) { w.check(r, want) },
+				}})
+			}
+			m := results[0]
+			for _, r := range results[1:] {
+				nm := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
+				m = nm
+			}
+			if stage > 0 {
+				prev := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
+					Addr: w.MaskBase[predCols[stage-1]] + mem.Addr(c)*mem.Addr(maskBytes),
+					Size: maskBytes})
+				nm := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: prev})
+				m = nm
+			}
+			emit(isa.MicroOp{Class: isa.Store, Src1: m,
+				Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		if group >= groups {
+			group = 0
+			stage++
+		}
+		return ops
+	}}
+}

@@ -1,0 +1,452 @@
+package query
+
+import (
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// The HIVE/HIPE generators emit software-pipelined lock blocks: all of a
+// wave's DRAM loads are hoisted to the top of the block so the
+// interlocked register bank can overlap them, then the per-chunk compute
+// follows. The wave depth is bounded by the unroll factor and by
+// register pressure — and register pressure is where HIPE pays: a
+// predicated chain keeps each chunk's running mask register live across
+// the whole block, halving the usable wave depth versus HIVE. That is
+// the micro-architectural reading of the paper's "additional data
+// dependencies" costing HIPE ~15% against HIVE.
+
+// hiveWave is HIVE's maximum wave depth: one data register per chunk
+// (r0..r29), three shared temporaries (r30..r32), two pattern registers
+// (r33, r34).
+const hiveWave = 30
+
+// hipeWave is HIPE's maximum wave depth: each chunk needs a data
+// register and a live mask register (rX = j, rM = 15+j), plus shared
+// temporaries r30..r32.
+const hipeWave = 15
+
+// offloadChain forces the processor to issue an engine's instructions in
+// program order: each offload µop depends on its predecessor, modelling
+// the in-order instruction stream a real host controller maintains.
+type offloadChain struct {
+	vr    *vregs
+	chain isa.Reg
+}
+
+func (oc *offloadChain) emit(pcOps *[]isa.MicroOp, pc *uint64, inst *isa.OffloadInst) isa.Reg {
+	dst := oc.vr.fresh()
+	*pcOps = append(*pcOps, isa.MicroOp{
+		PC: *pc, Class: isa.Offload, Dst: dst, Src1: oc.chain, Offload: inst,
+	})
+	*pc += 4
+	oc.chain = dst
+	return dst
+}
+
+// emitUnlock emits the block-ending unlock WITHOUT advancing the chain:
+// the next block streams toward the engine while this block drains (the
+// engine's in-order queue still serialises execution), and only the
+// processor-side consumers of the block's results (bitmask fetches) wait
+// on the returned ack register. Issue order of the unlock versus the
+// next block's first instruction is preserved because both depend on the
+// same predecessor and the core's ready queue and single load port keep
+// FIFO order.
+func (oc *offloadChain) emitUnlock(pcOps *[]isa.MicroOp, pc *uint64, target isa.Target) isa.Reg {
+	pre := oc.chain
+	ack := oc.emit(pcOps, pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
+	oc.chain = pre
+	return ack
+}
+
+// pimTuple generates the HIVE tuple-at-a-time scan: per wave, a lock
+// block hoists the tuple-data loads, pattern-compares each chunk against
+// the bound registers, and stores the lane bitmasks; the processor then
+// fetches each bitmask, branches per tuple and materialises matches.
+// Lock blocks are serialised through the processor — the control
+// dependency the paper blames for HIVE's tuple-at-a-time behaviour.
+func (w *Workload) pimTuple(target isa.Target) *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	tuplesPerChunk := S / db.TupleBytes
+	stride := S
+	if tuplesPerChunk == 0 {
+		tuplesPerChunk = 1
+		stride = db.TupleBytes
+	}
+	chunks := w.Table.N / tuplesPerChunk
+	wave := p.Unroll
+	if wave > hiveWave {
+		wave = hiveWave
+	}
+	groups := (chunks + wave - 1) / wave
+	maskBytes := isa.MaskBytes(p.OpSize)
+
+	const regGE, regLE = 33, 34
+	const tmpA, tmpB = 30, 31
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	setupDone := false
+	group := 0
+	matched := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		pc := uint64(0x5000)
+		if !setupDone {
+			setupDone = true
+			// One-time block: load the GE/LE pattern rows into the two
+			// reserved bound registers.
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+				Dst: regGE, Addr: w.PatternGE, Size: 256})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+				Dst: regLE, Addr: w.PatternLE, Size: 256})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
+			return ops
+		}
+		if group >= groups {
+			return nil
+		}
+		pc = uint64(0x5100)
+		first := group * wave
+		last := first + wave
+		if last > chunks {
+			last = chunks
+		}
+		oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+		// Phase A: hoisted data loads, one register per chunk.
+		for c := first; c < last; c++ {
+			rD := uint8(c - first)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+				Dst: rD, Addr: w.NSM.Base + mem.Addr(c*stride), Size: p.OpSize})
+		}
+		// Phase B: per-chunk pattern compares into shared temporaries,
+		// bitmask stored straight out of the temp.
+		for c := first; c < last; c++ {
+			rD := uint8(c - first)
+			firstTuple := c * tuplesPerChunk
+			wantGE, wantLE := w.expectPatternMasks(firstTuple, S)
+			want := make([]byte, len(wantGE))
+			for i := range want {
+				want[i] = wantGE[i] & wantLE[i]
+			}
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+				ALU: isa.CmpGE, Dst: tmpA, Src1: rD, Src2: regGE})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+				ALU: isa.CmpLE, Dst: tmpB, Src1: rD, Src2: regLE})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+				ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
+				Src1: tmpA, Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
+				OnResult: func(r []byte) { w.check(r, want) }})
+		}
+		unlockAck := oc.emitUnlock(&ops, &pc, target)
+
+		// Processor control flow: fetch each chunk's bitmask, test per
+		// tuple, materialise matches.
+		for c := first; c < last; c++ {
+			lm := vr.fresh()
+			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+			pc += 4
+			for t := 0; t < tuplesPerChunk; t++ {
+				i := c*tuplesPerChunk + t
+				tv := vr.fresh()
+				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
+				pc += 4
+				match := w.tupleMatch(i)
+				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: match})
+				pc += 4
+				if match {
+					ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Store,
+						Addr: w.Materialize + mem.Addr(matched*db.TupleBytes), Size: db.TupleBytes})
+					pc += 4
+					matched++
+				}
+			}
+		}
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: vr.fresh()})
+		pc += 4
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
+// hiveColumn generates HIVE's column-at-a-time scan (Figure 3b/3c): per
+// column, software-pipelined lock blocks compute the chunk bitmasks
+// in-memory; between columns the processor must fetch every bitmask back
+// from DRAM and branch to decide which portions of the next column to
+// process — the round trip HIPE eliminates.
+func (w *Workload) hiveColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	maskBytes := isa.MaskBytes(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	q := p.Q
+	wave := p.Unroll
+	if wave > hiveWave {
+		wave = hiveWave
+	}
+
+	const tmpA, tmpB, tmpP = 30, 31, 32
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	stage := 0
+	pos := 0 // index into the selected chunk list of this stage
+	selected := make([]int, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		selected = append(selected, c) // stage 0 processes everything
+	}
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		for pos >= len(selected) {
+			// Advance to the next column; recompute the chunks that can
+			// still produce matches.
+			stage++
+			pos = 0
+			if stage >= len(predCols) {
+				return nil
+			}
+			next := selected[:0]
+			for c := 0; c < chunks; c++ {
+				if bitRange(w.prefix[stage-1], c*tuplesPerChunk, (c+1)*tuplesPerChunk) {
+					next = append(next, c)
+				}
+			}
+			selected = next
+			if len(selected) == 0 {
+				stage = len(predCols)
+				return nil
+			}
+		}
+		col := predCols[stage]
+		var ops []isa.MicroOp
+		pc := uint64(0x6000 + 0x400*stage)
+
+		first := pos
+		last := pos + wave
+		if last > len(selected) {
+			last = len(selected)
+		}
+		oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+		// Phase A: hoisted column-data loads.
+		for k := first; k < last; k++ {
+			c := selected[k]
+			rD := uint8(k - first)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+				Dst: rD, Addr: w.DSM.ColBase[col] + mem.Addr(c*S), Size: p.OpSize})
+		}
+		// Phase B: per-chunk compares, previous-column mask AND, store.
+		for k := first; k < last; k++ {
+			c := selected[k]
+			rD := uint8(k - first)
+			t0 := c * tuplesPerChunk
+			want := packBits(w.prefix[stage], t0, t0+tuplesPerChunk)
+			switch stage {
+			case 0:
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.CmpGE, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.ShipLo})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.CmpLT, Dst: tmpB, Src1: rD, UseImm: true, Imm: q.ShipHi})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
+			case 1:
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+					Dst: tmpP, Addr: w.MaskBase[predCols[0]] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.CmpGE, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.DiscLo})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.CmpLE, Dst: tmpB, Src1: rD, UseImm: true, Imm: q.DiscHi})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpP})
+			case 2:
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+					Dst: tmpP, Addr: w.MaskBase[predCols[1]] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.CmpLT, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.QtyHi})
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpP})
+			}
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
+				Src1: tmpA, Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
+				OnResult: func(r []byte) { w.check(r, want) }})
+		}
+		unlockAck := oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+
+		// Processor decision round trip: fetch each fresh bitmask from
+		// memory (first touch per line goes to DRAM) and branch on
+		// whether the next column needs this chunk.
+		for k := first; k < last; k++ {
+			c := selected[k]
+			lm := vr.fresh()
+			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+				Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+			pc += 4
+			tv := vr.fresh()
+			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
+			pc += 4
+			empty := !bitRange(w.prefix[stage], c*tuplesPerChunk, (c+1)*tuplesPerChunk)
+			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: empty})
+			pc += 4
+		}
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != len(selected)})
+		pos = last
+		return ops
+	}}
+}
+
+// hipeColumn generates the HIPE predicated scan — the paper's
+// contribution in action. One pass over the chunks: each lock block
+// hoists the shipdate loads of a wave, then touches discount and
+// quantity only under predicates chained off the running mask's zero
+// flag, and stores the final bitmask under a predicate too. No bitmask
+// ever travels to the processor and no branch depends on in-memory data
+// — but the predication match logic must wait for each flag before it
+// can decide, and every predicated instruction reads the flag through
+// the match logic: the "additional data dependencies" behind the
+// paper's 15% cost against HIVE's unconditional full scan.
+func (w *Workload) hipeColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	maskBytes := isa.MaskBytes(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	q := p.Q
+	blocks := (chunks + p.Unroll - 1) / p.Unroll
+
+	const tmpA, tmpB, tmpC = 30, 31, 32
+	// regAcc accumulates per-lane revenue partial sums for Aggregate
+	// plans (the in-memory Q06 aggregation extension).
+	const regAcc = 33
+	// Aggregation keeps each chunk's discount vector live through the
+	// whole chunk (the revenue multiply needs it after the quantity
+	// stage), costing a third register per chunk and shrinking the wave.
+	wave := hipeWave
+	if p.Aggregate {
+		wave = 10
+	}
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	block := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if block >= blocks {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x7000)
+		first := block * p.Unroll
+		last := first + p.Unroll
+		if last > chunks {
+			last = chunks
+		}
+		nz := func(reg uint8) isa.Predicate {
+			return isa.Predicate{Valid: true, Reg: reg, WhenZero: false}
+		}
+		hipe := func(inst isa.OffloadInst) *isa.OffloadInst {
+			inst.Target = isa.TargetHIPE
+			return &inst
+		}
+
+		oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
+		for ws := first; ws < last; ws += wave {
+			we := ws + wave
+			if we > last {
+				we = last
+			}
+			regX := func(k int) uint8 { return uint8(k - ws) }        // data register
+			regM := func(k int) uint8 { return uint8(wave + k - ws) } // running mask
+			// regC holds the chunk's discount vector for the revenue
+			// multiply (Aggregate plans only).
+			regC := func(k int) uint8 { return uint8(2*wave + k - ws) }
+			dataReg := regX
+			if p.Aggregate {
+				dataReg = regC // discounts stay live in their own register
+			}
+			// Phase A: hoisted shipdate loads.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					Addr: w.DSM.ColBase[db.FieldShipDate] + mem.Addr(k*S), Size: p.OpSize}))
+			}
+			// Phase B: shipdate range into each chunk's mask register.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.ShipLo}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.ShipHi}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpA, Src2: tmpB}))
+			}
+			// Phase C: discount loads, predicated — squashed chunks never
+			// touch DRAM.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: dataReg(k),
+					Addr: w.DSM.ColBase[db.FieldDiscount] + mem.Addr(k*S), Size: p.OpSize,
+					Pred: nz(regM(k))}))
+			}
+			// Phase D: discount range, refined into the running mask.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+					Dst: tmpA, Src1: dataReg(k), UseImm: true, Imm: q.DiscLo, Pred: nz(regM(k))}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLE,
+					Dst: tmpB, Src1: dataReg(k), UseImm: true, Imm: q.DiscHi, Pred: nz(regM(k))}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: tmpC, Src1: tmpA, Src2: tmpB, Pred: nz(regM(k))}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpC, Src2: regM(k), Pred: nz(regM(k))}))
+			}
+			// Phase E: quantity loads, predicated on the refined mask.
+			for k := ws; k < we; k++ {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					Addr: w.DSM.ColBase[db.FieldQuantity] + mem.Addr(k*S), Size: p.OpSize,
+					Pred: nz(regM(k))}))
+			}
+			// Phase F: quantity compare, final AND, predicated store.
+			for k := ws; k < we; k++ {
+				t0 := k * tuplesPerChunk
+				want := packBits(w.prefix[2], t0, t0+tuplesPerChunk)
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.QtyHi, Pred: nz(regM(k))}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: regM(k), Src1: tmpA, Src2: regM(k), Pred: nz(regM(k))}))
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
+					Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
+					Pred:     nz(regM(k)),
+					OnResult: func(r []byte) { w.check(r, want) }}))
+			}
+			if p.Aggregate {
+				// Phase G: the Q06 aggregation in memory. Extended
+				// prices load only for matching chunks; the masked
+				// products accumulate into the shared accumulator. The
+				// Add itself is unpredicated so a squash (which zeroes
+				// its tmp operand) cannot zero the accumulator.
+				for k := ws; k < we; k++ {
+					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+						Addr: w.DSM.ColBase[db.FieldExtendedPrice] + mem.Addr(k*S), Size: p.OpSize,
+						Pred: nz(regM(k))}))
+					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
+						Dst: tmpA, Src1: regX(k), Src2: regC(k), Pred: nz(regM(k))}))
+					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+						Dst: tmpA, Src1: tmpA, Src2: regM(k), Pred: nz(regM(k))}))
+					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Add,
+						Dst: regAcc, Src1: regAcc, Src2: tmpA}))
+				}
+			}
+		}
+		if p.Aggregate && block == blocks-1 {
+			// Spill the accumulator so the processor (and verification)
+			// can read the per-lane partial sums.
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VStore, Src1: regAcc,
+				Addr: w.AccRegion, Size: isa.RegisterBytes}))
+		}
+		oc.emitUnlock(&ops, &pc, isa.TargetHIPE)
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		block++
+		return ops
+	}}
+}

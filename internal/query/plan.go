@@ -1,0 +1,193 @@
+// Package query implements the paper's benchmark workload: the TPC-H
+// Query 06 selection scan, compiled four ways —
+//
+//   - x86: AVX-512 µops through the cache hierarchy;
+//   - HMC: extended HMC 2.1 load-compare instructions, control flow and
+//     bitmask assembly on the processor;
+//   - HIVE: lock/unlock register-bank programs in the logic layer,
+//     control flow (bitmask fetch + skip decisions) on the processor;
+//   - HIPE: one predicated register-bank program per chunk group —
+//     control flow converted to data flow inside the memory.
+//
+// Each generator produces a lazy µop stream for the core model plus the
+// functional bookkeeping needed to verify the simulated result against
+// the db package's reference evaluator.
+package query
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+)
+
+// Arch selects the execution model.
+type Arch uint8
+
+// Architectures evaluated in the paper.
+const (
+	X86 Arch = iota
+	HMC
+	HIVE
+	HIPE
+)
+
+var archNames = [...]string{"x86", "hmc", "hive", "hipe"}
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch(%d)", uint8(a))
+}
+
+// Strategy selects the scan strategy / storage layout pair.
+type Strategy uint8
+
+// Scan strategies (each implies its layout, as in the paper).
+const (
+	// TupleAtATime scans the NSM (row-store) layout tuple by tuple,
+	// materialising matching tuples.
+	TupleAtATime Strategy = iota
+	// ColumnAtATime scans the DSM (column-store) layout column by
+	// column, maintaining an intermediate bitmask.
+	ColumnAtATime
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == TupleAtATime {
+		return "tuple-at-a-time"
+	}
+	return "column-at-a-time"
+}
+
+// Plan is one experiment configuration.
+type Plan struct {
+	Arch     Arch
+	Strategy Strategy
+	// OpSize is the memory operation width in bytes: 16..256 for the
+	// cube architectures, 16..64 for x86 (AVX-512 limit).
+	OpSize uint32
+	// Unroll is the loop unrolling depth: 1..32 (x86 compilers stop at 8
+	// per the paper).
+	Unroll int
+	// Fused selects HIVE's best-case column plan: one pass that loads
+	// and compares all three predicate columns per chunk and combines
+	// the masks in the register bank — the "full scan in columns" of the
+	// paper's Figure 3d, with no per-column bitmask round trips to the
+	// processor. Only meaningful for Arch == HIVE, ColumnAtATime.
+	Fused bool
+	// Aggregate extends the HIPE scan with the full Query 06 aggregation
+	// — sum(l_extendedprice * l_discount) over matches — computed by the
+	// engine's Mul/Add lanes under predication, so the whole query
+	// executes in memory (an extension beyond the paper's select-scan
+	// evaluation). Only valid for Arch == HIPE.
+	Aggregate bool
+	// Q is the query predicate.
+	Q db.Q06
+}
+
+var validOpSizes = map[uint32]bool{16: true, 32: true, 64: true, 128: true, 256: true}
+
+// Validate rejects configurations outside the paper's evaluated space.
+func (p Plan) Validate() error {
+	if !validOpSizes[p.OpSize] {
+		return fmt.Errorf("query: op size %d not in {16,32,64,128,256}", p.OpSize)
+	}
+	if p.Unroll < 1 || p.Unroll > 32 {
+		return fmt.Errorf("query: unroll %d outside 1..32", p.Unroll)
+	}
+	if p.Fused && !(p.Arch == HIVE && p.Strategy == ColumnAtATime) {
+		return fmt.Errorf("query: fused plans only exist for HIVE column-at-a-time")
+	}
+	if p.Aggregate && p.Arch != HIPE {
+		return fmt.Errorf("query: in-memory aggregation is the HIPE extension plan")
+	}
+	switch p.Arch {
+	case X86:
+		if p.OpSize > 64 {
+			return fmt.Errorf("query: x86 op size %d exceeds AVX-512's 64 B", p.OpSize)
+		}
+		if p.Unroll > 8 {
+			return fmt.Errorf("query: x86 unroll %d exceeds the compiler's 8", p.Unroll)
+		}
+	case HMC:
+		// all combinations valid
+	case HIVE:
+		// all combinations valid
+	case HIPE:
+		if p.Strategy != ColumnAtATime {
+			return fmt.Errorf("query: the HIPE predicated plan is defined for column-at-a-time scans")
+		}
+	default:
+		return fmt.Errorf("query: unknown architecture %d", p.Arch)
+	}
+	return nil
+}
+
+// String renders a plan identifier like "hive/column-at-a-time/256B/32x".
+func (p Plan) String() string {
+	fused := ""
+	if p.Fused {
+		fused = "/fused"
+	}
+	return fmt.Sprintf("%s/%s/%dB/%dx%s", p.Arch, p.Strategy, p.OpSize, p.Unroll, fused)
+}
+
+// chunkedStream materialises µops group by group, so multi-million-µop
+// programs never exist in memory at once.
+type chunkedStream struct {
+	next func() []isa.MicroOp
+	buf  []isa.MicroOp
+	done bool
+}
+
+// Next implements cpu.Stream.
+func (s *chunkedStream) Next() (isa.MicroOp, bool) {
+	for len(s.buf) == 0 {
+		if s.done {
+			return isa.MicroOp{}, false
+		}
+		s.buf = s.next()
+		if s.buf == nil {
+			s.done = true
+			return isa.MicroOp{}, false
+		}
+	}
+	op := s.buf[0]
+	s.buf = s.buf[1:]
+	return op, true
+}
+
+// vregs hands out fresh virtual CPU registers.
+type vregs struct{ next isa.Reg }
+
+func (v *vregs) fresh() isa.Reg {
+	v.next++
+	return v.next
+}
+
+// bitRange reports whether any of mask's bits [lo, hi) is set.
+func bitRange(mask []byte, lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if i/8 < len(mask) && mask[i/8]&(1<<(i%8)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// packBits extracts bits [lo, hi) of mask into a fresh little-endian
+// packed slice.
+func packBits(mask []byte, lo, hi int) []byte {
+	out := make([]byte, (hi-lo+7)/8)
+	for i := lo; i < hi; i++ {
+		if i/8 < len(mask) && mask[i/8]&(1<<(i%8)) != 0 {
+			j := i - lo
+			out[j/8] |= 1 << (j % 8)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hipe-sim/hipe/internal/db"
+)
+
+// Property: for any seed, op size and unroll depth, every architecture's
+// simulated scan computes the reference answer — the strongest
+// cross-module invariant of the reproduction (code generators, engines,
+// lane semantics, mask layout and verification all have to agree).
+func TestPlanSpaceAgreementProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan-space sweep")
+	}
+	opSizes := []uint32{16, 32, 64, 128, 256}
+	f := func(seedRaw uint16, sizeIdx, unrollRaw uint8, fused, clustered bool) bool {
+		seed := uint64(seedRaw) + 1
+		size := opSizes[int(sizeIdx)%len(opSizes)]
+		unroll := int(unrollRaw)%32 + 1
+		var tab *db.Table
+		if clustered {
+			tab = db.GenerateClustered(512, seed, 20)
+		} else {
+			tab = db.Generate(512, seed)
+		}
+		plans := []Plan{
+			{Arch: HMC, Strategy: ColumnAtATime, OpSize: size, Unroll: unroll, Q: db.DefaultQ06()},
+			{Arch: HIVE, Strategy: ColumnAtATime, OpSize: size, Unroll: unroll, Fused: fused, Q: db.DefaultQ06()},
+			{Arch: HIPE, Strategy: ColumnAtATime, OpSize: size, Unroll: unroll, Q: db.DefaultQ06()},
+			{Arch: HMC, Strategy: TupleAtATime, OpSize: size, Unroll: unroll, Q: db.DefaultQ06()},
+			{Arch: HIVE, Strategy: TupleAtATime, OpSize: size, Unroll: unroll, Q: db.DefaultQ06()},
+		}
+		for _, p := range plans {
+			if err := p.Validate(); err != nil {
+				return false
+			}
+			m := testMachine(t)
+			w, err := Prepare(m, tab, p)
+			if err != nil {
+				t.Logf("%s: prepare: %v", p, err)
+				return false
+			}
+			if m.Run(w.Stream()) == 0 {
+				t.Logf("%s: zero cycles", p)
+				return false
+			}
+			if err := w.Verify(); err != nil {
+				t.Logf("%s: %v", p, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the in-memory aggregation matches the reference revenue for
+// arbitrary seeds and unrolls.
+func TestAggregationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plan-space sweep")
+	}
+	f := func(seedRaw uint16, unrollRaw uint8) bool {
+		seed := uint64(seedRaw) + 1
+		unroll := int(unrollRaw)%32 + 1
+		tab := db.Generate(512, seed)
+		p := Plan{Arch: HIPE, Strategy: ColumnAtATime, OpSize: 256,
+			Unroll: unroll, Aggregate: true, Q: db.DefaultQ06()}
+		m := testMachine(t)
+		w, err := Prepare(m, tab, p)
+		if err != nil {
+			return false
+		}
+		m.Run(w.Stream())
+		return w.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Determinism: two runs of the same plan on the same data take exactly
+// the same number of cycles — the simulation is bit-reproducible.
+func TestSimulationDeterminism(t *testing.T) {
+	tab := db.Generate(1024, 99)
+	p := Plan{Arch: HIPE, Strategy: ColumnAtATime, OpSize: 256, Unroll: 16, Q: db.DefaultQ06()}
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		m := testMachine(t)
+		w, err := Prepare(m, tab, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := uint64(m.Run(w.Stream()))
+		if i > 0 && c != prev {
+			t.Fatalf("run %d took %d cycles, previous %d", i, c, prev)
+		}
+		prev = c
+	}
+}

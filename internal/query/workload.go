@@ -1,0 +1,292 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// Workload is a prepared scan: table laid into a machine's image, output
+// regions allocated, reference results computed, and a µop generator
+// ready to stream.
+type Workload struct {
+	Plan  Plan
+	Table *db.Table
+	M     *machine.Machine
+
+	// Layouts (one of the two is populated, per the strategy).
+	NSM db.NSMLayout
+	DSM db.DSMLayout
+
+	// Output regions.
+	MaskBase    map[int]mem.Addr // per predicate column (DSM) — one bit per tuple
+	FinalMask   mem.Addr         // final bitmask region (both strategies)
+	Materialize mem.Addr         // matched-tuple region (NSM)
+
+	// AccRegion holds the in-memory aggregation accumulator (one 256 B
+	// vector of per-lane partial sums) for Aggregate plans.
+	AccRegion mem.Addr
+
+	// Pattern rows for NSM lane compares (HIVE registers load them; HMC
+	// CmpReads carry them as instruction patterns).
+	PatternGE mem.Addr
+	PatternLE mem.Addr
+	patGE     []int32
+	patLE     []int32
+
+	// Reference results.
+	Ref      *db.ReferenceResult
+	colMasks map[int][]byte
+	// prefix[i] = AND of column masks up to predicate stage i
+	// (0=shipdate, 1=+discount, 2=+quantity).
+	prefix [3][]byte
+
+	// Runtime verification of engine-computed results.
+	mismatches int
+	checked    int
+}
+
+// predCols is the column evaluation order of the scan.
+var predCols = [3]int{db.FieldShipDate, db.FieldDiscount, db.FieldQuantity}
+
+// Prepare lays the table into m's image and builds all bookkeeping.
+func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if t.N == 0 {
+		return nil, fmt.Errorf("query: empty table")
+	}
+	if t.N%64 != 0 {
+		// Keeps every op size an exact divisor of the data; the paper's
+		// 1 GB table trivially satisfies this.
+		return nil, fmt.Errorf("query: tuple count %d must be a multiple of 64", t.N)
+	}
+	w := &Workload{
+		Plan:     p,
+		Table:    t,
+		M:        m,
+		MaskBase: make(map[int]mem.Addr),
+		colMasks: make(map[int][]byte),
+	}
+	a := db.NewArena(uint64(len(m.Image)))
+
+	switch p.Strategy {
+	case TupleAtATime:
+		w.NSM = db.LayoutNSM(m.Image, a, t)
+		// Pattern rows: per-lane constants tiled every 16 lanes (one
+		// tuple). CmpGE pattern / CmpLE pattern; filler lanes always in
+		// range.
+		w.patGE, w.patLE = tuplePatterns(p.Q)
+		w.PatternGE = writePattern(m.Image, a, w.patGE)
+		w.PatternLE = writePattern(m.Image, a, w.patLE)
+		// Lane-mask region: one bit per 32-bit lane of tuple data.
+		lanes := t.N * db.TupleBytes / 4
+		w.FinalMask = a.Alloc(uint64(lanes/8), 256)
+		w.Materialize = a.Alloc(uint64(t.N*db.TupleBytes), 256)
+	case ColumnAtATime:
+		w.DSM = db.LayoutDSM(m.Image, a, t)
+		// Chunks below 8 tuples still occupy a whole mask byte, so the
+		// region is chunks×MaskBytes, not N/8.
+		tuplesPerChunk := int(p.OpSize) / db.ColumnWidth
+		regionBytes := uint64(t.N / tuplesPerChunk * int(isa.MaskBytes(p.OpSize)))
+		for _, col := range predCols {
+			w.MaskBase[col] = a.Alloc(regionBytes, 256)
+		}
+		w.FinalMask = w.MaskBase[db.FieldQuantity]
+		if p.Aggregate {
+			// Per-lane partial sums are 32-bit: bound the table so the
+			// worst-case lane sum (every 64th tuple matching at maximum
+			// revenue ≈ 1.06e6) cannot overflow.
+			if t.N > 1<<20 {
+				return nil, fmt.Errorf("query: aggregation lanes would risk overflow beyond %d tuples", 1<<20)
+			}
+			w.AccRegion = a.Alloc(isa.RegisterBytes, 256)
+		}
+	}
+
+	w.Ref = db.Reference(t, p.Q)
+	for _, col := range predCols {
+		w.colMasks[col] = db.ColumnMask(t, p.Q, col)
+	}
+	w.prefix[0] = w.colMasks[db.FieldShipDate]
+	w.prefix[1] = andMasks(w.prefix[0], w.colMasks[db.FieldDiscount])
+	w.prefix[2] = andMasks(w.prefix[1], w.colMasks[db.FieldQuantity])
+	return w, nil
+}
+
+func andMasks(a, b []byte) []byte {
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+// tuplePatterns builds the per-lane GE and LE constants for one 16-field
+// tuple: predicate fields carry the Q06 bounds, other lanes always match.
+func tuplePatterns(q db.Q06) (ge, le []int32) {
+	ge = make([]int32, db.NumFields)
+	le = make([]int32, db.NumFields)
+	for f := 0; f < db.NumFields; f++ {
+		ge[f] = math.MinInt32
+		le[f] = math.MaxInt32
+	}
+	ge[db.FieldShipDate] = q.ShipLo
+	le[db.FieldShipDate] = q.ShipHi - 1
+	ge[db.FieldDiscount] = q.DiscLo
+	le[db.FieldDiscount] = q.DiscHi
+	le[db.FieldQuantity] = q.QtyHi - 1
+	return ge, le
+}
+
+// writePattern stores a 16-lane pattern tiled across one 256 B row.
+func writePattern(image []byte, a *db.Arena, pat []int32) mem.Addr {
+	base := a.Alloc(256, 256)
+	for i := 0; i < 64; i++ {
+		isa.SetLane(image[uint64(base):], i, pat[i%len(pat)])
+	}
+	return base
+}
+
+// tupleLaneMatch reports whether tuple i fully matches per the reference
+// (used for branch outcomes in tuple-at-a-time plans).
+func (w *Workload) tupleMatch(i int) bool {
+	return w.Ref.Bitmask[i/8]&(1<<(i%8)) != 0
+}
+
+// expectTupleMask returns the packed GE/LE lane masks a pattern compare
+// over [first, first+n) tuples should produce.
+func (w *Workload) expectPatternMasks(firstTuple, nBytes int) (ge, le []byte) {
+	lanes := nBytes / 4
+	glanes := make([]byte, nBytes)
+	llanes := make([]byte, nBytes)
+	base := uint64(w.NSM.TupleAddr(firstTuple))
+	for i := 0; i < lanes; i++ {
+		v := isa.LaneAt(w.M.Image[base:], i)
+		if v >= w.patGE[i%db.NumFields] {
+			isa.SetLane(glanes, i, -1)
+		}
+		if v <= w.patLE[i%db.NumFields] {
+			isa.SetLane(llanes, i, -1)
+		}
+	}
+	ge = make([]byte, isa.MaskBytes(uint32(nBytes)))
+	le = make([]byte, isa.MaskBytes(uint32(nBytes)))
+	isa.CompactMask(ge, glanes, nBytes)
+	isa.CompactMask(le, llanes, nBytes)
+	return ge, le
+}
+
+// expectedMaskRegion lays a per-tuple bitmask out the way the chunked
+// scan stores it: each chunk of OpSize/4 tuples occupies
+// MaskBytes(OpSize) bytes (for chunks smaller than 8 tuples the packing
+// differs from a flat bitmask).
+func (w *Workload) expectedMaskRegion(flat []byte) []byte {
+	tuplesPerChunk := int(w.Plan.OpSize) / db.ColumnWidth
+	maskBytes := int(isa.MaskBytes(w.Plan.OpSize))
+	chunks := w.Table.N / tuplesPerChunk
+	out := make([]byte, chunks*maskBytes)
+	for c := 0; c < chunks; c++ {
+		piece := packBits(flat, c*tuplesPerChunk, (c+1)*tuplesPerChunk)
+		copy(out[c*maskBytes:], piece)
+	}
+	return out
+}
+
+// check records an engine-result comparison.
+func (w *Workload) check(got, want []byte) {
+	w.checked++
+	if !bytes.Equal(got, want) {
+		w.mismatches++
+	}
+}
+
+// Checked reports how many engine results were cross-checked at runtime.
+func (w *Workload) Checked() int { return w.checked }
+
+// Mismatches reports runtime cross-check failures (must be zero).
+func (w *Workload) Mismatches() int { return w.mismatches }
+
+// Stream builds the µop stream for the plan.
+func (w *Workload) Stream() *chunkedStream {
+	switch w.Plan.Arch {
+	case X86:
+		if w.Plan.Strategy == TupleAtATime {
+			return w.x86Tuple()
+		}
+		return w.x86Column()
+	case HMC:
+		if w.Plan.Strategy == TupleAtATime {
+			return w.hmcTuple()
+		}
+		return w.hmcColumn()
+	case HIVE:
+		if w.Plan.Strategy == TupleAtATime {
+			return w.pimTuple(isa.TargetHIVE)
+		}
+		if w.Plan.Fused {
+			return w.hiveFusedColumn()
+		}
+		return w.hiveColumn()
+	case HIPE:
+		return w.hipeColumn()
+	}
+	panic("query: unreachable")
+}
+
+// Verify checks the functional outcome of a completed run against the
+// reference evaluator. Which artifacts exist depends on the plan:
+// engine-written bitmask regions for HIVE/HIPE, runtime cross-checks for
+// HMC, and (by construction) nothing for x86, whose correctness is the
+// reference itself.
+func (w *Workload) Verify() error {
+	if w.mismatches > 0 {
+		return fmt.Errorf("query %s: %d of %d runtime result checks failed",
+			w.Plan, w.mismatches, w.checked)
+	}
+	switch {
+	case w.Plan.Arch == HIVE && w.Plan.Strategy == ColumnAtATime,
+		w.Plan.Arch == HIPE:
+		// The final bitmask region must equal the reference bitmask in
+		// the chunked storage layout (each chunk's tuple bits packed
+		// into MaskBytes(OpSize) bytes).
+		want := w.expectedMaskRegion(w.Ref.Bitmask)
+		got := w.M.Image[w.FinalMask : uint64(w.FinalMask)+uint64(len(want))]
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("query %s: final bitmask differs from reference (%d vs %d matches)",
+				w.Plan, isa.PopcountMask(got), isa.PopcountMask(want))
+		}
+	}
+	if w.Plan.Aggregate {
+		// The engine's accumulator vector must sum to the reference
+		// revenue.
+		var got int64
+		acc := w.M.Image[w.AccRegion : uint64(w.AccRegion)+isa.RegisterBytes]
+		for i := 0; i < isa.LanesPerReg; i++ {
+			got += int64(isa.LaneAt(acc, i))
+		}
+		if got != w.Ref.Revenue {
+			return fmt.Errorf("query %s: in-memory revenue %d, reference %d", w.Plan, got, w.Ref.Revenue)
+		}
+	}
+	switch {
+	case w.Plan.Arch == HIVE && w.Plan.Strategy == TupleAtATime:
+		// The engine wrote packed GE&LE lane masks; tuple i matches iff
+		// its three predicate lane bits are all set in both masks — the
+		// generator cross-checked each chunk at runtime (w.checked>0).
+		if w.checked == 0 {
+			return fmt.Errorf("query %s: no runtime checks ran", w.Plan)
+		}
+	case w.Plan.Arch == HMC:
+		if w.checked == 0 {
+			return fmt.Errorf("query %s: no runtime checks ran", w.Plan)
+		}
+	}
+	return nil
+}

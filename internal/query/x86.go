@@ -1,0 +1,149 @@
+package query
+
+import (
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/mem"
+)
+
+// x86Tuple generates the AVX tuple-at-a-time scan over the NSM layout:
+// load the whole 64-byte tuple (in OpSize pieces), lane-compare the
+// predicate fields against the GE/LE patterns, branch on the combined
+// match, and materialise matching tuples — the paper's Figure 1a flow.
+func (w *Workload) x86Tuple() *chunkedStream {
+	p := w.Plan
+	S := p.OpSize
+	chunksPerTuple := int(db.TupleBytes / S)
+	if chunksPerTuple == 0 {
+		chunksPerTuple = 1
+	}
+	vr := &vregs{}
+	group := 0
+	groups := (w.Table.N + p.Unroll - 1) / p.Unroll
+	matched := 0
+
+	const pcBase = 0x1000
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(pcBase)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			i := group*p.Unroll + u
+			if i >= w.Table.N {
+				break
+			}
+			// Load the entire tuple: the row-store wastes bandwidth on
+			// unused fields — the cache-pollution effect of §II-B.
+			var firstChunk isa.Reg
+			for k := 0; k < chunksPerTuple; k++ {
+				dst := vr.fresh()
+				if k == 0 {
+					firstChunk = dst
+				}
+				emit(isa.MicroOp{Class: isa.Load, Dst: dst,
+					Addr: w.NSM.TupleAddr(i) + mem.Addr(k)*mem.Addr(S), Size: S})
+			}
+			// Predicates live in the first 16 bytes: two pattern
+			// compares and a mask AND.
+			ge := vr.fresh()
+			le := vr.fresh()
+			m := vr.fresh()
+			emit(isa.MicroOp{Class: isa.VecCmp, Dst: ge, Src1: firstChunk, Size: S})
+			emit(isa.MicroOp{Class: isa.VecCmp, Dst: le, Src1: firstChunk, Size: S})
+			emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: ge, Src2: le})
+			// Data-dependent branch: materialise on match.
+			match := w.tupleMatch(i)
+			emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
+			if match {
+				emit(isa.MicroOp{Class: isa.Store,
+					Addr: w.Materialize + mem.Addr(matched*db.TupleBytes),
+					Size: db.TupleBytes})
+				matched++
+			}
+		}
+		// Loop overhead once per unrolled group.
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
+// x86Column generates the AVX column-at-a-time scan over the DSM layout:
+// three passes (shipdate, discount, quantity), each producing/refining a
+// packed bitmask in memory — the paper's Figure 1b flow. Branchless
+// except for loop control.
+func (w *Workload) x86Column() *chunkedStream {
+	p := w.Plan
+	S := p.OpSize
+	maskBytes := isa.MaskBytes(S)
+	chunks := w.Table.N * db.ColumnWidth / int(S)
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	vr := &vregs{}
+	stage := 0
+	group := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if stage >= len(predCols) {
+			return nil
+		}
+		col := predCols[stage]
+		var ops []isa.MicroOp
+		pc := uint64(0x2000 + 0x400*stage)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			dataAddr := w.DSM.ColBase[col] + mem.Addr(c)*mem.Addr(S)
+			maskAddr := w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes)
+			d := vr.fresh()
+			emit(isa.MicroOp{Class: isa.Load, Dst: d, Addr: dataAddr, Size: S})
+			m := vr.fresh()
+			switch stage {
+			case 0: // shipdate: >= lo AND < hi
+				a, b := vr.fresh(), vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: b, Src1: d, Size: S})
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: a, Src2: b})
+			case 1: // discount: between lo and hi, AND previous mask
+				prev := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
+					Addr: w.MaskBase[predCols[0]] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+				a, b, t := vr.fresh(), vr.fresh(), vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: b, Src1: d, Size: S})
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: t, Src1: a, Src2: b})
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: t, Src2: prev})
+			case 2: // quantity: < hi, AND previous mask
+				prev := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
+					Addr: w.MaskBase[predCols[1]] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+				a := vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: a, Src2: prev})
+			}
+			emit(isa.MicroOp{Class: isa.Store, Addr: maskAddr, Size: maskBytes, Src1: m})
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		if group >= groups {
+			group = 0
+			stage++
+		}
+		return ops
+	}}
+}

@@ -1,0 +1,136 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every timing model in the HIPE reproduction.
+//
+// The engine keeps a monotonically increasing cycle counter (CPU cycles at
+// the core frequency) and a priority queue of events. Events scheduled for
+// the same cycle fire in FIFO order of their scheduling, which makes every
+// simulation run bit-reproducible regardless of map iteration order or
+// goroutine scheduling: the engine is strictly single-threaded.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in CPU clock cycles.
+type Cycle uint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+type queuedEvent struct {
+	cycle Cycle
+	seq   uint64
+	fn    Event
+}
+
+type eventHeap []queuedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = queuedEvent{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	// executed counts events that have fired, for diagnostics.
+	executed uint64
+}
+
+// NewEngine returns an engine positioned at cycle 0 with no pending events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current simulation cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Pending reports the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed reports the total number of events that have fired.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule queues fn to run at absolute cycle at. Scheduling in the past
+// (at < Now) is a programming error and panics: allowing it would silently
+// corrupt causality in the timing models.
+func (e *Engine) Schedule(at Cycle, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil event")
+	}
+	heap.Push(&e.events, queuedEvent{cycle: at, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After queues fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its cycle.
+// It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(queuedEvent)
+	e.now = ev.cycle
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty and returns the final cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with cycle <= limit. It returns true if the queue
+// drained, false if events at cycles beyond limit remain. The clock is left
+// at the cycle of the last fired event (or limit if nothing fired beyond it).
+func (e *Engine) RunUntil(limit Cycle) bool {
+	for len(e.events) > 0 && e.events[0].cycle <= limit {
+		e.Step()
+	}
+	return len(e.events) == 0
+}
+
+// RunLimit fires at most n events; it reports the number actually fired.
+// Useful as a watchdog in tests to catch livelock in timing models.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var fired uint64
+	for fired < n && e.Step() {
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,68 @@
+package sim
+
+// Ticker is a component that wants to be stepped at a fixed cadence while
+// it has work outstanding. It is a convenience layer over the raw event
+// queue used by pipelined models (the OoO core, the HIVE/HIPE sequencers)
+// that are most naturally written as "advance one cycle" loops.
+type Ticker interface {
+	// Tick advances the component to the given cycle and reports whether
+	// the component still has work pending (and therefore wants another
+	// tick at cycle+Period).
+	Tick(now Cycle) bool
+}
+
+// ClockDomain drives a Ticker every Period cycles while it reports work.
+// When the ticker goes idle the domain stops scheduling; Kick restarts
+// it on the next edge of its clock grid (a slower domain does not
+// overclock just because work arrives between its edges).
+type ClockDomain struct {
+	Engine *Engine
+	Period Cycle
+	T      Ticker
+
+	running    bool
+	everTicked bool
+	lastTick   Cycle
+}
+
+// NewClockDomain couples t to engine at the given period (>= 1).
+func NewClockDomain(engine *Engine, period Cycle, t Ticker) *ClockDomain {
+	if period == 0 {
+		panic("sim: clock domain period must be >= 1")
+	}
+	return &ClockDomain{Engine: engine, Period: period, T: t}
+}
+
+// Kick ensures the domain is scheduled. Safe to call redundantly; extra
+// calls while running are no-ops. A restart lands on the domain's next
+// clock edge relative to its previous tick.
+func (d *ClockDomain) Kick() {
+	if d.running {
+		return
+	}
+	d.running = true
+	var delay Cycle
+	if d.everTicked {
+		now := d.Engine.Now()
+		elapsed := now - d.lastTick
+		if elapsed < d.Period {
+			delay = d.Period - elapsed
+		} else if rem := elapsed % d.Period; rem != 0 {
+			delay = d.Period - rem
+		}
+	}
+	d.Engine.After(delay, d.tick)
+}
+
+func (d *ClockDomain) tick() {
+	d.everTicked = true
+	d.lastTick = d.Engine.Now()
+	if d.T.Tick(d.Engine.Now()) {
+		d.Engine.After(d.Period, d.tick)
+		return
+	}
+	d.running = false
+}
+
+// Running reports whether the domain currently has a tick scheduled.
+func (d *ClockDomain) Running() bool { return d.running }

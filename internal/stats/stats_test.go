@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("cpu0")
+	c := s.Counter("commits")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+	if s.Get("commits") != 10 {
+		t.Fatalf("scope get = %d, want 10", s.Get("commits"))
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	// Counter identity: same name returns same counter.
+	if s.Counter("commits") != c {
+		t.Fatal("Counter did not return the existing counter")
+	}
+}
+
+func TestRegistryLookupAndTotal(t *testing.T) {
+	r := NewRegistry()
+	for i, v := range []uint64{3, 5, 7} {
+		r.Scope("dram.vault" + string(rune('0'+i))).Counter("reads").Add(v)
+	}
+	if got := r.Total("dram.", "reads"); got != 15 {
+		t.Fatalf("Total = %d, want 15", got)
+	}
+	if v, ok := r.Lookup("dram.vault1.reads"); !ok || v != 5 {
+		t.Fatalf("Lookup = %d,%v want 5,true", v, ok)
+	}
+	if _, ok := r.Lookup("nosuch.reads"); ok {
+		t.Fatal("Lookup of missing scope succeeded")
+	}
+	if _, ok := r.Lookup("nodot"); ok {
+		t.Fatal("Lookup without dot succeeded")
+	}
+	if _, ok := r.Lookup("dram.vault1.nosuch"); ok {
+		t.Fatal("Lookup of missing counter succeeded")
+	}
+}
+
+func TestRegistryStringStable(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("z")
+	s.Counter("b").Add(2)
+	s.Counter("a").Add(1)
+	r.Scope("a").Counter("x").Add(9)
+	r.Scope("empty")
+	out := r.String()
+	// Scopes in creation order, counters sorted.
+	zi := strings.Index(out, "[z]")
+	ai := strings.Index(out, "[a]")
+	if zi < 0 || ai < 0 || zi > ai {
+		t.Fatalf("scope order wrong:\n%s", out)
+	}
+	if strings.Contains(out, "[empty]") {
+		t.Fatalf("empty scope rendered:\n%s", out)
+	}
+	if strings.Index(out, "a ") > strings.Index(out, "b ") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestScopesOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("one")
+	r.Scope("two")
+	r.Scope("one") // re-fetch must not duplicate
+	got := r.Scopes()
+	if len(got) != 2 || got[0].Name() != "one" || got[1].Name() != "two" {
+		t.Fatalf("scopes = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantMean := float64(0+1+2+3+4+100) / 6
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %f, want %f", h.Mean(), wantMean)
+	}
+	if h.Bucket(0) != 1 { // v==0
+		t.Fatalf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // v==1
+		t.Fatalf("bucket1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 2 { // v in {2,3}
+		t.Fatalf("bucket2 = %d", h.Bucket(2))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range bucket not 0")
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean != 0")
+	}
+}
+
+// Property: histogram count equals samples, sum of buckets equals count,
+// and mean*count equals the true sum.
+func TestHistogramProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		var sum uint64
+		for _, s := range samples {
+			h.Observe(uint64(s))
+			sum += uint64(s)
+		}
+		var bsum uint64
+		for i := 0; i < 32; i++ {
+			bsum += h.Bucket(i)
+		}
+		if h.Count() != uint64(len(samples)) || bsum != h.Count() {
+			return false
+		}
+		if len(samples) == 0 {
+			return h.Mean() == 0
+		}
+		return h.Mean() == float64(sum)/float64(len(samples))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
