@@ -1,0 +1,211 @@
+// Command hipe-sweep fans a whole parameter sweep — the cross-product
+// of architectures, scan strategies, operation sizes, unroll depths,
+// Q06 selectivity knobs, tuple counts and seeds — across all cores,
+// then prints a summary table and optionally exports every cell as CSV
+// or JSON. Exports are byte-identical at any worker count.
+//
+// Usage:
+//
+//	hipe-sweep -archs x86,hmc,hive,hipe -strategies column \
+//	           -opsizes 16,32,64,128,256 -unrolls 1,8,32 \
+//	           [-fused both] [-qtyhi 24,50] [-tuples 16384] [-seeds 42] \
+//	           [-clustered both] [-workers 0] [-csv out.csv] [-json out.json]
+//
+// Per-architecture envelopes (x86 ≤ 64 B, unroll ≤ 8; HIPE
+// column-at-a-time only) are trimmed automatically, mirroring the
+// paper's figures, unless -strict is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hipe-sweep: ")
+	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures (x86,hmc,hive,hipe)")
+	strategies := flag.String("strategies", "column", "comma list of scan strategies (tuple,column)")
+	opsizes := flag.String("opsizes", "256", "comma list of operation sizes in bytes")
+	unrolls := flag.String("unrolls", "32", "comma list of loop unroll depths")
+	fused := flag.String("fused", "false", "HIVE fused full-scan plan: false, true or both")
+	tuples := flag.String("tuples", "16384", "comma list of lineitem tuple counts (multiples of 64)")
+	seeds := flag.String("seeds", "42", "comma list of generator seeds")
+	clustered := flag.String("clustered", "false", "date-clustered table: false, true or both")
+	noise := flag.Int("noise", 10, "clustering noise in days (with -clustered)")
+	qtyhi := flag.String("qtyhi", "24", "comma list of Q06 quantity bounds (the selectivity knob)")
+	disclo := flag.Int("disclo", 5, "Q06 discount lower bound")
+	dischi := flag.Int("dischi", 7, "Q06 discount upper bound")
+	strict := flag.Bool("strict", false, "fail on cells outside an architecture's envelope instead of skipping them")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "write per-cell results as CSV to this path (- for stdout)")
+	jsonPath := flag.String("json", "", "write per-cell results as JSON to this path (- for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	flag.Parse()
+
+	if *csvPath == "-" && *jsonPath == "-" {
+		log.Fatal("-csv - and -json - both claim stdout; pick one")
+	}
+
+	grid := hipe.Grid{
+		OpSizes:     parseU32s(*opsizes, "opsizes"),
+		Unrolls:     parseInts(*unrolls, "unrolls"),
+		Fused:       parseBools(*fused, "fused"),
+		Tuples:      parseInts(*tuples, "tuples"),
+		Seeds:       parseU64s(*seeds, "seeds"),
+		Clustered:   parseBools(*clustered, "clustered"),
+		NoiseDays:   int32(*noise),
+		SkipInvalid: !*strict,
+	}
+	archNames := map[string]hipe.Arch{"x86": hipe.X86, "hmc": hipe.HMC, "hive": hipe.HIVE, "hipe": hipe.HIPE}
+	for _, s := range splitList(*archs) {
+		a, ok := archNames[s]
+		if !ok {
+			log.Fatalf("unknown arch %q", s)
+		}
+		grid.Archs = append(grid.Archs, a)
+	}
+	stratNames := map[string]hipe.Strategy{"tuple": hipe.TupleAtATime, "column": hipe.ColumnAtATime}
+	for _, s := range splitList(*strategies) {
+		st, ok := stratNames[s]
+		if !ok {
+			log.Fatalf("unknown strategy %q", s)
+		}
+		grid.Strategies = append(grid.Strategies, st)
+	}
+	for _, qh := range parseInts(*qtyhi, "qtyhi") {
+		q := hipe.DefaultQ06()
+		q.DiscLo, q.DiscHi = int32(*disclo), int32(*dischi)
+		q.QtyHi = int32(qh)
+		grid.Queries = append(grid.Queries, q)
+	}
+
+	opt := hipe.SweepOptions{Workers: *workers}
+	if !*quiet {
+		opt.OnCell = func(done, total int, r hipe.CellResult) {
+			fmt.Fprintf(os.Stderr, "\rhipe-sweep: %d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	rs, err := hipe.SweepWith(hipe.Default(), grid, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// An export aimed at stdout owns it; the summary table would
+	// corrupt the piped CSV/JSON.
+	if *csvPath != "-" && *jsonPath != "-" {
+		printSummary(rs, elapsed, opt)
+	}
+
+	if *csvPath != "" {
+		writeExport(*csvPath, rs.WriteCSV)
+	}
+	if *jsonPath != "" {
+		writeExport(*jsonPath, rs.WriteJSON)
+	}
+}
+
+func printSummary(rs *hipe.ResultSet, elapsed time.Duration, opt hipe.SweepOptions) {
+	// Speedups are against each workload group's best x86 cell, or the
+	// group's best cell when the grid includes no x86 runs.
+	fmt.Printf("%-44s %8s %6s %12s %10s %14s\n",
+		"cell", "tuples", "seed", "cycles", "speedup", "DRAM energy pJ")
+	for _, c := range rs.Cells {
+		fmt.Printf("%-44s %8d %6d %12d %9.2fx %14.0f\n",
+			c.Cell.Plan, c.Cell.Tuples, c.Cell.Seed,
+			c.Result.Cycles, c.Speedup, c.Result.Energy.DRAMPJ())
+	}
+	fmt.Printf("\nbest per architecture:\n")
+	for _, c := range rs.Best() {
+		fmt.Printf("  %-42s %12d cycles %9.2fx\n", c.Cell.Plan, c.Result.Cycles, c.Speedup)
+	}
+	fmt.Printf("\n%d cells in %v (%d workers)\n",
+		len(rs.Cells), elapsed.Round(time.Millisecond), opt.EffectiveWorkers())
+}
+
+func writeExport(path string, write func(w io.Writer) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if path != "-" {
+		log.Printf("wrote %s", path)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s, name string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			log.Fatalf("bad -%s entry %q", name, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseU32s(s, name string) []uint32 {
+	var out []uint32
+	for _, v := range parseInts(s, name) {
+		out = append(out, uint32(v))
+	}
+	return out
+}
+
+func parseU64s(s, name string) []uint64 {
+	var out []uint64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			log.Fatalf("bad -%s entry %q", name, f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseBools(s, name string) []bool {
+	switch strings.TrimSpace(s) {
+	case "false":
+		return []bool{false}
+	case "true":
+		return []bool{true}
+	case "both":
+		return []bool{false, true}
+	}
+	log.Fatalf("bad -%s value %q (want false, true or both)", name, s)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/hipe-sim/hipe
+
+go 1.24

@@ -30,6 +30,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/harness"
 	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/sweep"
 )
 
 // Core workload and experiment types (aliases into the implementation
@@ -58,6 +59,18 @@ type (
 	EnergyModel = energy.Model
 	// EnergyBreakdown is a per-component energy audit.
 	EnergyBreakdown = energy.Breakdown
+	// Grid declares a parameter sweep as a cross-product of axes.
+	Grid = sweep.Grid
+	// Cell is one fully-instantiated sweep experiment.
+	Cell = sweep.Cell
+	// CellResult is one aggregated sweep outcome (result, selectivity,
+	// speedup against the workload group's x86 baseline).
+	CellResult = sweep.CellResult
+	// ResultSet aggregates a sweep, ordered by cell index, with CSV and
+	// JSON exporters.
+	ResultSet = sweep.ResultSet
+	// SweepOptions tune a sweep run (worker count, progress callback).
+	SweepOptions = sweep.Options
 )
 
 // Architectures.
@@ -107,7 +120,28 @@ func Selectivity(t *Lineitem, q Q06) float64 { return db.Selectivity(t, q) }
 func Run(cfg Config, tab *Lineitem, p Plan) (Result, error) { return cfg.Run(tab, p) }
 
 // Figure regenerates one panel of the paper's Figure 3 ("3a".."3d").
-func Figure(cfg Config, name string) (*FigureTable, error) { return cfg.Figure(name) }
+func Figure(cfg Config, name string) (*FigureTable, error) { return harness.Figure(cfg, name) }
+
+// Sweep expands grid and executes every cell through the worker-pool
+// engine on GOMAXPROCS workers. Grid axes left empty take defaults,
+// with Tuples and Seeds inherited from cfg. Results are aggregated by
+// cell index, so the outcome — including CSV/JSON exports — is
+// byte-identical at any worker count.
+func Sweep(cfg Config, grid Grid) (*ResultSet, error) {
+	return sweep.Run(cfg, grid, sweep.Options{})
+}
+
+// SweepWith is Sweep with explicit options (worker count, per-cell
+// progress callback).
+func SweepWith(cfg Config, grid Grid, opt SweepOptions) (*ResultSet, error) {
+	return sweep.Run(cfg, grid, opt)
+}
+
+// SweepCells executes an explicit cell list (e.g. from Grid.Expand or
+// hand-built plans) through the worker pool.
+func SweepCells(cfg Config, cells []Cell, opt SweepOptions) (*ResultSet, error) {
+	return sweep.RunCells(cfg, cells, opt)
+}
 
 // Figures lists the reproducible panels.
 func Figures() []string { return harness.Figures() }

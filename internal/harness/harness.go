@@ -1,8 +1,14 @@
-// Package harness defines and runs the paper's experiments: one runner
-// per panel of Figure 3 (the paper's only results figure) plus the
-// Table I configuration dump, producing the same rows/series the paper
-// reports — execution time normalised to the x86 baseline, and DRAM
-// energy for the best configurations.
+// Package harness defines the paper's experiments: one runner per panel
+// of Figure 3 (the paper's only results figure) plus the Table I
+// configuration dump, producing the same rows/series the paper reports —
+// execution time normalised to the x86 baseline, and DRAM energy for the
+// best configurations.
+//
+// Each figure is a declarative grid (or explicit cell list) executed by
+// the internal/sweep worker-pool engine; the harness owns only the
+// figure definitions and their table rendering. The single-run
+// Config/Result machinery lives in internal/sweep and is re-exported
+// here for the public API.
 package harness
 
 import (
@@ -10,94 +16,19 @@ import (
 	"strings"
 
 	"github.com/hipe-sim/hipe/internal/db"
-	"github.com/hipe-sim/hipe/internal/energy"
-	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/sweep"
 )
 
-// Config parameterises a harness run.
-type Config struct {
-	// Tuples is the lineitem row count (multiple of 64). The paper uses
-	// TPC-H SF1 (~6M rows); the default is large enough for steady-state
-	// behaviour while keeping runs interactive.
-	Tuples int
-	// Seed drives the deterministic generator.
-	Seed uint64
-	// Machine overrides the default Table I machine when non-nil.
-	Machine *machine.Config
-	// Energy overrides the default energy constants when non-nil.
-	Energy *energy.Model
-}
+// Config parameterises a harness run (re-export of the sweep engine's
+// run configuration: tuples, seed, machine and energy overrides).
+type Config = sweep.Config
+
+// Result is the outcome of one simulated plan (re-export).
+type Result = sweep.Result
 
 // Default returns the standard harness configuration.
-func Default() Config {
-	return Config{Tuples: 16384, Seed: 42}
-}
-
-func (c Config) machineConfig() machine.Config {
-	if c.Machine != nil {
-		return *c.Machine
-	}
-	return machine.Default()
-}
-
-func (c Config) energyModel() energy.Model {
-	if c.Energy != nil {
-		return *c.Energy
-	}
-	return energy.Default()
-}
-
-// Result is the outcome of one simulated plan.
-type Result struct {
-	Plan    query.Plan
-	Cycles  uint64
-	Energy  energy.Breakdown
-	Checked int
-	// Squashed reports HIPE predication squashes (0 elsewhere).
-	Squashed uint64
-	// SquashedDRAMBytes reports DRAM reads avoided by predication.
-	SquashedDRAMBytes uint64
-}
-
-// Speedup reports baseCycles / this result's cycles.
-func (r Result) Speedup(baseCycles uint64) float64 {
-	if r.Cycles == 0 {
-		return 0
-	}
-	return float64(baseCycles) / float64(r.Cycles)
-}
-
-// Run executes one plan on a fresh machine and verifies the result.
-func (c Config) Run(tab *db.Table, p query.Plan) (Result, error) {
-	m, err := machine.New(c.machineConfig())
-	if err != nil {
-		return Result{}, err
-	}
-	w, err := query.Prepare(m, tab, p)
-	if err != nil {
-		return Result{}, err
-	}
-	cycles := uint64(m.Run(w.Stream()))
-	if err := w.Verify(); err != nil {
-		return Result{}, err
-	}
-	mc := c.machineConfig()
-	breakdown := c.energyModel().Audit(m.Registry, cycles,
-		int(mc.Geometry.Vaults), uint64(mc.DRAM.ClockRatio))
-	scope := "hipe"
-	if p.Arch == query.HIVE {
-		scope = "hive"
-	}
-	return Result{
-		Plan:              p,
-		Cycles:            cycles,
-		Energy:            breakdown,
-		Checked:           w.Checked(),
-		Squashed:          m.Registry.Scope(scope).Get("squashed"),
-		SquashedDRAMBytes: m.Registry.Scope(scope).Get("squashed_dram_bytes"),
-	}, nil
-}
+func Default() Config { return sweep.Default() }
 
 // Table renders a result series as an aligned text table with speedups
 // against the first row flagged as baseline.
@@ -124,118 +55,84 @@ func (t *Table) String() string {
 }
 
 var opSizesCube = []uint32{16, 32, 64, 128, 256}
-var opSizesX86 = []uint32{16, 32, 64}
+var unrolls = []int{1, 2, 8, 16, 32}
+
+// runTable executes cells through the sweep engine and wraps them as a
+// figure table normalised to the best x86 row.
+func runTable(c Config, title string, cells []sweep.Cell, notes ...string) (*Table, error) {
+	rs, err := sweep.RunCells(c, cells, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Title:    title,
+		Baseline: rs.BestCycles(query.X86),
+		Rows:     rs.Results(),
+		Notes:    notes,
+	}, nil
+}
+
+// opSizeGrid is the Figure 3a/3b sweep: x86, HMC and HIVE across every
+// operation size, one grid — SkipInvalid trims x86 to its AVX-512
+// ≤ 64 B envelope, exactly the per-architecture ranges the paper plots.
+func opSizeGrid(c Config, strat query.Strategy) sweep.Grid {
+	return sweep.Grid{
+		Archs:       []query.Arch{query.X86, query.HMC, query.HIVE},
+		Strategies:  []query.Strategy{strat},
+		OpSizes:     opSizesCube,
+		Unrolls:     []int{1},
+		Tuples:      []int{c.Tuples},
+		Seeds:       []uint64{c.Seed},
+		SkipInvalid: true,
+	}
+}
 
 // Fig3a reproduces "Tuple-at-a-time execution varying operation size":
 // x86 (16..64 B), HMC and HIVE (16..256 B) on the NSM layout, unroll 1.
-func (c Config) Fig3a() (*Table, error) {
-	tab := db.Generate(c.Tuples, c.Seed)
-	t := &Table{Title: "Figure 3a — tuple-at-a-time (NSM) vs operation size"}
-	q := db.DefaultQ06()
-
-	var bestX86 uint64
-	for _, s := range opSizesX86 {
-		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.TupleAtATime, OpSize: s, Unroll: 1, Q: q})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, r)
-		if bestX86 == 0 || r.Cycles < bestX86 {
-			bestX86 = r.Cycles
-		}
+func Fig3a(c Config) (*Table, error) {
+	cells, err := opSizeGrid(c, query.TupleAtATime).Expand()
+	if err != nil {
+		return nil, err
 	}
-	t.Baseline = bestX86
-	for _, arch := range []query.Arch{query.HMC, query.HIVE} {
-		for _, s := range opSizesCube {
-			r, err := c.Run(tab, query.Plan{Arch: arch, Strategy: query.TupleAtATime, OpSize: s, Unroll: 1, Q: q})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, r)
-		}
-	}
-	t.Notes = append(t.Notes,
+	return runTable(c, "Figure 3a — tuple-at-a-time (NSM) vs operation size", cells,
 		"paper shape: HMC/HIVE small ops lose badly; HMC-256B beats x86; HIVE-256B near x86")
-	return t, nil
 }
 
 // Fig3b reproduces "Column-at-a-time execution varying operation size":
 // same sweep on the DSM layout, unroll 1 (HIVE with per-column bitmask
 // round trips through the processor).
-func (c Config) Fig3b() (*Table, error) {
-	tab := db.Generate(c.Tuples, c.Seed)
-	t := &Table{Title: "Figure 3b — column-at-a-time (DSM) vs operation size"}
-	q := db.DefaultQ06()
-
-	var bestX86 uint64
-	for _, s := range opSizesX86 {
-		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: s, Unroll: 1, Q: q})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, r)
-		if bestX86 == 0 || r.Cycles < bestX86 {
-			bestX86 = r.Cycles
-		}
+func Fig3b(c Config) (*Table, error) {
+	cells, err := opSizeGrid(c, query.ColumnAtATime).Expand()
+	if err != nil {
+		return nil, err
 	}
-	t.Baseline = bestX86
-	for _, arch := range []query.Arch{query.HMC, query.HIVE} {
-		for _, s := range opSizesCube {
-			r, err := c.Run(tab, query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: s, Unroll: 1, Q: q})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, r)
-		}
-	}
-	t.Notes = append(t.Notes,
+	return runTable(c, "Figure 3b — column-at-a-time (DSM) vs operation size", cells,
 		"paper shape: HMC-256B ≈4.4x over x86; HIVE-256B ≈2x slower (bitmask round trips)")
-	return t, nil
 }
 
-var unrolls = []int{1, 2, 8, 16, 32}
-var unrollsX86 = []int{1, 2, 8}
-
 // Fig3c reproduces "Column-at-a-time execution varying loop unrolling
-// depth": 256 B cube ops (64 B for x86), unroll 1..32 (x86 capped at 8).
-// Both the per-column HIVE plan and the fused full-scan variant are
-// reported; the fused one is HIVE's best case (Figure 3d).
-func (c Config) Fig3c() (*Table, error) {
-	tab := db.Generate(c.Tuples, c.Seed)
-	t := &Table{Title: "Figure 3c — column-at-a-time (DSM) vs unroll depth"}
-	q := db.DefaultQ06()
-
-	var bestX86 uint64
-	for _, u := range unrollsX86 {
-		r, err := c.Run(tab, query.Plan{Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: u, Q: q})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, r)
-		if bestX86 == 0 || r.Cycles < bestX86 {
-			bestX86 = r.Cycles
-		}
+// depth": 256 B cube ops (64 B for x86), unroll 1..32 (x86 capped at 8,
+// by SkipInvalid). Both the per-column HIVE plan and the fused full-scan
+// variant are reported; the fused one is HIVE's best case (Figure 3d).
+func Fig3c(c Config) (*Table, error) {
+	column := []query.Strategy{query.ColumnAtATime}
+	workTuples, workSeeds := []int{c.Tuples}, []uint64{c.Seed}
+	cells, err := sweep.ExpandAll(
+		sweep.Grid{Archs: []query.Arch{query.X86}, Strategies: column,
+			OpSizes: []uint32{64}, Unrolls: unrolls,
+			Tuples: workTuples, Seeds: workSeeds, SkipInvalid: true},
+		sweep.Grid{Archs: []query.Arch{query.HMC}, Strategies: column,
+			OpSizes: []uint32{256}, Unrolls: unrolls,
+			Tuples: workTuples, Seeds: workSeeds},
+		sweep.Grid{Archs: []query.Arch{query.HIVE}, Strategies: column,
+			Fused: []bool{false, true}, OpSizes: []uint32{256}, Unrolls: unrolls,
+			Tuples: workTuples, Seeds: workSeeds},
+	)
+	if err != nil {
+		return nil, err
 	}
-	t.Baseline = bestX86
-	for _, u := range unrolls {
-		r, err := c.Run(tab, query.Plan{Arch: query.HMC, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: u, Q: q})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, r)
-	}
-	for _, fused := range []bool{false, true} {
-		for _, u := range unrolls {
-			r, err := c.Run(tab, query.Plan{Arch: query.HIVE, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: u, Fused: fused, Q: q})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, r)
-		}
-	}
-	t.Notes = append(t.Notes,
+	return runTable(c, "Figure 3c — column-at-a-time (DSM) vs unroll depth", cells,
 		"paper shape: unrolling lifts HIVE past HMC (7.57x vs 5.15x at 32x)")
-	return t, nil
 }
 
 // BestPlans returns the per-architecture best configurations compared in
@@ -252,25 +149,18 @@ func BestPlans(q db.Q06) map[query.Arch]query.Plan {
 // Fig3d reproduces "Best cases of each architecture compared to HIPE":
 // speedup over x86 and DRAM energy of each architecture's best
 // configuration.
-func (c Config) Fig3d() (*Table, error) {
-	tab := db.Generate(c.Tuples, c.Seed)
-	t := &Table{Title: "Figure 3d — best case of each architecture"}
+func Fig3d(c Config) (*Table, error) {
 	plans := BestPlans(db.DefaultQ06())
-
-	for _, arch := range []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE} {
-		r, err := c.Run(tab, plans[arch])
-		if err != nil {
-			return nil, err
-		}
-		if arch == query.X86 {
-			t.Baseline = r.Cycles
-		}
-		t.Rows = append(t.Rows, r)
+	cells := sweep.PlanCells(c.Tuples, c.Seed,
+		plans[query.X86], plans[query.HMC], plans[query.HIVE], plans[query.HIPE])
+	t, err := runTable(c, "Figure 3d — best case of each architecture", cells)
+	if err != nil {
+		return nil, err
 	}
 	hive := t.Rows[2]
 	hipe := t.Rows[3]
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("paper: HMC 5.15x, HIVE 7.55x, HIPE 6.46x vs x86; HIPE ~15%% behind HIVE"),
+		"paper: HMC 5.15x, HIVE 7.55x, HIPE 6.46x vs x86; HIPE ~15% behind HIVE",
 		fmt.Sprintf("HIPE DRAM energy vs HIVE: %.1f%% (paper: ~4%% lower; mask traffic + %d squashed loads)",
 			100*(1-hipe.Energy.DRAMPJ()/hive.Energy.DRAMPJ()), hipe.Squashed),
 	)
@@ -278,16 +168,16 @@ func (c Config) Fig3d() (*Table, error) {
 }
 
 // Figure runs one panel by name ("3a".."3d").
-func (c Config) Figure(name string) (*Table, error) {
+func Figure(c Config, name string) (*Table, error) {
 	switch name {
 	case "3a":
-		return c.Fig3a()
+		return Fig3a(c)
 	case "3b":
-		return c.Fig3b()
+		return Fig3b(c)
 	case "3c":
-		return c.Fig3c()
+		return Fig3c(c)
 	case "3d":
-		return c.Fig3d()
+		return Fig3d(c)
 	default:
 		return nil, fmt.Errorf("harness: unknown figure %q (have 3a..3d)", name)
 	}

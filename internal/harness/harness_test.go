@@ -41,7 +41,7 @@ func TestRunRejectsBadPlan(t *testing.T) {
 }
 
 func TestFig3d(t *testing.T) {
-	table, err := small().Fig3d()
+	table, err := Fig3d(small())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFig3d(t *testing.T) {
 }
 
 func TestFigureDispatch(t *testing.T) {
-	if _, err := small().Figure("nope"); err == nil {
+	if _, err := Figure(small(), "nope"); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 	if len(Figures()) != 4 {

@@ -1,0 +1,104 @@
+// Exporters: CSV for spreadsheets/plotting toolchains, JSON for
+// programmatic consumers. Both emit cells in index order with
+// deterministic number formatting, so a sweep's export is byte-stable
+// across runs and worker counts.
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// CSVHeader is the column layout of WriteCSV, one column per cell axis
+// and per reported metric.
+var CSVHeader = []string{
+	"index", "arch", "strategy", "opsize_b", "unroll", "fused", "aggregate",
+	"tuples", "seed", "clustered", "noise_days",
+	"ship_lo", "ship_hi", "disc_lo", "disc_hi", "qty_hi", "selectivity",
+	"cycles", "cycles_per_tuple", "speedup",
+	"dram_pj", "total_pj", "squashed", "squashed_dram_bytes", "checked",
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV writes the set as CSV with CSVHeader's columns.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, c := range rs.Cells {
+		p, q, r := c.Cell.Plan, c.Cell.Plan.Q, c.Result
+		rec := []string{
+			strconv.Itoa(c.Index),
+			p.Arch.String(),
+			p.Strategy.String(),
+			strconv.FormatUint(uint64(p.OpSize), 10),
+			strconv.Itoa(p.Unroll),
+			strconv.FormatBool(p.Fused),
+			strconv.FormatBool(p.Aggregate),
+			strconv.Itoa(c.Cell.Tuples),
+			strconv.FormatUint(c.Cell.Seed, 10),
+			strconv.FormatBool(c.Cell.Clustered),
+			strconv.FormatInt(int64(c.Cell.NoiseDays), 10),
+			strconv.FormatInt(int64(q.ShipLo), 10),
+			strconv.FormatInt(int64(q.ShipHi), 10),
+			strconv.FormatInt(int64(q.DiscLo), 10),
+			strconv.FormatInt(int64(q.DiscHi), 10),
+			strconv.FormatInt(int64(q.QtyHi), 10),
+			formatFloat(c.Selectivity),
+			strconv.FormatUint(r.Cycles, 10),
+			formatFloat(float64(r.Cycles) / float64(c.Cell.Tuples)),
+			formatFloat(c.Speedup),
+			formatFloat(r.Energy.DRAMPJ()),
+			formatFloat(r.Energy.TotalPJ()),
+			strconv.FormatUint(r.Squashed, 10),
+			strconv.FormatUint(r.SquashedDRAMBytes, 10),
+			strconv.Itoa(r.Checked),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the set as indented JSON: {"cells": [...]}.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// ReadJSON decodes a set previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*ResultSet, error) {
+	rs := &ResultSet{}
+	if err := json.NewDecoder(r).Decode(rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// MarshalJSON emits the cells under a stable "cells" key.
+func (rs *ResultSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Cells []CellResult `json:"cells"`
+	}{rs.Cells})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (rs *ResultSet) UnmarshalJSON(data []byte) error {
+	var v struct {
+		Cells []CellResult `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	rs.Cells = v.Cells
+	return nil
+}
