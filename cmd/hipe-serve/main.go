@@ -1,0 +1,185 @@
+// Command hipe-serve load-tests a sharded fleet of simulated HMC
+// machines: it partitions a lineitem table across N shards, generates a
+// seeded mixed-selectivity Q06 request stream, drives it open-loop (a
+// Poisson arrival process at a target QPS) or closed-loop (a fixed
+// client count), and reports throughput, latency quantiles and
+// per-shard utilisation. Reports are byte-identical at any executor
+// worker count; CSV/JSON exports follow hipe-sweep's conventions.
+//
+// Usage:
+//
+//	hipe-serve -shards 8 -requests 64 -mode open -qps 20000 \
+//	           [-archs x86,hmc,hive,hipe] [-aggregate] \
+//	           [-duration-ms 0] [-concurrency 4] \
+//	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
+//	           [-workers N] [-csv out.csv] [-json out.json]
+//
+// Time is simulated: QPS and milliseconds convert to cycles at the
+// Table I 2 GHz core clock; results are exact in cycles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	hipe "github.com/hipe-sim/hipe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hipe-serve: ")
+	shards := flag.Int("shards", 4, "shard count (each shard is one simulated machine)")
+	requests := flag.Int("requests", 32, "request-stream length")
+	mode := flag.String("mode", "closed", "load discipline: open or closed")
+	qps := flag.Float64("qps", 10000, "open loop: offered load in queries/second at the 2 GHz nominal clock")
+	durationMS := flag.Float64("duration-ms", 0, "open loop: simulated duration bound in milliseconds (0 = unlimited)")
+	concurrency := flag.Int("concurrency", 4, "closed loop: client count")
+	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures in the mix")
+	aggregate := flag.Bool("aggregate", false, "upgrade HIPE requests to in-memory Q06 aggregation")
+	tuples := flag.Int("tuples", 16384, "lineitem row count (multiple of 64)")
+	seed := flag.Uint64("seed", 42, "table generator seed")
+	streamSeed := flag.Uint64("stream-seed", 1, "request-stream and arrival-process seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor pool size (defaults to GOMAXPROCS); never changes results")
+	csvPath := flag.String("csv", "", "write per-request traces as CSV to this path (- for stdout)")
+	jsonPath := flag.String("json", "", "write the full report as JSON to this path (- for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hipe-serve: "+format+"\n\nusage of hipe-serve:\n", args...)
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	// Validate every flag combination up front: a malformed run must
+	// die with usage, not after minutes of simulation.
+	if *shards <= 0 {
+		fail("-shards %d must be positive", *shards)
+	}
+	if *requests <= 0 {
+		fail("-requests %d must be positive", *requests)
+	}
+	if *tuples <= 0 || *tuples%64 != 0 {
+		fail("-tuples %d must be a positive multiple of 64", *tuples)
+	}
+	if *tuples < *shards*64 {
+		fail("-shards %d needs at least %d tuples (64 per shard)", *shards, *shards*64)
+	}
+	if *mode != "open" && *mode != "closed" {
+		fail("-mode %q must be open or closed", *mode)
+	}
+	if *mode == "open" && *qps <= 0 {
+		fail("-qps %g must be positive", *qps)
+	}
+	if *mode == "closed" && *concurrency <= 0 {
+		fail("-concurrency %d must be positive", *concurrency)
+	}
+	if *workers <= 0 {
+		fail("-workers %d must be positive", *workers)
+	}
+	if *durationMS < 0 {
+		fail("-duration-ms %g must not be negative", *durationMS)
+	}
+	if *csvPath == "-" && *jsonPath == "-" {
+		fail("-csv - and -json - both claim stdout; pick one")
+	}
+	archNames := map[string]hipe.Arch{"x86": hipe.X86, "hmc": hipe.HMC, "hive": hipe.HIVE, "hipe": hipe.HIPE}
+	var mix []hipe.Arch
+	for _, s := range strings.Split(*archs, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		a, ok := archNames[s]
+		if !ok {
+			fail("unknown arch %q (have x86, hmc, hive, hipe)", s)
+		}
+		mix = append(mix, a)
+	}
+	if len(mix) == 0 {
+		fail("-archs selects no architecture")
+	}
+
+	cfg := hipe.Default()
+	cfg.Tuples, cfg.Seed = *tuples, *seed
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	cluster, err := hipe.Serve(cfg, tab, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := hipe.StreamSpec{
+		N: *requests, Seed: *streamSeed, Archs: mix, Aggregate: *aggregate,
+	}.Requests()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var spec hipe.LoadSpec
+	if *mode == "open" {
+		mean := uint64(hipe.NominalHz / *qps)
+		if mean == 0 {
+			mean = 1
+		}
+		duration := uint64(*durationMS / 1e3 * hipe.NominalHz)
+		// Decorrelate the arrival process from the request stream: both
+		// draw one RNG value per request, so sharing the seed would tie
+		// each request's selectivity to its interarrival gap.
+		spec = hipe.OpenLoop(reqs, mean, duration, *streamSeed^0xA5A5_5A5A_0F0F_F0F0)
+	} else {
+		spec = hipe.ClosedLoop(reqs, *concurrency)
+	}
+
+	opt := hipe.ServeOptions{Workers: *workers}
+	if !*quiet {
+		opt.OnTask = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rhipe-serve: %d/%d shard tasks", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	start := time.Now()
+	report, err := hipe.LoadTest(cluster, spec, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// An export aimed at stdout owns it; the summary would corrupt the
+	// piped CSV/JSON.
+	if *csvPath != "-" && *jsonPath != "-" {
+		fmt.Print(report.Summary())
+		fmt.Printf("\n%d requests served in %v wall clock (%d workers)\n",
+			report.Completed, elapsed.Round(time.Millisecond), opt.EffectiveWorkers())
+	}
+	if *csvPath != "" {
+		writeExport(*csvPath, report.WriteCSV)
+	}
+	if *jsonPath != "" {
+		writeExport(*jsonPath, report.WriteJSON)
+	}
+}
+
+func writeExport(path string, write func(w io.Writer) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if path != "-" {
+		log.Printf("wrote %s", path)
+	}
+}

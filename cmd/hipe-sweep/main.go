@@ -9,11 +9,13 @@
 //	hipe-sweep -archs x86,hmc,hive,hipe -strategies column \
 //	           -opsizes 16,32,64,128,256 -unrolls 1,8,32 \
 //	           [-fused both] [-qtyhi 24,50] [-tuples 16384] [-seeds 42] \
-//	           [-clustered both] [-workers 0] [-csv out.csv] [-json out.json]
+//	           [-clustered both] [-workers N] [-csv out.csv] [-json out.json]
 //
 // Per-architecture envelopes (x86 ≤ 64 B, unroll ≤ 8; HIPE
 // column-at-a-time only) are trimmed automatically, mirroring the
-// paper's figures, unless -strict is given.
+// paper's figures, unless -strict is given. Flag combinations are
+// validated before anything runs: zero/negative worker counts and
+// unknown architecture or strategy names exit with a usage message.
 package main
 
 import (
@@ -22,12 +24,21 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	hipe "github.com/hipe-sim/hipe"
 )
+
+// fail rejects a bad flag combination up front: message plus usage on
+// stderr, exit 2 — never a late panic mid-sweep or a silent default.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hipe-sweep: "+format+"\n\nusage of hipe-sweep:\n", args...)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,14 +56,24 @@ func main() {
 	disclo := flag.Int("disclo", 5, "Q06 discount lower bound")
 	dischi := flag.Int("dischi", 7, "Q06 discount upper bound")
 	strict := flag.Bool("strict", false, "fail on cells outside an architecture's envelope instead of skipping them")
-	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (defaults to GOMAXPROCS; must be positive)")
 	csvPath := flag.String("csv", "", "write per-cell results as CSV to this path (- for stdout)")
 	jsonPath := flag.String("json", "", "write per-cell results as JSON to this path (- for stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
 	flag.Parse()
 
+	// Validate flag combinations before any parsing or simulation.
+	if *workers <= 0 {
+		fail("-workers %d must be positive", *workers)
+	}
+	if *noise < 0 {
+		fail("-noise %d must not be negative", *noise)
+	}
+	if *disclo < 0 || *dischi > 10 || *disclo > *dischi {
+		fail("-disclo %d / -dischi %d outside the generated 0..10 discount range", *disclo, *dischi)
+	}
 	if *csvPath == "-" && *jsonPath == "-" {
-		log.Fatal("-csv - and -json - both claim stdout; pick one")
+		fail("-csv - and -json - both claim stdout; pick one")
 	}
 
 	grid := hipe.Grid{
@@ -69,17 +90,23 @@ func main() {
 	for _, s := range splitList(*archs) {
 		a, ok := archNames[s]
 		if !ok {
-			log.Fatalf("unknown arch %q", s)
+			fail("unknown arch %q (have x86, hmc, hive, hipe)", s)
 		}
 		grid.Archs = append(grid.Archs, a)
+	}
+	if len(grid.Archs) == 0 {
+		fail("-archs selects no architecture")
 	}
 	stratNames := map[string]hipe.Strategy{"tuple": hipe.TupleAtATime, "column": hipe.ColumnAtATime}
 	for _, s := range splitList(*strategies) {
 		st, ok := stratNames[s]
 		if !ok {
-			log.Fatalf("unknown strategy %q", s)
+			fail("unknown strategy %q (have tuple, column)", s)
 		}
 		grid.Strategies = append(grid.Strategies, st)
+	}
+	if len(grid.Strategies) == 0 {
+		fail("-strategies selects no scan strategy")
 	}
 	for _, qh := range parseInts(*qtyhi, "qtyhi") {
 		q := hipe.DefaultQ06()
@@ -170,7 +197,7 @@ func parseInts(s, name string) []int {
 	for _, f := range splitList(s) {
 		v, err := strconv.Atoi(f)
 		if err != nil {
-			log.Fatalf("bad -%s entry %q", name, f)
+			fail("bad -%s entry %q", name, f)
 		}
 		out = append(out, v)
 	}
@@ -190,7 +217,7 @@ func parseU64s(s, name string) []uint64 {
 	for _, f := range splitList(s) {
 		v, err := strconv.ParseUint(f, 10, 64)
 		if err != nil {
-			log.Fatalf("bad -%s entry %q", name, f)
+			fail("bad -%s entry %q", name, f)
 		}
 		out = append(out, v)
 	}
@@ -206,6 +233,6 @@ func parseBools(s, name string) []bool {
 	case "both":
 		return []bool{false, true}
 	}
-	log.Fatalf("bad -%s value %q (want false, true or both)", name, s)
+	fail("bad -%s value %q (want false, true or both)", name, s)
 	return nil
 }

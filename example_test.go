@@ -59,6 +59,46 @@ func ExampleFigure() {
 	// HIPE faster than x86: true
 }
 
+// ExampleServe shards a table across a fleet of simulated machines,
+// answers one verified query, and runs a closed-loop load test.
+func ExampleServe() {
+	cfg := hipe.Default()
+	cfg.Tuples = 1024
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+
+	cluster, err := hipe.Serve(cfg, tab, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := cluster.Query(hipe.ServeRequest{
+		Plan: hipe.ServePlan(hipe.HIPE, hipe.DefaultQ06()),
+	}, hipe.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shards:", cluster.Shards())
+	// Query already verified the merge against the unsharded reference;
+	// the public Selectivity helper confirms it once more.
+	sel := hipe.Selectivity(tab, hipe.DefaultQ06())
+	fmt.Println("exact matches:", float64(resp.Matches)/float64(tab.N) == sel)
+
+	reqs, err := hipe.StreamSpec{N: 8, Seed: 7}.Requests()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := hipe.LoadTest(cluster, hipe.ClosedLoop(reqs, 2), hipe.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("served:", report.Completed)
+	fmt.Println("tail above median:", report.LatencyP99 >= report.LatencyP50)
+	// Output:
+	// shards: 4
+	// exact matches: true
+	// served: 8
+	// tail above median: true
+}
+
 // ExampleSweep fans a declarative grid across all cores and reads the
 // aggregated, index-ordered result set.
 func ExampleSweep() {

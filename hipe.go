@@ -30,6 +30,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/harness"
 	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/serve"
 	"github.com/hipe-sim/hipe/internal/sweep"
 )
 
@@ -71,6 +72,23 @@ type (
 	ResultSet = sweep.ResultSet
 	// SweepOptions tune a sweep run (worker count, progress callback).
 	SweepOptions = sweep.Options
+	// Cluster is a sharded serving fleet: one table partitioned across
+	// simulated machines, answering concurrent Q06-family requests.
+	Cluster = serve.Cluster
+	// ServeRequest is one admitted query (a full plan over the fleet).
+	ServeRequest = serve.Request
+	// ServeResponse is a merged, verified whole-table answer.
+	ServeResponse = serve.Response
+	// ServeOptions bound the executor pool running shard simulations.
+	ServeOptions = serve.Options
+	// StreamSpec declares a seeded mixed-selectivity request stream.
+	StreamSpec = serve.StreamSpec
+	// LoadSpec declares an open- or closed-loop load test.
+	LoadSpec = serve.LoadSpec
+	// LoadReport is a load test's outcome: throughput, latency
+	// quantiles, per-shard utilisation and per-request traces, with
+	// CSV/JSON exporters that are byte-identical at any worker count.
+	LoadReport = serve.Report
 )
 
 // Architectures.
@@ -86,6 +104,12 @@ const (
 	TupleAtATime  = query.TupleAtATime
 	ColumnAtATime = query.ColumnAtATime
 )
+
+// NominalHz is the Table I core clock (2 GHz): the one conversion
+// factor between simulated cycles and wall-clock-style figures (QPS,
+// microseconds) in serving flags and reports. Simulated results stay
+// in cycles; this is presentation only.
+const NominalHz = serve.NominalHz
 
 // Default returns the standard experiment configuration (Table I machine,
 // 16384 tuples, seed 42).
@@ -141,6 +165,40 @@ func SweepWith(cfg Config, grid Grid, opt SweepOptions) (*ResultSet, error) {
 // hand-built plans) through the worker pool.
 func SweepCells(cfg Config, cells []Cell, opt SweepOptions) (*ResultSet, error) {
 	return sweep.RunCells(cfg, cells, opt)
+}
+
+// Serve partitions tab across nShards simulated machines and returns
+// the serving cluster. Every Query scatters over the shards, and the
+// merged match count and revenue are verified against the unsharded
+// reference evaluator. The cluster is safe for concurrent Query calls.
+func Serve(cfg Config, tab *Lineitem, nShards int) (*Cluster, error) {
+	return serve.New(cfg, tab, nShards)
+}
+
+// ServePlan returns the per-architecture best plan shape (the Figure 3d
+// configurations) over predicate q — the natural serving request.
+func ServePlan(arch Arch, q Q06) Plan { return serve.DefaultPlan(arch, q) }
+
+// OpenLoop declares an open-loop load test: reqs arrive on a seeded
+// Poisson process with the given mean interarrival gap in simulated
+// cycles; duration (0 = unlimited) truncates the admitted stream.
+func OpenLoop(reqs []ServeRequest, meanInterarrival, duration uint64, seed uint64) LoadSpec {
+	return serve.OpenLoop(reqs, meanInterarrival, duration, seed)
+}
+
+// ClosedLoop declares a closed-loop load test: concurrency clients
+// drain reqs, each keeping one request outstanding with zero think
+// time.
+func ClosedLoop(reqs []ServeRequest, concurrency int) LoadSpec {
+	return serve.ClosedLoop(reqs, concurrency)
+}
+
+// LoadTest runs spec against the cluster and returns the report:
+// per-request latencies on the virtual serving timeline, P50/P95/P99
+// quantiles, throughput and per-shard utilisation. Deterministic —
+// byte-identical exports — at any executor worker count.
+func LoadTest(c *Cluster, spec LoadSpec, opt ServeOptions) (*LoadReport, error) {
+	return c.LoadTest(spec, opt)
 }
 
 // Figures lists the reproducible panels.

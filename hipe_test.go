@@ -66,6 +66,45 @@ func TestPublicAPIDefaults(t *testing.T) {
 	}
 }
 
+func TestPublicAPIServe(t *testing.T) {
+	cfg := smallConfig()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	cluster, err := hipe.Serve(cfg, tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := hipe.ServePlan(hipe.HIPE, hipe.DefaultQ06())
+	plan.Aggregate = true
+	resp, err := cluster.Query(hipe.ServeRequest{Plan: plan}, hipe.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matches <= 0 || resp.Revenue <= 0 || resp.Cycles == 0 {
+		t.Fatalf("degenerate response %+v", resp)
+	}
+
+	reqs, err := hipe.StreamSpec{N: 8, Seed: 3}.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := hipe.LoadTest(cluster, hipe.OpenLoop(reqs, 100000, 0, 5), hipe.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := hipe.LoadTest(cluster, hipe.ClosedLoop(reqs, 4), hipe.ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*hipe.LoadReport{open, closed} {
+		if r.Completed == 0 || r.LatencyP99 < r.LatencyP50 || r.ThroughputRPMC <= 0 {
+			t.Fatalf("degenerate report %+v", r)
+		}
+	}
+	if open.Mode != "open" || closed.Mode != "closed" {
+		t.Fatal("report modes wrong")
+	}
+}
+
 func TestClusteredDataEnablesSquash(t *testing.T) {
 	cfg := smallConfig()
 	q := hipe.DefaultQ06()

@@ -46,11 +46,17 @@ type Table struct {
 	ExtendedPrice []int32 // cents
 }
 
-// rng is a splitmix64 generator: tiny, fast and deterministic across
-// platforms, so every experiment is reproducible bit-for-bit.
-type rng struct{ state uint64 }
+// RNG is a splitmix64 generator: tiny, fast and deterministic across
+// platforms, so every experiment is reproducible bit-for-bit. The
+// serving layer draws its request streams and arrival processes from
+// the same generator.
+type RNG struct{ state uint64 }
 
-func (r *rng) next() uint64 {
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 uniform bits.
+func (r *RNG) Next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -58,12 +64,19 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-func (r *rng) intn(n int64) int64 { return int64(r.next() % uint64(n)) }
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int64) int64 { return int64(r.Next() % uint64(n)) }
+
+// Float64 returns a uniform float in (0, 1] — open at zero, so it is
+// safe under a logarithm.
+func (r *RNG) Float64() float64 {
+	return (float64(r.Next()>>11) + 1) / (1 << 53)
+}
 
 // Generate builds a lineitem table of n tuples with dbgen-like
 // distributions, deterministically from seed.
 func Generate(n int, seed uint64) *Table {
-	r := &rng{state: seed}
+	r := NewRNG(seed)
 	t := &Table{
 		N:             n,
 		ShipDate:      make([]int32, n),
@@ -75,10 +88,10 @@ func Generate(n int, seed uint64) *Table {
 		// dbgen: shipdate = orderdate + uniform(1..121); orderdates are
 		// uniform over the 7-year range. The sum is near-uniform over the
 		// range, which is what Q06's ~15% date selectivity relies on.
-		t.ShipDate[i] = int32(r.intn(ShipDateDays))
-		t.Discount[i] = int32(r.intn(11))     // 0.00 .. 0.10
-		t.Quantity[i] = int32(1 + r.intn(50)) // 1 .. 50
-		t.ExtendedPrice[i] = int32(90000 + r.intn(16000))
+		t.ShipDate[i] = int32(r.Intn(ShipDateDays))
+		t.Discount[i] = int32(r.Intn(11))     // 0.00 .. 0.10
+		t.Quantity[i] = int32(1 + r.Intn(50)) // 1 .. 50
+		t.ExtendedPrice[i] = int32(90000 + r.Intn(16000))
 	}
 	return t
 }
@@ -91,12 +104,12 @@ func Generate(n int, seed uint64) *Table {
 // the discount/quantity loads of out-of-window chunks.
 func GenerateClustered(n int, seed uint64, noiseDays int32) *Table {
 	t := Generate(n, seed)
-	r := &rng{state: seed ^ 0xC1D5_7E8E_D00D_F00D}
+	r := NewRNG(seed ^ 0xC1D5_7E8E_D00D_F00D)
 	for i := 0; i < n; i++ {
 		base := int64(i) * ShipDateDays / int64(n)
 		jitter := int64(0)
 		if noiseDays > 0 {
-			jitter = r.intn(int64(2*noiseDays+1)) - int64(noiseDays)
+			jitter = r.Intn(int64(2*noiseDays+1)) - int64(noiseDays)
 		}
 		d := base + jitter
 		if d < 0 {

@@ -1,0 +1,47 @@
+// Horizontal partitioning for the serving layer: a table is split into
+// contiguous row-range shards, each a standalone Table that satisfies
+// the generator's n%64==0 invariant, so every shard can be laid out and
+// scanned exactly like a whole table. Partials computed per shard
+// (match counts, bitmask cardinalities, revenue sums) recompose to the
+// whole-table answer because the ranges tile the table exactly.
+package db
+
+import "fmt"
+
+// Partition splits t into n contiguous shards. Row blocks of 64 (the
+// layout/scan granularity) are distributed as evenly as possible —
+// shard sizes differ by at most 64 rows — and every shard's size is a
+// positive multiple of 64, preserving the invariant Generate and the
+// query compilers rely on. Shards alias t's column storage; neither
+// side may mutate values afterwards.
+func Partition(t *Table, n int) ([]*Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("db: shard count %d must be positive", n)
+	}
+	if t.N <= 0 || t.N%64 != 0 {
+		return nil, fmt.Errorf("db: table size %d is not a positive multiple of 64", t.N)
+	}
+	blocks := t.N / 64
+	if blocks < n {
+		return nil, fmt.Errorf("db: cannot cut %d rows into %d shards of at least 64 rows", t.N, n)
+	}
+	shards := make([]*Table, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		// First blocks%n shards take one extra 64-row block.
+		b := blocks / n
+		if i < blocks%n {
+			b++
+		}
+		hi := lo + b*64
+		shards[i] = &Table{
+			N:             hi - lo,
+			ShipDate:      t.ShipDate[lo:hi:hi],
+			Discount:      t.Discount[lo:hi:hi],
+			Quantity:      t.Quantity[lo:hi:hi],
+			ExtendedPrice: t.ExtendedPrice[lo:hi:hi],
+		}
+		lo = hi
+	}
+	return shards, nil
+}

@@ -1,0 +1,91 @@
+package db
+
+import "testing"
+
+func TestPartitionInvariantsAndRecomposition(t *testing.T) {
+	tab := Generate(64*37, 9) // 37 blocks: uneven across most shard counts
+	q := DefaultQ06()
+	whole := Reference(tab, q)
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 37} {
+		shards, err := Partition(tab, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(shards) != n {
+			t.Fatalf("n=%d: got %d shards", n, len(shards))
+		}
+		rows, matches, minN, maxN := 0, 0, tab.N, 0
+		var revenue int64
+		for _, s := range shards {
+			if s.N <= 0 || s.N%64 != 0 {
+				t.Fatalf("n=%d: shard size %d breaks the 64-multiple invariant", n, s.N)
+			}
+			if s.N < minN {
+				minN = s.N
+			}
+			if s.N > maxN {
+				maxN = s.N
+			}
+			// Shard boundary alignment: the shard's first row must be the
+			// row right after the previous shard's last (checked via total).
+			rows += s.N
+			ref := Reference(s, q)
+			matches += ref.Matches
+			revenue += ref.Revenue
+		}
+		if rows != tab.N {
+			t.Fatalf("n=%d: shards cover %d of %d rows", n, rows, tab.N)
+		}
+		if maxN-minN > 64 {
+			t.Fatalf("n=%d: shard sizes unbalanced: min %d max %d", n, minN, maxN)
+		}
+		if matches != whole.Matches {
+			t.Fatalf("n=%d: per-shard matches %d do not recompose to %d", n, matches, whole.Matches)
+		}
+		if revenue != whole.Revenue {
+			t.Fatalf("n=%d: per-shard revenue %d does not recompose to %d", n, revenue, whole.Revenue)
+		}
+		// Per-shard selectivities, weighted by shard size, recompose to
+		// the whole-table selectivity.
+		var weighted float64
+		for _, s := range shards {
+			weighted += Selectivity(s, q) * float64(s.N) / float64(tab.N)
+		}
+		if got := Selectivity(tab, q); !closeEnough(weighted, got) {
+			t.Fatalf("n=%d: weighted shard selectivity %g != table selectivity %g", n, weighted, got)
+		}
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestPartitionRowsAreAliased(t *testing.T) {
+	tab := Generate(256, 3)
+	shards, err := Partition(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 2 row 0 is table row 128.
+	if &shards[2].ShipDate[0] != &tab.ShipDate[128] {
+		t.Fatal("shard does not alias the parent table's storage")
+	}
+}
+
+func TestPartitionRejectsBadShapes(t *testing.T) {
+	tab := Generate(128, 1)
+	if _, err := Partition(tab, 0); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	if _, err := Partition(tab, -1); err == nil {
+		t.Fatal("accepted negative shards")
+	}
+	if _, err := Partition(tab, 3); err == nil {
+		t.Fatal("accepted more shards than 64-row blocks")
+	}
+	if _, err := Partition(&Table{N: 100}, 2); err == nil {
+		t.Fatal("accepted non-multiple-of-64 table")
+	}
+}

@@ -1,0 +1,175 @@
+// Load-test reports and their exporters. Following the sweep engine's
+// export conventions: CSV rows in request-index order with
+// deterministic number formatting, JSON as one indented document — a
+// report's export is byte-stable across runs and executor worker
+// counts.
+package serve
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// RequestTrace is one served request on the virtual timeline. All
+// times are simulated cycles.
+type RequestTrace struct {
+	// Index is the request's position in the admitted stream.
+	Index int
+	// Client is the issuing closed-loop client, -1 under open loop.
+	Client int
+	Plan   query.Plan
+	// Arrival is when the request entered the system.
+	Arrival uint64
+	// Completion is when the slowest shard task finished.
+	Completion uint64
+	// Latency is Completion - Arrival: queueing plus service.
+	Latency uint64
+	// Service is the idle-fleet critical path (slowest shard's cycles).
+	Service uint64
+	// Work is the total simulated cycles across all shards.
+	Work uint64
+	// Matches and Revenue are the merged, verified answers.
+	Matches int
+	Revenue int64
+}
+
+// ShardStats is one shard's load accounting over a test.
+type ShardStats struct {
+	Shard int
+	// Tasks is the number of shard tasks served.
+	Tasks int
+	// BusyCycles is the total simulated service time.
+	BusyCycles uint64
+	// Utilisation is BusyCycles over the test makespan.
+	Utilisation float64
+}
+
+// Report is the outcome of one load test.
+type Report struct {
+	// Mode is "open" or "closed".
+	Mode string
+	// Shards is the fleet size; Rows the whole-table row count.
+	Shards int
+	Rows   int
+	// Concurrency is the closed-loop client count (0 under open loop).
+	Concurrency int
+	// Offered is the generated request count; Completed the admitted
+	// and served count (open-loop duration bounds can drop the tail).
+	Offered   int
+	Completed int
+	// MakespanCycles is the completion time of the last request.
+	MakespanCycles uint64
+	// ThroughputRPMC is completed requests per million simulated cycles.
+	ThroughputRPMC float64
+	// Latency quantiles over all completed requests, in simulated
+	// cycles, from the streaming log-bucket histogram.
+	LatencyP50  uint64
+	LatencyP95  uint64
+	LatencyP99  uint64
+	LatencyMean float64
+	LatencyMax  uint64
+	// PerShard is the per-shard utilisation accounting, in shard order.
+	PerShard []ShardStats
+	// Requests are the per-request traces, in issue order.
+	Requests []RequestTrace
+}
+
+// CSVHeader is the column layout of WriteCSV: one row per request.
+var CSVHeader = []string{
+	"index", "client", "arch", "strategy", "opsize_b", "unroll", "fused", "aggregate",
+	"ship_lo", "ship_hi", "disc_lo", "disc_hi", "qty_hi",
+	"arrival_cycles", "completion_cycles", "latency_cycles",
+	"service_cycles", "work_cycles", "matches", "revenue",
+}
+
+// WriteCSV writes the per-request traces as CSV with CSVHeader's
+// columns, in request-index order.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, tr := range r.Requests {
+		p, q := tr.Plan, tr.Plan.Q
+		rec := []string{
+			strconv.Itoa(tr.Index),
+			strconv.Itoa(tr.Client),
+			p.Arch.String(),
+			p.Strategy.String(),
+			strconv.FormatUint(uint64(p.OpSize), 10),
+			strconv.Itoa(p.Unroll),
+			strconv.FormatBool(p.Fused),
+			strconv.FormatBool(p.Aggregate),
+			strconv.FormatInt(int64(q.ShipLo), 10),
+			strconv.FormatInt(int64(q.ShipHi), 10),
+			strconv.FormatInt(int64(q.DiscLo), 10),
+			strconv.FormatInt(int64(q.DiscHi), 10),
+			strconv.FormatInt(int64(q.QtyHi), 10),
+			strconv.FormatUint(tr.Arrival, 10),
+			strconv.FormatUint(tr.Completion, 10),
+			strconv.FormatUint(tr.Latency, 10),
+			strconv.FormatUint(tr.Service, 10),
+			strconv.FormatUint(tr.Work, 10),
+			strconv.Itoa(tr.Matches),
+			strconv.FormatInt(tr.Revenue, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the whole report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON decodes a report previously written by WriteJSON.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	r := &Report{}
+	if err := json.NewDecoder(rd).Decode(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// micros converts simulated cycles to microseconds at the nominal
+// Table I clock — presentation only.
+func micros(cycles uint64) float64 {
+	return float64(cycles) / NominalHz * 1e6
+}
+
+// Summary renders the operator-facing overview: throughput, latency
+// quantiles (cycles and nominal-clock microseconds) and per-shard
+// utilisation.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s-loop load test: %d shards, %d rows ==\n", r.Mode, r.Shards, r.Rows)
+	if r.Concurrency > 0 {
+		fmt.Fprintf(&b, "concurrency          %d clients\n", r.Concurrency)
+	}
+	fmt.Fprintf(&b, "requests             %d completed / %d offered\n", r.Completed, r.Offered)
+	fmt.Fprintf(&b, "makespan             %d cycles (%.1f µs @2GHz)\n",
+		r.MakespanCycles, micros(r.MakespanCycles))
+	fmt.Fprintf(&b, "throughput           %.3f req/Mcycle (%.0f QPS @2GHz)\n",
+		r.ThroughputRPMC, r.ThroughputRPMC*NominalHz/1e6)
+	fmt.Fprintf(&b, "latency p50/p95/p99  %d / %d / %d cycles (%.1f / %.1f / %.1f µs)\n",
+		r.LatencyP50, r.LatencyP95, r.LatencyP99,
+		micros(r.LatencyP50), micros(r.LatencyP95), micros(r.LatencyP99))
+	fmt.Fprintf(&b, "latency mean/max     %.0f / %d cycles\n", r.LatencyMean, r.LatencyMax)
+	for _, s := range r.PerShard {
+		fmt.Fprintf(&b, "shard %-3d            %4d tasks %12d busy cycles %6.1f%% utilised\n",
+			s.Shard, s.Tasks, s.BusyCycles, 100*s.Utilisation)
+	}
+	return b.String()
+}

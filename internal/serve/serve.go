@@ -1,0 +1,293 @@
+// Package serve is the query-serving layer of the reproduction: it
+// treats the simulated HMC machines as a fleet. A large lineitem table
+// is horizontally partitioned across N shards, each shard backed by its
+// own simulated machine instance, and concurrent Q06-family requests —
+// arbitrary predicates, any of the four architectures, optionally
+// HIPE's in-memory aggregation — scatter across the shards and gather
+// into exact whole-table answers verified against the db reference
+// evaluator.
+//
+// The layer sits above internal/sweep in the stack: sweep answers "how
+// fast is one configuration", serve answers "what throughput and tail
+// latency does a fleet of such machines deliver under load". Its load
+// generators and latency accounting live in traffic.go; its exporters
+// in report.go.
+//
+// Determinism: each shard simulation is single-threaded and
+// bit-reproducible, shard-task results are aggregated by (request,
+// shard) index, and the serving timeline — arrivals, per-shard FIFO
+// queueing, completions — is computed in virtual simulated time from
+// those indexed results. Executor workers only parallelise the
+// simulations themselves, so every answer, latency sample and exported
+// report is byte-identical at any worker count.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/sweep"
+)
+
+// NominalHz is the Table I core clock (2 GHz), used to convert between
+// simulated cycles and wall-clock-style figures (QPS, microseconds) in
+// reports and CLI flags. Simulated results are always kept in cycles;
+// the conversion is presentation only.
+const NominalHz = 2e9
+
+// Request is one admitted query: a full plan (architecture, strategy,
+// op size, unroll, fused/aggregate variants and the Q06 predicate)
+// executed over every shard of the cluster.
+type Request struct {
+	Plan query.Plan
+}
+
+// DefaultPlan returns the per-architecture best configuration (the
+// Figure 3d shapes) over predicate q — the natural plan for a serving
+// request that only picks an architecture.
+func DefaultPlan(arch query.Arch, q db.Q06) query.Plan {
+	switch arch {
+	case query.X86:
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q}
+	case query.HIVE:
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Fused: true, Q: q}
+	default: // HMC, HIPE
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q}
+	}
+}
+
+// ShardPartial is one shard's contribution to a request: the simulated
+// service time plus the partials that merge into the whole-table
+// answer. Matches is the cardinality of the shard's result bitmask,
+// which the shard run verifies against the shard reference evaluator
+// before the partial is released.
+type ShardPartial struct {
+	Shard   int
+	Cycles  uint64
+	Matches int
+	Revenue int64
+}
+
+// Response is a merged, verified whole-table answer.
+type Response struct {
+	Request Request
+	// Matches is the merged match count (sum of shard bitmask
+	// cardinalities), equal to the unsharded reference evaluator's.
+	Matches int
+	// Revenue is the merged sum(l_extendedprice*l_discount) over
+	// matches. For Aggregate plans each addend was computed by the HIPE
+	// engine's predicated Mul/Add lanes and checked in-shard.
+	Revenue int64
+	// Cycles is the request's service time on an idle fleet: the
+	// critical path, i.e. the slowest shard's simulation.
+	Cycles uint64
+	// WorkCycles is the total simulated work across all shards.
+	WorkCycles uint64
+	// Shards are the per-shard partials, in shard order.
+	Shards []ShardPartial
+}
+
+// Options tune cluster execution.
+type Options struct {
+	// Workers bounds the executor pool that runs shard simulations;
+	// <= 0 means runtime.GOMAXPROCS(0). The worker count never changes
+	// answers or reports, only wall-clock time.
+	Workers int
+	// OnTask, when non-nil, is called after each finished shard task
+	// with the number completed so far and the total. Calls are
+	// serialised but arrive in completion order — progress only.
+	OnTask func(completed, total int)
+}
+
+// EffectiveWorkers resolves the executor-pool size these options
+// produce.
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Cluster is a sharded serving fleet: one table cut into contiguous
+// shards, each scanned by its own simulated machine. A Cluster is
+// immutable after New and safe for concurrent Query calls.
+type Cluster struct {
+	mc     machine.Config
+	whole  *db.Table
+	shards []*db.Table
+
+	mu   sync.Mutex
+	refs map[db.Q06]*db.ReferenceResult
+}
+
+// New partitions tab into nShards contiguous shards (each a multiple of
+// 64 rows, see db.Partition) and returns the serving cluster. cfg
+// contributes the machine model; when cfg.Machine is nil the Table I
+// machine is used with its backing image sized to the shard footprint,
+// which changes no addresses or timing — only allocation cost per
+// simulated instance.
+func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
+	shards, err := db.Partition(tab, nShards)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	mc := machine.Default()
+	if cfg.Machine != nil {
+		mc = *cfg.Machine
+	} else {
+		mc.ImageBytes = shardImageBytes(shards[0].N)
+	}
+	return &Cluster{
+		mc:     mc,
+		whole:  tab,
+		shards: shards,
+		refs:   make(map[db.Q06]*db.ReferenceResult),
+	}, nil
+}
+
+// shardImageBytes sizes a machine image for an n-row shard: the NSM
+// layout is the hungriest client (tuples + materialisation region +
+// lane masks ≈ 130 bytes/row); triple the tuple bytes plus fixed slack
+// bounds every plan with room to spare.
+func shardImageBytes(n int) uint64 {
+	need := uint64(n)*3*db.TupleBytes + (64 << 10)
+	const mib = 1 << 20
+	return (need + mib - 1) &^ (mib - 1)
+}
+
+// Shards reports the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// ShardRows reports each shard's row count, in shard order.
+func (c *Cluster) ShardRows() []int {
+	rows := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		rows[i] = s.N
+	}
+	return rows
+}
+
+// Rows reports the whole table's row count.
+func (c *Cluster) Rows() int { return c.whole.N }
+
+// Admit validates a request against the cluster: the plan must be
+// inside the evaluated envelope and executable on every shard.
+func (c *Cluster) Admit(req Request) error {
+	if err := req.Plan.Validate(); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// reference returns the whole-table oracle for predicate q, computed
+// once per distinct predicate.
+func (c *Cluster) reference(q db.Q06) *db.ReferenceResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.refs[q]; ok {
+		return r
+	}
+	r := db.Reference(c.whole, q)
+	c.refs[q] = r
+	return r
+}
+
+// runShard executes req's plan over shard s on a fresh machine
+// instance, verifies the engine-computed result against the shard
+// reference, and returns the shard partial.
+func (c *Cluster) runShard(s int, p query.Plan) (ShardPartial, error) {
+	m, err := machine.New(c.mc)
+	if err != nil {
+		return ShardPartial{}, err
+	}
+	w, err := query.Prepare(m, c.shards[s], p)
+	if err != nil {
+		return ShardPartial{}, err
+	}
+	cycles := uint64(m.Run(w.Stream()))
+	if err := w.Verify(); err != nil {
+		return ShardPartial{}, err
+	}
+	// Verify passed: the engine's bitmask (and, for Aggregate plans,
+	// its in-memory revenue accumulator) equals the shard reference, so
+	// the reference values ARE the engine-computed partials.
+	return ShardPartial{
+		Shard:   s,
+		Cycles:  cycles,
+		Matches: w.Ref.Matches,
+		Revenue: w.Ref.Revenue,
+	}, nil
+}
+
+// merge folds shard partials into a verified Response.
+func (c *Cluster) merge(req Request, parts []ShardPartial) (*Response, error) {
+	resp := &Response{Request: req, Shards: parts}
+	for _, p := range parts {
+		resp.Matches += p.Matches
+		resp.Revenue += p.Revenue
+		resp.WorkCycles += p.Cycles
+		if p.Cycles > resp.Cycles {
+			resp.Cycles = p.Cycles
+		}
+	}
+	ref := c.reference(req.Plan.Q)
+	if resp.Matches != ref.Matches {
+		return nil, fmt.Errorf("serve: %s: merged matches %d, reference %d",
+			req.Plan, resp.Matches, ref.Matches)
+	}
+	if resp.Revenue != ref.Revenue {
+		return nil, fmt.Errorf("serve: %s: merged revenue %d, reference %d",
+			req.Plan, resp.Revenue, ref.Revenue)
+	}
+	return resp, nil
+}
+
+// Query admits one request, scatters it across every shard (shard
+// simulations run concurrently, bounded by opt's executor pool),
+// gathers the partials, and returns the merged answer verified against
+// the unsharded reference evaluator. Safe for concurrent callers.
+func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
+	if err := c.Admit(req); err != nil {
+		return nil, err
+	}
+	parts := make([]ShardPartial, len(c.shards))
+	errs := make([]error, len(c.shards))
+	workers := opt.EffectiveWorkers()
+	if workers > len(c.shards) {
+		workers = len(c.shards)
+	}
+	indices := make(chan int)
+	var done sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for s := range indices {
+				parts[s], errs[s] = c.runShard(s, req.Plan)
+				if opt.OnTask != nil {
+					progressMu.Lock()
+					completed++
+					opt.OnTask(completed, len(c.shards))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for s := range c.shards {
+		indices <- s
+	}
+	close(indices)
+	done.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", s, err)
+		}
+	}
+	return c.merge(req, parts)
+}

@@ -1,0 +1,394 @@
+// The traffic layer: deterministic request-stream generation, open- and
+// closed-loop load specifications, and the virtual-time scheduler that
+// turns per-(request, shard) service times into a serving timeline.
+//
+// The split that keeps load tests deterministic: the executor pool
+// (real goroutines) only computes service times, indexed by (request,
+// shard); the timeline — arrivals, per-shard FIFO queues, completions,
+// latencies — is then replayed single-threaded in virtual simulated
+// cycles. Reports are therefore byte-identical at any worker count.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// StreamSpec declares a mixed request stream: N requests drawn with a
+// seeded generator, cycling architectures round-robin (so every mix is
+// covered at any N) and drawing the Q06 quantity bound — the
+// selectivity knob — per request, which yields the mixed-selectivity
+// streams an operator's traffic actually has.
+type StreamSpec struct {
+	// N is the number of requests.
+	N int
+	// Seed drives the deterministic draw.
+	Seed uint64
+	// Archs are the architectures in the mix. Default: all four.
+	Archs []query.Arch
+	// QtyHi are the Q06 quantity bounds drawn per request (uniformly).
+	// Default: {10, 24, 50} — roughly 1%, 2% and 4% selectivity.
+	QtyHi []int32
+	// Aggregate upgrades HIPE requests to the in-memory aggregation
+	// plan (whole Q06 in memory), exercising the revenue merge path.
+	Aggregate bool
+}
+
+// Requests materialises the stream.
+func (s StreamSpec) Requests() ([]Request, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("serve: stream of %d requests", s.N)
+	}
+	archs := s.Archs
+	if len(archs) == 0 {
+		archs = []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE}
+	}
+	qtys := s.QtyHi
+	if len(qtys) == 0 {
+		qtys = []int32{10, 24, 50}
+	}
+	r := db.NewRNG(s.Seed)
+	reqs := make([]Request, s.N)
+	for i := range reqs {
+		q := db.DefaultQ06()
+		q.QtyHi = qtys[r.Intn(int64(len(qtys)))]
+		p := DefaultPlan(archs[i%len(archs)], q)
+		if s.Aggregate && p.Arch == query.HIPE {
+			p.Aggregate = true
+		}
+		reqs[i] = Request{Plan: p}
+	}
+	return reqs, nil
+}
+
+// Mode selects the load-generation discipline.
+type Mode uint8
+
+const (
+	// Open is open-loop load: requests arrive on a seeded deterministic
+	// arrival process regardless of completions — the discipline that
+	// exposes queueing delay and tail latency under overload.
+	Open Mode = iota
+	// Closed is closed-loop load: a fixed number of clients each keep
+	// exactly one request outstanding — the discipline that measures
+	// saturated fleet throughput.
+	Closed
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Open {
+		return "open"
+	}
+	return "closed"
+}
+
+// LoadSpec declares one load test over an admitted request stream.
+// Build it with OpenLoop or ClosedLoop.
+type LoadSpec struct {
+	Requests []Request
+	Mode     Mode
+
+	// Open-loop fields.
+	// MeanInterarrival is the mean gap between arrivals in simulated
+	// cycles; gaps are exponentially distributed (a Poisson process),
+	// drawn deterministically from ArrivalSeed.
+	MeanInterarrival uint64
+	ArrivalSeed      uint64
+	// DurationCycles, when non-zero, truncates the stream to requests
+	// arriving inside [0, DurationCycles) of simulated time — the
+	// "duration in simulated work" bound.
+	DurationCycles uint64
+
+	// Closed-loop field: the fixed client count.
+	Concurrency int
+}
+
+// OpenLoop declares an open-loop test: reqs arrive with exponential
+// interarrival gaps of the given mean (simulated cycles), generated
+// from seed; duration (0 = unlimited) truncates the admitted stream.
+func OpenLoop(reqs []Request, meanInterarrival, duration uint64, seed uint64) LoadSpec {
+	return LoadSpec{Requests: reqs, Mode: Open,
+		MeanInterarrival: meanInterarrival, ArrivalSeed: seed, DurationCycles: duration}
+}
+
+// ClosedLoop declares a closed-loop test: concurrency clients drain
+// reqs, each keeping one request outstanding with zero think time.
+func ClosedLoop(reqs []Request, concurrency int) LoadSpec {
+	return LoadSpec{Requests: reqs, Mode: Closed, Concurrency: concurrency}
+}
+
+// validate rejects malformed specs before any simulation runs.
+func (s LoadSpec) validate() error {
+	if len(s.Requests) == 0 {
+		return fmt.Errorf("serve: load spec has no requests")
+	}
+	switch s.Mode {
+	case Open:
+		if s.MeanInterarrival == 0 {
+			return fmt.Errorf("serve: open-loop mean interarrival must be positive")
+		}
+	case Closed:
+		if s.Concurrency <= 0 {
+			return fmt.Errorf("serve: closed-loop concurrency %d must be positive", s.Concurrency)
+		}
+	default:
+		return fmt.Errorf("serve: unknown load mode %d", s.Mode)
+	}
+	return nil
+}
+
+// arrivals materialises the open-loop arrival times and the admitted
+// request count (requests past DurationCycles are dropped).
+func (s LoadSpec) arrivals() []uint64 {
+	r := db.NewRNG(s.ArrivalSeed)
+	times := make([]uint64, 0, len(s.Requests))
+	var now uint64
+	for range s.Requests {
+		// Exponential gap, quantised to whole cycles.
+		gap := uint64(math.Round(-math.Log(r.Float64()) * float64(s.MeanInterarrival)))
+		now += gap
+		if s.DurationCycles > 0 && now >= s.DurationCycles {
+			break
+		}
+		times = append(times, now)
+	}
+	return times
+}
+
+// LoadTest runs the load spec against the cluster: it admits the
+// stream, computes every (request, shard) service time on the bounded
+// executor pool, verifies every merged answer against the unsharded
+// reference evaluator, replays the serving timeline in virtual time,
+// and returns the report. Deterministic at any worker count.
+func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	for i, req := range spec.Requests {
+		if err := c.Admit(req); err != nil {
+			return nil, fmt.Errorf("serve: request %d: %w", i, err)
+		}
+	}
+
+	// Open loop fixes the issued set (and arrival times) up front;
+	// closed loop issues every request.
+	var arrivalTimes []uint64
+	reqs := spec.Requests
+	offered := len(reqs)
+	if spec.Mode == Open {
+		arrivalTimes = spec.arrivals()
+		reqs = reqs[:len(arrivalTimes)]
+		if len(reqs) == 0 {
+			return nil, fmt.Errorf("serve: no request arrives inside %d cycles", spec.DurationCycles)
+		}
+	}
+
+	parts, err := c.runAll(reqs, opt)
+	if err != nil {
+		return nil, err
+	}
+	responses := make([]*Response, len(reqs))
+	for i, req := range reqs {
+		resp, err := c.merge(req, parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: request %d: %w", i, err)
+		}
+		responses[i] = resp
+	}
+
+	r := &Report{
+		Mode:    spec.Mode.String(),
+		Shards:  len(c.shards),
+		Rows:    c.whole.N,
+		Offered: offered,
+	}
+	switch spec.Mode {
+	case Open:
+		c.scheduleOpen(r, responses, arrivalTimes, parts)
+	case Closed:
+		c.scheduleClosed(r, responses, parts, spec.Concurrency)
+	}
+	r.finish()
+	return r, nil
+}
+
+// taskKey identifies one distinct shard simulation. Identical plans
+// over the same shard are bit-identical runs, so mixed streams — which
+// repeat a small set of plans — dedupe to far fewer simulations than
+// (requests × shards).
+type taskKey struct {
+	plan  query.Plan
+	shard int
+}
+
+// runAll computes every (request, shard) service time and partial on
+// the executor pool, simulating each distinct (plan, shard) pair
+// exactly once. Task order is first occurrence in the request stream,
+// and results are indexed, so worker scheduling cannot leak into them;
+// the returned error is the first failure in (request, shard) order.
+func (c *Cluster) runAll(reqs []Request, opt Options) ([][]ShardPartial, error) {
+	nShards := len(c.shards)
+	index := map[taskKey]int{}
+	var keys []taskKey
+	for _, req := range reqs {
+		for s := 0; s < nShards; s++ {
+			k := taskKey{req.Plan, s}
+			if _, ok := index[k]; !ok {
+				index[k] = len(keys)
+				keys = append(keys, k)
+			}
+		}
+	}
+	results := make([]ShardPartial, len(keys))
+	errs := make([]error, len(keys))
+
+	indices := make(chan int)
+	var done sync.WaitGroup
+	var progressMu sync.Mutex
+	completed := 0
+	workers := opt.EffectiveWorkers()
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for t := range indices {
+				results[t], errs[t] = c.runShard(keys[t].shard, keys[t].plan)
+				if opt.OnTask != nil {
+					progressMu.Lock()
+					completed++
+					opt.OnTask(completed, len(keys))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for t := range keys {
+		indices <- t
+	}
+	close(indices)
+	done.Wait()
+
+	parts := make([][]ShardPartial, len(reqs))
+	for ri, req := range reqs {
+		parts[ri] = make([]ShardPartial, nShards)
+		for s := 0; s < nShards; s++ {
+			t := index[taskKey{req.Plan, s}]
+			if errs[t] != nil {
+				return nil, fmt.Errorf("serve: request %d shard %d: %w", ri, s, errs[t])
+			}
+			parts[ri][s] = results[t]
+		}
+	}
+	return parts, nil
+}
+
+// scheduleOpen replays the open-loop timeline: requests fan out to
+// every shard in arrival order, each shard serves its queue FIFO, and a
+// request completes when its slowest shard task does.
+func (c *Cluster) scheduleOpen(r *Report, responses []*Response, arrivals []uint64, parts [][]ShardPartial) {
+	shardFree := make([]uint64, len(c.shards))
+	r.PerShard = newShardStats(len(c.shards))
+	for i, resp := range responses {
+		r.Requests = append(r.Requests,
+			c.dispatch(resp, i, -1, arrivals[i], parts[i], shardFree, r.PerShard))
+	}
+}
+
+// scheduleClosed replays the closed-loop timeline: concurrency clients
+// share the request stream; each client issues the next unissued
+// request the moment its previous one completes (zero think time).
+// Ties break on client index, so the replay is fully deterministic.
+func (c *Cluster) scheduleClosed(r *Report, responses []*Response, parts [][]ShardPartial, concurrency int) {
+	if concurrency > len(responses) {
+		concurrency = len(responses)
+	}
+	shardFree := make([]uint64, len(c.shards))
+	clientFree := make([]uint64, concurrency)
+	r.PerShard = newShardStats(len(c.shards))
+	for i, resp := range responses {
+		// The next issue slot is the earliest-free client; arrivals are
+		// therefore nondecreasing, which keeps shard FIFO order valid.
+		client := 0
+		for cl := 1; cl < concurrency; cl++ {
+			if clientFree[cl] < clientFree[client] {
+				client = cl
+			}
+		}
+		tr := c.dispatch(resp, i, client, clientFree[client], parts[i], shardFree, r.PerShard)
+		clientFree[client] = tr.Completion
+		r.Requests = append(r.Requests, tr)
+	}
+	r.Concurrency = concurrency
+}
+
+// dispatch queues one request's shard tasks FIFO behind each shard's
+// earlier work and returns its trace.
+func (c *Cluster) dispatch(resp *Response, index, client int, arrival uint64,
+	parts []ShardPartial, shardFree []uint64, perShard []ShardStats) RequestTrace {
+	var completion uint64
+	for s, p := range parts {
+		start := arrival
+		if shardFree[s] > start {
+			start = shardFree[s]
+		}
+		end := start + p.Cycles
+		shardFree[s] = end
+		perShard[s].Tasks++
+		perShard[s].BusyCycles += p.Cycles
+		if end > completion {
+			completion = end
+		}
+	}
+	return RequestTrace{
+		Index:      index,
+		Client:     client,
+		Plan:       resp.Request.Plan,
+		Arrival:    arrival,
+		Completion: completion,
+		Latency:    completion - arrival,
+		Service:    resp.Cycles,
+		Work:       resp.WorkCycles,
+		Matches:    resp.Matches,
+		Revenue:    resp.Revenue,
+	}
+}
+
+func newShardStats(n int) []ShardStats {
+	out := make([]ShardStats, n)
+	for i := range out {
+		out[i].Shard = i
+	}
+	return out
+}
+
+// finish derives the aggregate figures from the per-request traces.
+func (r *Report) finish() {
+	var hist stats.LogHist
+	for _, tr := range r.Requests {
+		hist.Observe(tr.Latency)
+		if tr.Completion > r.MakespanCycles {
+			r.MakespanCycles = tr.Completion
+		}
+	}
+	r.Completed = len(r.Requests)
+	r.LatencyP50 = hist.Quantile(0.50)
+	r.LatencyP95 = hist.Quantile(0.95)
+	r.LatencyP99 = hist.Quantile(0.99)
+	r.LatencyMean = hist.Mean()
+	r.LatencyMax = hist.Max()
+	if r.MakespanCycles > 0 {
+		r.ThroughputRPMC = float64(r.Completed) / (float64(r.MakespanCycles) / 1e6)
+		for i := range r.PerShard {
+			r.PerShard[i].Utilisation = float64(r.PerShard[i].BusyCycles) / float64(r.MakespanCycles)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// LogHist is the streaming latency histogram of the serving layer: a
+// fixed-size log-linear bucket array (HDR-histogram style) over uint64
+// samples. Memory is constant, Observe is O(1), and quantiles are read
+// back with a bounded relative error of 1/8 (one sub-bucket within an
+// octave), which keeps P50/P95/P99 reports byte-stable no matter how
+// many samples stream through or in what order they arrive.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Log-linear geometry: every power-of-two octave is split into 2^3 = 8
+// linear sub-buckets, and values below 2^3 get one exact bucket each.
+const (
+	logSubBits = 3
+	logSub     = 1 << logSubBits
+	// logHistBuckets covers the full uint64 range: logSub exact small
+	// buckets plus 8 sub-buckets for each octave 2^3 .. 2^63.
+	logHistBuckets = logSub + (64-logSubBits)*logSub
+)
+
+// LogHist is a streaming log-bucket histogram of uint64 samples.
+// The zero value is ready to use. Count, Sum, Min and Max are exact;
+// Quantile is bucket-resolved (relative error at most 1/8, exact for
+// samples below 16). It is not safe for concurrent use; shard it and
+// Merge, like the serving layer does.
+type LogHist struct {
+	buckets [logHistBuckets]uint64
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// logBucket maps a sample to its bucket index.
+func logBucket(v uint64) int {
+	if v < logSub {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // 2^e <= v < 2^(e+1), e >= logSubBits
+	sub := (v >> (uint(e) - logSubBits)) & (logSub - 1)
+	return logSub + (e-logSubBits)*logSub + int(sub)
+}
+
+// logBucketHigh returns the largest sample value bucket i holds.
+func logBucketHigh(i int) uint64 {
+	if i < 2*logSub {
+		// Buckets 0..15 are exact: octave e=3 has sub-width 1.
+		return uint64(i)
+	}
+	e := logSubBits + uint((i-logSub)/logSub)
+	sub := uint64((i - logSub) % logSub)
+	width := uint64(1) << (e - logSubBits)
+	return (uint64(1) << e) + (sub+1)*width - 1
+}
+
+// Observe records one sample.
+func (h *LogHist) Observe(v uint64) {
+	h.buckets[logBucket(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of samples (exact).
+func (h *LogHist) Count() uint64 { return h.count }
+
+// Sum reports the total of all samples (exact).
+func (h *LogHist) Sum() uint64 { return h.sum }
+
+// Min reports the smallest sample (exact; 0 if empty).
+func (h *LogHist) Min() uint64 { return h.min }
+
+// Max reports the largest sample (exact; 0 if empty).
+func (h *LogHist) Max() uint64 { return h.max }
+
+// Mean reports the average sample (0 if empty).
+func (h *LogHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile p in [0, 1]: the upper edge of
+// the bucket holding the sample of rank ceil(p·count), clamped into
+// [Min, Max]. The extreme ranks are the exact observed extremes, so
+// Quantile(0) == Min and Quantile(1) == Max. Returns 0 when the
+// histogram is empty.
+func (h *LogHist) Quantile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(h.count))
+	if float64(rank) < p*float64(h.count) { // ceil
+		rank++
+	}
+	if rank <= 1 {
+		return h.min // rank 1 is the smallest sample itself
+	}
+	if rank >= h.count {
+		return h.max // rank count is the largest sample itself
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			v := logBucketHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max // unreachable: counts always sum to h.count
+}
+
+// Merge folds other into h. Bucket geometry is fixed, so merging is
+// exact: the result is identical to observing both sample streams into
+// one histogram, in any order.
+func (h *LogHist) Merge(other *LogHist) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// String renders the non-empty buckets — stable output for debugging
+// and golden tests.
+func (h *LogHist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loghist count=%d sum=%d min=%d max=%d\n", h.count, h.sum, h.min, h.max)
+	for i, c := range h.buckets {
+		if c != 0 {
+			fmt.Fprintf(&b, "  <=%-20d %d\n", logBucketHigh(i), c)
+		}
+	}
+	return b.String()
+}

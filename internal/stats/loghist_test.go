@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogBucketEdges(t *testing.T) {
+	// Every bucket's high edge must map back into that bucket, and the
+	// next value must map into the next bucket.
+	for i := 0; i < logHistBuckets-1; i++ {
+		hi := logBucketHigh(i)
+		if got := logBucket(hi); got != i {
+			t.Fatalf("bucket %d: high edge %d maps to bucket %d", i, hi, got)
+		}
+		if got := logBucket(hi + 1); got != i+1 {
+			t.Fatalf("bucket %d: %d maps to bucket %d, want %d", i, hi+1, got, i+1)
+		}
+	}
+	if got := logBucket(^uint64(0)); got != logHistBuckets-1 {
+		t.Fatalf("max uint64 maps to bucket %d, want %d", got, logHistBuckets-1)
+	}
+}
+
+func TestLogHistExactCounts(t *testing.T) {
+	var h LogHist
+	var wantSum uint64
+	const n = 10000
+	for i := uint64(1); i <= n; i++ {
+		h.Observe(i)
+		wantSum += i
+	}
+	if h.Count() != n {
+		t.Fatalf("count %d, want %d", h.Count(), n)
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %d, want %d", h.Sum(), wantSum)
+	}
+	if h.Min() != 1 || h.Max() != n {
+		t.Fatalf("min/max %d/%d, want 1/%d", h.Min(), h.Max(), n)
+	}
+	if h.Mean() != float64(wantSum)/n {
+		t.Fatalf("mean %f", h.Mean())
+	}
+	// Bucket counts must sum exactly to the observation count.
+	var total uint64
+	for _, c := range h.buckets {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("bucket total %d, want %d", total, n)
+	}
+}
+
+func TestLogHistSmallValuesExact(t *testing.T) {
+	// Values below 16 occupy exact buckets: quantiles are exact.
+	var h LogHist
+	for _, v := range []uint64{3, 3, 5, 7, 9, 11, 13, 15} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{{0, 3}, {0.25, 3}, {0.5, 7}, {0.75, 11}, {1, 15}}
+	for _, c := range cases {
+		if got := h.Quantile(c.p); got != c.want {
+			t.Fatalf("Quantile(%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestLogHistQuantileErrorBound(t *testing.T) {
+	// Against a sorted sample set, every quantile must land within one
+	// sub-bucket (12.5%) above the true order statistic.
+	r := rand.New(rand.NewSource(7))
+	var h LogHist
+	samples := make([]uint64, 5000)
+	for i := range samples {
+		samples[i] = uint64(r.Int63n(1 << 40))
+		h.Observe(samples[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(p * float64(len(samples)))
+		if float64(rank) < p*float64(len(samples)) {
+			rank++
+		}
+		if rank < 1 {
+			rank = 1
+		}
+		truth := samples[rank-1]
+		got := h.Quantile(p)
+		if got < truth {
+			t.Fatalf("Quantile(%g) = %d below true order statistic %d", p, got, truth)
+		}
+		if float64(got) > float64(truth)*1.125+1 {
+			t.Fatalf("Quantile(%g) = %d exceeds error bound over %d", p, got, truth)
+		}
+	}
+}
+
+func TestLogHistMergeEqualsCombinedStream(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var a, b, all LogHist
+	for i := 0; i < 3000; i++ {
+		v := uint64(r.Int63n(1 << 30))
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatal("merged histogram differs from single-stream histogram")
+	}
+	// Merging into an empty histogram copies exactly.
+	var empty LogHist
+	empty.Merge(&all)
+	if empty != all {
+		t.Fatal("merge into empty histogram differs")
+	}
+	// Merging an empty histogram is a no-op.
+	before := all
+	var zero LogHist
+	all.Merge(&zero)
+	if all != before {
+		t.Fatal("merging empty histogram changed state")
+	}
+}
+
+func TestLogHistQuantileEndpointsExact(t *testing.T) {
+	// Neither sample sits on a bucket edge: the extreme quantiles must
+	// still return the exact observed extremes, not bucket edges.
+	var h LogHist
+	h.Observe(100)
+	h.Observe(1000)
+	if got := h.Quantile(0); got != 100 {
+		t.Fatalf("Quantile(0) = %d, want exact min 100", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %d, want exact max 1000", got)
+	}
+	// The median resolves to min's bucket; its upper edge is 103.
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("Quantile(0.5) = %d, want 100 (rank-1 exact)", got)
+	}
+	h.Observe(500)
+	if got := h.Quantile(0.5); got < 500 || got > 511 {
+		t.Fatalf("Quantile(0.5) = %d outside 500's bucket", got)
+	}
+}
+
+func TestLogHistEmpty(t *testing.T) {
+	var h LogHist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
