@@ -1,0 +1,215 @@
+// Command hipe-benchjson runs the repository's benchmark suite — the
+// Figure 3 benches at the module root and the scheduler microbenches in
+// internal/sim — and emits one machine-readable JSON document per
+// invocation: ns/op, B/op, allocs/op and every custom metric
+// (simulated cycles per plan, DRAM pJ) for each benchmark. The
+// committed BENCH_<n>.json files form the repo's performance
+// trajectory: each perf PR appends one, measured on the PR's HEAD,
+// optionally against a captured baseline of the previous HEAD.
+//
+// Usage:
+//
+//	hipe-benchjson -out BENCH_3.json \
+//	    [-figure-benchtime 3x] [-micro-benchtime 10000x] \
+//	    [-baseline old-bench.txt] [-check-allocs] [-skip-figures]
+//
+// -baseline takes a raw `go test -bench` output file (captured before a
+// change) and records each baseline benchmark alongside, with a
+// wall-clock speedup ratio for benchmarks present in both runs.
+//
+// -check-allocs exits non-zero if any scheduler microbench reports a
+// nonzero allocs/op — the CI bench-smoke job's allocation-regression
+// tripwire (beside the testing.AllocsPerRun unit tests).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Comparison pairs a benchmark with its baseline.
+type Comparison struct {
+	Name            string  `json:"name"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	BaselineAllocs  float64 `json:"baseline_allocs_per_op"`
+	Allocs          float64 `json:"allocs_per_op"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Figures     []BenchResult `json:"figure_benches,omitempty"`
+	Scheduler   []BenchResult `json:"scheduler_benches"`
+	Baseline    []BenchResult `json:"baseline,omitempty"`
+	Comparisons []Comparison  `json:"comparisons,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line: the name, the
+// iteration count, then value/unit pairs. procSuffix strips the -P
+// GOMAXPROCS suffix so names are stable across machines.
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	procSuffix = regexp.MustCompile(`-\d+$`)
+)
+
+// parseBench extracts benchmark results from raw `go test -bench` output.
+func parseBench(out string) []BenchResult {
+	var results []BenchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		r := BenchResult{
+			Name:       procSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results
+}
+
+// runBench executes one `go test -bench` invocation and parses it.
+func runBench(pkg, pattern, benchtime string) ([]BenchResult, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg}
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return parseBench(string(out)), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hipe-benchjson: ")
+	out := flag.String("out", "BENCH.json", "output JSON path (- for stdout)")
+	figureBenchtime := flag.String("figure-benchtime", "3x", "benchtime for the Figure 3 benches")
+	microBenchtime := flag.String("micro-benchtime", "200ms", "benchtime for the scheduler microbenches")
+	baselinePath := flag.String("baseline", "", "raw `go test -bench` output captured before the change; recorded with speedups")
+	checkAllocs := flag.Bool("check-allocs", false, "exit 1 if a scheduler microbench reports allocs/op > 0")
+	skipFigures := flag.Bool("skip-figures", false, "skip the (slow) figure benches; scheduler microbenches only")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected argument %q", flag.Arg(0))
+	}
+
+	doc := Doc{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	var err error
+	if !*skipFigures {
+		log.Printf("running figure benches (-benchtime %s)...", *figureBenchtime)
+		doc.Figures, err = runBench(".", "^BenchmarkFig", *figureBenchtime)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("running scheduler microbenches (-benchtime %s)...", *microBenchtime)
+	doc.Scheduler, err = runBench("./internal/sim/", "^(BenchmarkSchedule|BenchmarkEngine)", *microBenchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc.Baseline = parseBench(string(raw))
+		byName := map[string]BenchResult{}
+		for _, b := range doc.Baseline {
+			byName[b.Name] = b
+		}
+		for _, rs := range [][]BenchResult{doc.Figures, doc.Scheduler} {
+			for _, r := range rs {
+				b, ok := byName[r.Name]
+				if !ok || r.NsPerOp == 0 {
+					continue
+				}
+				doc.Comparisons = append(doc.Comparisons, Comparison{
+					Name:            r.Name,
+					BaselineNsPerOp: b.NsPerOp,
+					NsPerOp:         r.NsPerOp,
+					Speedup:         b.NsPerOp / r.NsPerOp,
+					BaselineAllocs:  b.AllocsPerOp,
+					Allocs:          r.AllocsPerOp,
+				})
+			}
+		}
+	}
+
+	if *checkAllocs {
+		failed := false
+		for _, r := range doc.Scheduler {
+			// The steady-state scheduler lanes must stay allocation-free;
+			// EngineRandom/EngineScheduleRun build a fresh engine per
+			// iteration and are exempt.
+			if strings.HasPrefix(r.Name, "BenchmarkSchedule") && r.AllocsPerOp > 0 {
+				log.Printf("ALLOC REGRESSION: %s reports %.1f allocs/op, want 0", r.Name, r.AllocsPerOp)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		log.Printf("alloc check passed: all scheduler lanes at 0 allocs/op")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -58,6 +59,9 @@ func main() {
 	}
 	// Validate every flag combination up front: a malformed run must
 	// die with usage, not after minutes of simulation.
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q (all options are flags)", flag.Arg(0))
+	}
 	if *shards <= 0 {
 		fail("-shards %d must be positive", *shards)
 	}
@@ -73,8 +77,11 @@ func main() {
 	if *mode != "open" && *mode != "closed" {
 		fail("-mode %q must be open or closed", *mode)
 	}
-	if *mode == "open" && *qps <= 0 {
-		fail("-qps %g must be positive", *qps)
+	if *mode == "open" && !(*qps > 0 && !math.IsInf(*qps, 1)) {
+		// The negated form also rejects NaN, which compares false
+		// against everything and would otherwise sail through a
+		// `*qps <= 0` check into the cycle conversion.
+		fail("-qps %g must be a positive finite rate", *qps)
 	}
 	if *mode == "closed" && *concurrency <= 0 {
 		fail("-concurrency %d must be positive", *concurrency)
@@ -82,8 +89,8 @@ func main() {
 	if *workers <= 0 {
 		fail("-workers %d must be positive", *workers)
 	}
-	if *durationMS < 0 {
-		fail("-duration-ms %g must not be negative", *durationMS)
+	if !(*durationMS >= 0) || math.IsInf(*durationMS, 1) {
+		fail("-duration-ms %g must be a non-negative finite duration", *durationMS)
 	}
 	if *csvPath == "-" && *jsonPath == "-" {
 		fail("-csv - and -json - both claim stdout; pick one")

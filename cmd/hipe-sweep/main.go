@@ -63,6 +63,9 @@ func main() {
 	flag.Parse()
 
 	// Validate flag combinations before any parsing or simulation.
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q (all options are flags)", flag.Arg(0))
+	}
 	if *workers <= 0 {
 		fail("-workers %d must be positive", *workers)
 	}

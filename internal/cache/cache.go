@@ -95,11 +95,43 @@ type waiter struct {
 	done      func(now sim.Cycle)
 }
 
+// mshr is one miss-status holding register. MSHRs are pooled: a miss
+// draws one from the cache's free list and the fill's arrival returns
+// it, so steady-state miss handling allocates nothing. The embedded
+// fill request's Done callback is pre-bound once, when the mshr is
+// first constructed.
 type mshr struct {
+	c        *Cache
 	lineAddr mem.Addr
 	waiters  []waiter
 	isWrite  bool // allocated from the write pool
 	prefetch bool
+
+	fill   mem.Request
+	fillFn func(now sim.Cycle) // pre-bound: fill arrived
+}
+
+// OnEvent implements sim.Handler: the mshr retries its fill against the
+// next level until accepted (tag unused — the mshr has one event kind).
+func (m *mshr) OnEvent(now sim.Cycle, _ uint64) {
+	if !m.c.next.Access(&m.fill) {
+		m.c.engine.AfterEvent(1, m, 0)
+	}
+}
+
+// wbOp is one pooled in-flight writeback (dirty eviction).
+type wbOp struct {
+	c      *Cache
+	req    mem.Request
+	doneFn func(now sim.Cycle) // pre-bound: write drained, release op
+}
+
+// OnEvent implements sim.Handler: retry the writeback under
+// backpressure.
+func (w *wbOp) OnEvent(now sim.Cycle, _ uint64) {
+	if !w.c.next.Access(&w.req) {
+		w.c.engine.AfterEvent(1, w, 0)
+	}
 }
 
 // Cache is one level of the hierarchy.
@@ -114,11 +146,14 @@ type Cache struct {
 	lruClock uint64
 
 	pending    map[mem.Addr]*mshr
+	mshrFree   []*mshr
+	wbFree     []*wbOp
 	readInUse  int
 	writeInUse int
 	evictInUse int
 
-	pf prefetcher
+	pf    prefetcher
+	pfBuf []mem.Addr // reused scratch for prefetcher proposals
 
 	children []*Cache // for inclusive back-invalidation
 
@@ -178,6 +213,29 @@ func New(engine *sim.Engine, cfg Config, next mem.Port, reg *stats.Registry) (*C
 // back-invalidate on eviction.
 func (c *Cache) SetChildren(children ...*Cache) { c.children = children }
 
+// Reset empties the cache to its post-New state: all lines invalid, LRU
+// clock restarted, no outstanding misses, prefetcher untrained. Pooled
+// MSHRs and writeback ops keep their capacity; any that were in flight
+// are abandoned with the engine's event queue.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		set := c.sets[i]
+		for j := range set {
+			set[j] = line{}
+		}
+	}
+	c.lruClock = 0
+	for la, m := range c.pending {
+		m.waiters = m.waiters[:0]
+		c.mshrFree = append(c.mshrFree, m)
+		delete(c.pending, la)
+	}
+	c.readInUse, c.writeInUse, c.evictInUse = 0, 0, 0
+	if c.pf != nil {
+		c.pf.reset()
+	}
+}
+
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
@@ -219,8 +277,7 @@ func (c *Cache) Access(req *mem.Request) bool {
 			c.hits.Inc()
 		}
 		if req.Done != nil {
-			done := c.engine.Now() + c.cfg.Latency
-			c.engine.Schedule(done, func() { req.Done(done) })
+			c.engine.ScheduleCall(c.engine.Now()+c.cfg.Latency, req.Done)
 		}
 		c.train(req.Addr, false)
 		return true
@@ -255,11 +312,9 @@ func (c *Cache) Access(req *mem.Request) bool {
 		c.misses.Inc()
 	}
 
-	m := &mshr{
-		lineAddr: la,
-		isWrite:  req.Kind == mem.Write,
-		waiters:  []waiter{{markDirty: req.Kind == mem.Write, done: req.Done}},
-	}
+	m := c.newMSHR(la)
+	m.isWrite = req.Kind == mem.Write
+	m.waiters = append(m.waiters, waiter{markDirty: req.Kind == mem.Write, done: req.Done})
 	c.pending[la] = m
 	c.issueFill(m)
 	c.train(req.Addr, true)
@@ -268,25 +323,37 @@ func (c *Cache) Access(req *mem.Request) bool {
 
 var _ mem.Port = (*Cache)(nil)
 
+// newMSHR draws a pooled MSHR, resetting it for line la.
+func (c *Cache) newMSHR(la mem.Addr) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+	} else {
+		m = &mshr{c: c}
+		m.fillFn = func(now sim.Cycle) { m.c.fillArrived(m) }
+	}
+	m.lineAddr = la
+	m.waiters = m.waiters[:0]
+	m.isWrite = false
+	m.prefetch = false
+	return m
+}
+
 // issueFill sends the line fill to the next level after the lookup
 // latency, retrying each cycle if the next level exerts backpressure.
 func (c *Cache) issueFill(m *mshr) {
-	fill := &mem.Request{
+	m.fill = mem.Request{
 		Addr: m.lineAddr,
 		Size: c.cfg.LineBytes,
 		Kind: mem.Read,
-		Done: func(now sim.Cycle) { c.fillArrived(m) },
+		Done: m.fillFn,
 	}
-	var try func()
-	try = func() {
-		if !c.next.Access(fill) {
-			c.engine.After(1, try)
-		}
-	}
-	c.engine.After(c.cfg.Latency, try)
+	c.engine.AfterEvent(c.cfg.Latency, m, 0)
 }
 
-// fillArrived installs the line and releases the MSHR and its waiters.
+// fillArrived installs the line, releases the MSHR's waiters, and
+// returns it to the pool.
 func (c *Cache) fillArrived(m *mshr) {
 	c.install(m.lineAddr, false)
 	ln := c.lookup(m.lineAddr)
@@ -305,6 +372,8 @@ func (c *Cache) fillArrived(m *mshr) {
 	} else {
 		c.readInUse--
 	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // install places a line, evicting the LRU victim (with writeback and
@@ -342,22 +411,32 @@ place:
 }
 
 // writeback issues a dirty line to the next level, retrying on pressure.
+// Writeback state is pooled like the MSHRs.
 func (c *Cache) writeback(la mem.Addr) {
 	c.writebacks.Inc()
 	c.evictInUse++
-	wb := &mem.Request{
+	var w *wbOp
+	if n := len(c.wbFree); n > 0 {
+		w = c.wbFree[n-1]
+		c.wbFree = c.wbFree[:n-1]
+	} else {
+		w = &wbOp{c: c}
+		w.doneFn = func(now sim.Cycle) {
+			w.c.evictInUse--
+			w.c.wbFree = append(w.c.wbFree, w)
+		}
+	}
+	w.req = mem.Request{
 		Addr: la,
 		Size: c.cfg.LineBytes,
 		Kind: mem.Write,
-		Done: func(now sim.Cycle) { c.evictInUse-- },
+		Done: w.doneFn,
 	}
-	var try func()
-	try = func() {
-		if !c.next.Access(wb) {
-			c.engine.After(1, try)
-		}
+	// First attempt fires synchronously, as before; retries go through
+	// the event queue.
+	if !c.next.Access(&w.req) {
+		c.engine.AfterEvent(1, w, 0)
 	}
-	try()
 }
 
 // invalidate removes a line (if present), reporting whether it was dirty.
@@ -394,7 +473,8 @@ func (c *Cache) train(addr mem.Addr, miss bool) {
 	if c.pf == nil {
 		return
 	}
-	for _, target := range c.pf.observe(addr, miss) {
+	c.pfBuf = c.pf.observe(c.pfBuf[:0], addr, miss)
+	for _, target := range c.pfBuf {
 		la := c.lineAddr(target)
 		if c.lookup(la) != nil {
 			continue
@@ -408,7 +488,8 @@ func (c *Cache) train(addr mem.Addr, miss bool) {
 		}
 		c.readInUse++
 		c.prefetches.Inc()
-		m := &mshr{lineAddr: la, prefetch: true}
+		m := c.newMSHR(la)
+		m.prefetch = true
 		c.pending[la] = m
 		c.issueFill(m)
 	}

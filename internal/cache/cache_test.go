@@ -337,22 +337,22 @@ func TestStridePrefetcherDetectsStride(t *testing.T) {
 	var got []mem.Addr
 	// Stride of 128 within one region.
 	for _, a := range []mem.Addr{0, 128, 256, 384} {
-		got = p.observe(a, true)
+		got = p.observe(nil, a, true)
 	}
 	if len(got) != 2 || got[0] != 512 || got[1] != 640 {
 		t.Fatalf("stride prefetcher proposed %v", got)
 	}
 	// A stride change resets confidence.
-	if out := p.observe(400, true); out != nil {
+	if out := p.observe(nil, 400, true); out != nil {
 		t.Fatalf("untrained stride fired: %v", out)
 	}
 }
 
 func TestStridePrefetcherIgnoresZeroStride(t *testing.T) {
 	p := newStridePrefetcher(64, 2)
-	p.observe(0, true)
+	p.observe(nil, 0, true)
 	for i := 0; i < 4; i++ {
-		if out := p.observe(0, true); out != nil {
+		if out := p.observe(nil, 0, true); out != nil {
 			t.Fatalf("zero stride proposed %v", out)
 		}
 	}
@@ -360,15 +360,15 @@ func TestStridePrefetcherIgnoresZeroStride(t *testing.T) {
 
 func TestStreamPrefetcherResetsOnNonSequential(t *testing.T) {
 	p := newStreamPrefetcher(64, 2)
-	p.observe(0, true)
-	if out := p.observe(64, true); len(out) != 2 {
+	p.observe(nil, 0, true)
+	if out := p.observe(nil, 64, true); len(out) != 2 {
 		t.Fatalf("sequential stream proposed %v", out)
 	}
-	if out := p.observe(1024, false); out != nil {
+	if out := p.observe(nil, 1024, false); out != nil {
 		t.Fatal("hit observation trained the stream prefetcher")
 	}
-	p.observe(320, true) // jump backward-ish: breaks the stream
-	if out := p.observe(256, true); out != nil {
+	p.observe(nil, 320, true) // jump backward-ish: breaks the stream
+	if out := p.observe(nil, 256, true); out != nil {
 		t.Fatalf("broken stream still proposed %v", out)
 	}
 }

@@ -69,6 +69,13 @@ func NewHierarchy(engine *sim.Engine, l1, l2, l3 Config, memory mem.Port, reg *s
 	return &Hierarchy{L1: cl1, L2: cl2, L3: cl3}, nil
 }
 
+// Reset empties all three levels (see Cache.Reset).
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+}
+
 // Access enters the hierarchy at L1.
 func (h *Hierarchy) Access(req *mem.Request) bool { return h.L1.Access(req) }
 

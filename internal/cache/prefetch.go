@@ -3,9 +3,13 @@ package cache
 import "github.com/hipe-sim/hipe/internal/mem"
 
 // prefetcher observes the demand access stream and proposes line
-// addresses to fetch ahead.
+// addresses to fetch ahead, appending them to buf (whose backing array
+// the caller reuses across observations, keeping training
+// allocation-free).
 type prefetcher interface {
-	observe(addr mem.Addr, miss bool) []mem.Addr
+	observe(buf []mem.Addr, addr mem.Addr, miss bool) []mem.Addr
+	// reset forgets all training state (machine reset).
+	reset()
 }
 
 const pfTableSize = 16
@@ -34,16 +38,16 @@ func newStridePrefetcher(lineBytes, degree uint32) *stridePrefetcher {
 	return &stridePrefetcher{lineBytes: lineBytes, degree: degree}
 }
 
-func (p *stridePrefetcher) observe(addr mem.Addr, miss bool) []mem.Addr {
+func (p *stridePrefetcher) observe(buf []mem.Addr, addr mem.Addr, miss bool) []mem.Addr {
 	region := uint64(addr) >> 12
 	slot := &p.entries[region%pfTableSize]
 	if !slot.valid || slot.region != region {
 		*slot = strideEntry{valid: true, region: region, lastAddr: addr}
-		return nil
+		return buf
 	}
 	stride := int64(addr) - int64(slot.lastAddr)
 	if stride == 0 {
-		return nil
+		return buf
 	}
 	if stride == slot.stride {
 		if slot.confidence < 3 {
@@ -55,17 +59,16 @@ func (p *stridePrefetcher) observe(addr mem.Addr, miss bool) []mem.Addr {
 	}
 	slot.lastAddr = addr
 	if slot.confidence < 2 {
-		return nil
+		return buf
 	}
-	var out []mem.Addr
 	for d := uint32(1); d <= p.degree; d++ {
 		target := int64(addr) + stride*int64(d)
 		if target < 0 {
 			break
 		}
-		out = append(out, mem.Addr(target))
+		buf = append(buf, mem.Addr(target))
 	}
-	return out
+	return buf
 }
 
 // streamPrefetcher detects sequential miss streams (ascending line-by-line
@@ -91,27 +94,36 @@ func newStreamPrefetcher(lineBytes, degree uint32) *streamPrefetcher {
 	return &streamPrefetcher{lineBytes: lineBytes, degree: degree}
 }
 
-func (p *streamPrefetcher) observe(addr mem.Addr, miss bool) []mem.Addr {
+func (p *streamPrefetcher) observe(buf []mem.Addr, addr mem.Addr, miss bool) []mem.Addr {
 	if !miss {
-		return nil
+		return buf
 	}
 	lineNo := uint64(addr) / uint64(p.lineBytes)
 	region := uint64(addr) >> 12
 	slot := &p.entries[region%pfTableSize]
 	if !slot.valid || slot.region != region {
 		*slot = streamEntry{valid: true, region: region, lastLine: lineNo}
-		return nil
+		return buf
 	}
 	ascending := lineNo == slot.lastLine+1
 	slot.lastLine = lineNo
 	if !ascending {
 		slot.trained = false
-		return nil
+		return buf
 	}
 	slot.trained = true
-	var out []mem.Addr
 	for d := uint64(1); d <= uint64(p.degree); d++ {
-		out = append(out, mem.Addr((lineNo+d)*uint64(p.lineBytes)))
+		buf = append(buf, mem.Addr((lineNo+d)*uint64(p.lineBytes)))
 	}
-	return out
+	return buf
+}
+
+// reset implements prefetcher.
+func (p *stridePrefetcher) reset() {
+	p.entries = [pfTableSize]strideEntry{}
+}
+
+// reset implements prefetcher.
+func (p *streamPrefetcher) reset() {
+	p.entries = [pfTableSize]streamEntry{}
 }

@@ -136,19 +136,160 @@ type register struct {
 
 // rowFetch tracks one logic-layer row read and the mask loads waiting on
 // it. A superseded fetch (the buffer moved to another row) still
-// completes its own waiters when its DRAM read returns.
+// completes its own waiters when its DRAM read returns. Fetches are
+// pooled: one returns to the free list once it is both finished and no
+// longer the engine's current read buffer.
 type rowFetch struct {
+	e       *Engine
 	row     mem.Addr
 	done    bool
 	doneAt  sim.Cycle
 	waiting []func(now sim.Cycle)
+	doneFn  func(now sim.Cycle) // pre-bound DRAM completion
 }
 
+func (f *rowFetch) fetchDone(now sim.Cycle) {
+	f.done = true
+	f.doneAt = now
+	for _, wfn := range f.waiting {
+		wfn(now)
+	}
+	f.waiting = f.waiting[:0]
+	if f.e.maskRead != f {
+		// Superseded while in flight: nothing references it any more.
+		f.e.rfFree = append(f.e.rfFree, f)
+	}
+}
+
+// queued is one buffered instruction plus its link-level context.
 type queued struct {
 	inst *isa.OffloadInst
-	// complete, when non-nil, serialises a response to the CPU (lock and
-	// unlock acknowledgements).
-	complete func()
+	op   *subOp
+}
+
+// complete releases the instruction's link context; for acknowledged
+// instructions (Unlock) it serialises the response to the CPU.
+func (q queued) complete() {
+	op := q.op
+	if op.acked {
+		// The response packet releases the op at delivery.
+		op.pkt.Complete()
+		return
+	}
+	op.release()
+}
+
+// subOp is one pooled Submit context: the instruction's link packet and
+// the pre-bound callbacks for its cube arrival and (for acknowledged
+// instructions) its response delivery.
+type subOp struct {
+	e     *Engine
+	inst  *isa.OffloadInst
+	done  func(now sim.Cycle)
+	acked bool
+	pkt   link.Packet
+
+	execFn    func(p *link.Packet)
+	deliverFn func(now sim.Cycle)
+}
+
+// exec runs cube-side on instruction arrival: enter the in-order queue.
+func (op *subOp) exec(*link.Packet) {
+	op.e.enqueue(queued{inst: op.inst, op: op})
+}
+
+// deliver fires requester-side when an acknowledgement arrives.
+func (op *subOp) deliver(now sim.Cycle) {
+	done := op.done
+	op.release()
+	if done != nil {
+		done(now)
+	}
+}
+
+func (op *subOp) release() {
+	op.inst, op.done = nil, nil
+	op.e.subFree = append(op.e.subFree, op)
+}
+
+// ldOp is one pooled vector-load completion: fills the destination
+// register from the image when the DRAM fan-out finishes.
+type ldOp struct {
+	e    *Engine
+	dst  *register
+	addr mem.Addr
+	size uint32
+	fn   func(now sim.Cycle) // pre-bound completion
+}
+
+func (op *ldOp) complete(sim.Cycle) {
+	dst := op.dst
+	copy(dst.data[:op.size], op.e.image[op.addr:uint64(op.addr)+uint64(op.size)])
+	dst.zero = isa.IsZero(dst.data[:], int(op.size))
+	dst.pending = false
+	op.dst = nil
+	op.e.ldFree = append(op.e.ldFree, op)
+}
+
+// mlOp is one pooled mask-load fill: expands the packed bitmask into
+// the destination register when its row data is available.
+type mlOp struct {
+	e    *Engine
+	dst  *register
+	addr mem.Addr
+	nb   uint32
+	size uint32
+	fn   func(now sim.Cycle) // pre-bound fill
+}
+
+func (op *mlOp) fill(sim.Cycle) {
+	dst := op.dst
+	packed := op.e.image[op.addr : uint64(op.addr)+uint64(op.nb)]
+	isa.ExpandMask(dst.data[:], packed, int(op.size))
+	dst.zero = isa.IsZero(dst.data[:], int(op.size))
+	dst.pending = false
+	op.dst = nil
+	op.e.mlFree = append(op.e.mlFree, op)
+}
+
+// aluOp is one pooled ALU completion: the result buffer plus the
+// register writeback scheduled after the FU latency.
+type aluOp struct {
+	e   *Engine
+	dst *register
+	buf [isa.RegisterBytes]byte
+}
+
+// OnEvent implements sim.Handler: the FU latency elapsed; commit the
+// result.
+func (op *aluOp) OnEvent(sim.Cycle, uint64) {
+	dst := op.dst
+	copy(dst.data[:], op.buf[:])
+	dst.zero = isa.IsZero(dst.data[:], len(dst.data))
+	dst.pending = false
+	op.dst = nil
+	op.e.aluFree = append(op.e.aluFree, op)
+}
+
+// fanOp tracks one (possibly row-straddling) DRAM fan-out: the chunk
+// requests share one reusable request struct (the vault consumes each
+// synchronously), and the last completion forwards to done.
+type fanOp struct {
+	e         *Engine
+	remaining int
+	done      func(now sim.Cycle)
+	req       mem.Request
+	chunkFn   func(now sim.Cycle) // pre-bound per-chunk completion
+}
+
+func (op *fanOp) chunkDone(now sim.Cycle) {
+	op.remaining--
+	if op.remaining == 0 {
+		done := op.done
+		op.done = nil
+		op.e.fanFree = append(op.e.fanFree, op)
+		done(now)
+	}
 }
 
 // Engine is a HIPE (or HIVE) logic-layer engine.
@@ -161,11 +302,24 @@ type Engine struct {
 	image  []byte
 
 	regs  [isa.NumRegisters]register
-	queue []queued
+	queue sim.Queue[queued]
 
 	locked            bool
 	outstandingStores int
 	domain            *sim.ClockDomain
+
+	// Free lists for the pooled event objects of the hot instruction
+	// path, plus pre-bound shared callbacks and the mask scratch buffer
+	// (valid only within one VMaskStore; OnResult consumers compare and
+	// discard).
+	subFree        []*subOp
+	ldFree         []*ldOp
+	mlFree         []*mlOp
+	aluFree        []*aluOp
+	fanFree        []*fanOp
+	rfFree         []*rowFetch
+	storeDrainedFn func(now sim.Cycle)
+	maskScratch    [isa.RegisterBytes / 8]byte
 
 	// maskBuf is the engine's bitmask write-combine buffer: one DRAM row
 	// that accumulates VMaskStore output, so that 8-byte mask pieces do
@@ -232,7 +386,81 @@ func New(engine *sim.Engine, cfg Config, links *link.Controller, vaults *dram.HM
 	e.maskBufMisses = sc.Counter("maskbuf_misses")
 	e.maskBufFlushes = sc.Counter("maskbuf_flushes")
 	e.domain = sim.NewClockDomain(engine, cfg.ClockDivider, e)
+	e.storeDrainedFn = func(sim.Cycle) { e.outstandingStores-- }
 	return e, nil
+}
+
+// Pool accessors: each draws a free object or constructs one with its
+// callbacks pre-bound (a one-time cost per pooled object).
+
+func (e *Engine) getSub() *subOp {
+	if n := len(e.subFree); n > 0 {
+		op := e.subFree[n-1]
+		e.subFree = e.subFree[:n-1]
+		return op
+	}
+	op := &subOp{e: e}
+	op.execFn = op.exec
+	op.deliverFn = op.deliver
+	return op
+}
+
+func (e *Engine) getLd() *ldOp {
+	if n := len(e.ldFree); n > 0 {
+		op := e.ldFree[n-1]
+		e.ldFree = e.ldFree[:n-1]
+		return op
+	}
+	op := &ldOp{e: e}
+	op.fn = op.complete
+	return op
+}
+
+func (e *Engine) getMl() *mlOp {
+	if n := len(e.mlFree); n > 0 {
+		op := e.mlFree[n-1]
+		e.mlFree = e.mlFree[:n-1]
+		return op
+	}
+	op := &mlOp{e: e}
+	op.fn = op.fill
+	return op
+}
+
+func (e *Engine) getAlu() *aluOp {
+	if n := len(e.aluFree); n > 0 {
+		op := e.aluFree[n-1]
+		e.aluFree = e.aluFree[:n-1]
+		return op
+	}
+	return &aluOp{e: e}
+}
+
+func (e *Engine) getFan() *fanOp {
+	if n := len(e.fanFree); n > 0 {
+		op := e.fanFree[n-1]
+		e.fanFree = e.fanFree[:n-1]
+		return op
+	}
+	op := &fanOp{e: e}
+	op.chunkFn = op.chunkDone
+	return op
+}
+
+func (e *Engine) getRowFetch(row mem.Addr) *rowFetch {
+	var f *rowFetch
+	if n := len(e.rfFree); n > 0 {
+		f = e.rfFree[n-1]
+		e.rfFree = e.rfFree[:n-1]
+	} else {
+		f = &rowFetch{e: e}
+		f.doneFn = f.fetchDone
+	}
+	f.row = row
+	f.done = false
+	f.doneAt = 0
+	f.waiting = f.waiting[:0]
+	return f
 }
 
 // Submit implements the processor offload port. Unlock returns a
@@ -250,36 +478,29 @@ func (e *Engine) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
 		panic("core: invalid instruction: " + err.Error())
 	}
 	acked := inst.Op == isa.Unlock
-	var respond func()
-	e.links.Send(&link.Packet{
+	op := e.getSub()
+	op.inst = inst
+	op.acked = acked
+	op.pkt = link.Packet{
 		Vault:       e.cfg.InstructionVault,
 		ReqPayload:  0, // one 16 B instruction packet
 		RespPayload: 0, // lock/unlock acks are header-only
-		Execute: func(complete func()) {
-			if acked {
-				respond = complete
-			}
-			e.enqueue(queued{inst: inst, complete: func() {
-				if respond != nil {
-					respond()
-				}
-			}})
-		},
-		Done: func(now sim.Cycle) {
-			if acked && done != nil {
-				done(now)
-			}
-		},
-	})
+		Execute:     op.execFn,
+	}
+	if acked {
+		op.done = done
+		op.pkt.Done = op.deliverFn
+	}
+	e.links.Send(&op.pkt)
 	if !acked && done != nil {
 		// Posted: the CPU retires the µop once the packet is on its way.
-		e.engine.After(1, func() { done(e.engine.Now()) })
+		e.engine.AfterCall(1, done)
 	}
 	return true
 }
 
 func (e *Engine) enqueue(q queued) {
-	e.queue = append(e.queue, q)
+	e.queue.Push(q)
 	e.domain.Kick()
 }
 
@@ -289,10 +510,10 @@ func (e *Engine) enqueue(q queued) {
 func (e *Engine) Tick(now sim.Cycle) bool {
 	issued := 0
 	for issued < e.cfg.Width {
-		if len(e.queue) == 0 {
+		if e.queue.Len() == 0 {
 			break
 		}
-		head := e.queue[0]
+		head := *e.queue.Front()
 		cost := 1
 		if head.inst.Pred.Valid {
 			cost += e.cfg.PredExtraSlots
@@ -303,11 +524,11 @@ func (e *Engine) Tick(now sim.Cycle) bool {
 		if !e.canIssue(head.inst, now) {
 			break
 		}
-		e.queue = e.queue[1:]
+		e.queue.Pop()
 		e.issue(head, now)
 		issued += cost
 	}
-	return len(e.queue) > 0
+	return e.queue.Len() > 0
 }
 
 // canIssue applies the interlock and predication-readiness rules.
@@ -411,11 +632,9 @@ func (e *Engine) issue(q queued, now sim.Cycle) {
 		e.dramReadBytes.Add(uint64(inst.Size))
 		dst := &e.regs[inst.Dst]
 		dst.pending = true
-		e.fanOut(inst.Addr, inst.Size, mem.Read, func(sim.Cycle) {
-			copy(dst.data[:inst.Size], e.image[inst.Addr:uint64(inst.Addr)+uint64(inst.Size)])
-			dst.zero = isa.IsZero(dst.data[:], int(inst.Size))
-			dst.pending = false
-		})
+		op := e.getLd()
+		op.dst, op.addr, op.size = dst, inst.Addr, inst.Size
+		e.fanOut(inst.Addr, inst.Size, mem.Read, op.fn)
 		q.complete()
 
 	case isa.VMaskLoad:
@@ -423,46 +642,40 @@ func (e *Engine) issue(q queued, now sim.Cycle) {
 		nb := isa.MaskBytes(inst.Size)
 		dst := &e.regs[inst.Dst]
 		dst.pending = true
-		fill := func(sim.Cycle) {
-			packed := e.image[inst.Addr : uint64(inst.Addr)+uint64(nb)]
-			isa.ExpandMask(dst.data[:], packed, int(inst.Size))
-			dst.zero = isa.IsZero(dst.data[:], int(inst.Size))
-			dst.pending = false
-		}
+		op := e.getMl()
+		op.dst, op.addr, op.nb, op.size = dst, inst.Addr, nb, inst.Size
 		row := e.geom.RowBase(inst.Addr)
 		switch {
 		case e.maskBuf.valid && e.maskBuf.row == row:
 			// Forwarded from the write-combine buffer: no DRAM access.
 			e.maskBufHits.Inc()
-			at := now + e.cfg.ClockDivider
-			e.engine.Schedule(at, func() { fill(at) })
+			e.engine.ScheduleCall(now+e.cfg.ClockDivider, op.fn)
 		case e.maskRead != nil && e.maskRead.row == row:
 			e.maskBufHits.Inc()
 			f := e.maskRead
 			if !f.done {
 				// The row fetch is still in flight: coalesce onto it.
-				f.waiting = append(f.waiting, fill)
+				f.waiting = append(f.waiting, op.fn)
 				break
 			}
 			at := now + e.cfg.ClockDivider
 			if f.doneAt > at {
 				at = f.doneAt
 			}
-			e.engine.Schedule(at, func() { fill(at) })
+			e.engine.ScheduleCall(at, op.fn)
 		default:
 			// Miss: fetch the whole row once into the logic layer.
 			e.maskBufMisses.Inc()
 			e.dramReadBytes.Add(uint64(e.geom.RowBytes))
-			f := &rowFetch{row: row, waiting: []func(sim.Cycle){fill}}
+			if old := e.maskRead; old != nil && old.done {
+				// The superseded fetch has completed its waiters; it
+				// becomes reusable the moment it loses currency.
+				e.rfFree = append(e.rfFree, old)
+			}
+			f := e.getRowFetch(row)
+			f.waiting = append(f.waiting, op.fn)
 			e.maskRead = f
-			e.fanOut(row, e.geom.RowBytes, mem.Read, func(done sim.Cycle) {
-				f.done = true
-				f.doneAt = done
-				for _, wfn := range f.waiting {
-					wfn(done)
-				}
-				f.waiting = nil
-			})
+			e.fanOut(row, e.geom.RowBytes, mem.Read, f.doneFn)
 		}
 		q.complete()
 
@@ -472,16 +685,14 @@ func (e *Engine) issue(q queued, now sim.Cycle) {
 		src := &e.regs[inst.Src1]
 		copy(e.image[inst.Addr:uint64(inst.Addr)+uint64(inst.Size)], src.data[:inst.Size])
 		e.outstandingStores++
-		e.fanOut(inst.Addr, inst.Size, mem.Write, func(sim.Cycle) {
-			e.outstandingStores--
-		})
+		e.fanOut(inst.Addr, inst.Size, mem.Write, e.storeDrainedFn)
 		q.complete()
 
 	case isa.VMaskStore:
 		e.stores.Inc()
 		src := &e.regs[inst.Src1]
 		nb := isa.MaskBytes(inst.Size)
-		mask := make([]byte, nb)
+		mask := e.maskScratch[:nb]
 		isa.CompactMask(mask, src.data[:], int(inst.Size))
 		copy(e.image[inst.Addr:uint64(inst.Addr)+uint64(nb)], mask)
 		if inst.OnResult != nil {
@@ -503,19 +714,15 @@ func (e *Engine) issue(q queued, now sim.Cycle) {
 		dst := &e.regs[inst.Dst]
 		src1 := &e.regs[inst.Src1]
 		n := int(isa.RegisterBytes)
-		result := make([]byte, n)
+		op := e.getAlu()
 		if inst.UseImm {
-			isa.LaneOpImm(inst.ALU, result, src1.data[:], inst.Imm, n)
+			isa.LaneOpImm(inst.ALU, op.buf[:], src1.data[:], inst.Imm, n)
 		} else {
-			isa.LaneOp(inst.ALU, result, src1.data[:], e.regs[inst.Src2].data[:], n)
+			isa.LaneOp(inst.ALU, op.buf[:], src1.data[:], e.regs[inst.Src2].data[:], n)
 		}
 		dst.pending = true
-		done := now + e.aluLatency(inst)
-		e.engine.Schedule(done, func() {
-			copy(dst.data[:], result)
-			dst.zero = isa.IsZero(dst.data[:], n)
-			dst.pending = false
-		})
+		op.dst = dst
+		e.engine.ScheduleEvent(now+e.aluLatency(inst), op, 0)
 		q.complete()
 
 	default:
@@ -548,25 +755,57 @@ func (e *Engine) flushMaskBuf() {
 	e.maskBuf.dirty = false
 	e.dramWriteBytes.Add(uint64(e.geom.RowBytes))
 	e.outstandingStores++
-	e.fanOut(e.maskBuf.row, e.geom.RowBytes, mem.Write, func(sim.Cycle) {
-		e.outstandingStores--
-	})
+	e.fanOut(e.maskBuf.row, e.geom.RowBytes, mem.Write, e.storeDrainedFn)
 }
 
 // fanOut issues the DRAM accesses for a (possibly row-straddling) engine
-// memory operation and invokes done when all complete.
+// memory operation and invokes done when all complete. The row walk is
+// inlined (no chunk slice) and every chunk reuses the fan-out's one
+// request struct: the vault consumes a request synchronously, retaining
+// only its Done callback.
 func (e *Engine) fanOut(addr mem.Addr, size uint32, kind mem.Kind, done func(now sim.Cycle)) {
-	chunks := e.geom.Split(addr, size)
-	remaining := len(chunks)
-	for _, ch := range chunks {
-		e.vaults.Access(&mem.Request{Addr: ch.Addr, Size: ch.Size, Kind: kind,
-			Done: func(now sim.Cycle) {
-				remaining--
-				if remaining == 0 {
-					done(now)
-				}
-			}})
+	rowBytes := mem.Addr(e.geom.RowBytes)
+	// First walk: count the row-contained chunks.
+	n := 0
+	for a, s := addr, size; s > 0; {
+		c := uint32(e.geom.RowBase(a) + rowBytes - a)
+		if c > s {
+			c = s
+		}
+		n++
+		a += mem.Addr(c)
+		s -= c
 	}
+	op := e.getFan()
+	op.remaining = n
+	op.done = done
+	// Second walk: issue the accesses.
+	for a, s := addr, size; s > 0; {
+		c := uint32(e.geom.RowBase(a) + rowBytes - a)
+		if c > s {
+			c = s
+		}
+		op.req = mem.Request{Addr: a, Size: c, Kind: kind, Done: op.chunkFn}
+		e.vaults.Access(&op.req)
+		a += mem.Addr(c)
+		s -= c
+	}
+}
+
+// Reset returns the engine to its post-New state: registers zeroed
+// (with zero flags set, as on a fresh bank), queue empty, no lock held,
+// mask buffers invalidated, clock domain never ticked. Counters are
+// zeroed by the registry reset the machine performs alongside.
+func (e *Engine) Reset() {
+	for i := range e.regs {
+		e.regs[i] = register{zero: true}
+	}
+	e.queue.Reset()
+	e.locked = false
+	e.outstandingStores = 0
+	e.maskBuf.valid, e.maskBuf.dirty, e.maskBuf.row = false, false, 0
+	e.maskRead = nil
+	e.domain.Reset()
 }
 
 // Locked reports whether a lock block is open (for tests).
@@ -586,4 +825,4 @@ func (e *Engine) RegisterZero(i int) bool { return e.regs[i].zero }
 func (e *Engine) RegisterPending(i int) bool { return e.regs[i].pending }
 
 // QueueDepth reports buffered instructions (for tests).
-func (e *Engine) QueueDepth() int { return len(e.queue) }
+func (e *Engine) QueueDepth() int { return e.queue.Len() }

@@ -127,25 +127,33 @@ func (c Config) Validate() error {
 }
 
 // fuFor maps a µop class to its functional-unit pool.
+// fuTable maps µop classes to functional units; ^FUClass(0) marks
+// classes with no FU. A flat lookup because fuFor runs once per issue
+// attempt, the hottest loop in the pipeline model.
+var fuTable [256]FUClass
+
+func init() {
+	for i := range fuTable {
+		fuTable[i] = ^FUClass(0)
+	}
+	for class, fu := range map[isa.OpClass]FUClass{
+		isa.Nop: FUIntALU, isa.IntALU: FUIntALU, isa.Branch: FUIntALU,
+		isa.IntMul: FUIntMul,
+		isa.IntDiv: FUIntDiv,
+		isa.FPALU:  FUFPALU, isa.VecALU: FUFPALU, isa.VecCmp: FUFPALU,
+		isa.FPMul: FUFPMul,
+		isa.FPDiv: FUFPDiv,
+		isa.Load:  FULoad, isa.Offload: FULoad,
+		isa.Store: FUStore,
+	} {
+		fuTable[class] = fu
+	}
+}
+
 func fuFor(class isa.OpClass) FUClass {
-	switch class {
-	case isa.IntALU, isa.Branch, isa.Nop:
-		return FUIntALU
-	case isa.IntMul:
-		return FUIntMul
-	case isa.IntDiv:
-		return FUIntDiv
-	case isa.FPALU, isa.VecALU, isa.VecCmp:
-		return FUFPALU
-	case isa.FPMul:
-		return FUFPMul
-	case isa.FPDiv:
-		return FUFPDiv
-	case isa.Load, isa.Offload:
-		return FULoad
-	case isa.Store:
-		return FUStore
-	default:
+	fu := fuTable[class]
+	if fu == ^FUClass(0) {
 		panic(fmt.Sprintf("cpu: no FU for class %s", class))
 	}
+	return fu
 }

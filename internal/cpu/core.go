@@ -54,18 +54,48 @@ type fetchedOp struct {
 	mispredicted bool
 }
 
+// robEntry event tags (sim.Handler).
+const (
+	tagComplete uint64 = iota
+	tagBranchResolve
+)
+
+// robEntry is one in-flight µop. Entries are pooled: the core draws
+// them from a free list at dispatch and returns them after commit (for
+// stores, after the drained write completes), so steady-state execution
+// allocates nothing per µop. The embedded request and the pre-bound
+// callbacks (created once, when the entry is first constructed) replace
+// the per-µop closure and request allocations of the old pipeline.
 type robEntry struct {
+	c *Core
 	fetchedOp
 	state   entryState
 	deps    int
 	waiters []*robEntry
 	inROB   bool
+
+	// req is the entry's memory access (load at issue, store at drain).
+	req         mem.Request
+	uncacheable bool
+
+	// Pre-bound completion callbacks (one-time per pooled entry).
+	loadDone  func(now sim.Cycle) // load/offload response: frees MOB read slot
+	storeDone func(now sim.Cycle) // store drain: frees MOB write slot, releases entry
 }
 
-// pendingStore is a committed store waiting to drain to memory.
-type pendingStore struct {
-	req         *mem.Request
-	uncacheable bool
+// OnEvent implements sim.Handler: FU completions and branch resolution
+// are scheduled directly on the entry.
+func (e *robEntry) OnEvent(now sim.Cycle, tag uint64) {
+	c := e.c
+	if tag == tagBranchResolve {
+		if c.hasBlockingBr && c.blockingBranch == e.seq {
+			// Resolving mispredicted branch: restart the front end after
+			// the refill penalty.
+			c.hasBlockingBr = false
+			c.fetchStallUntil = now + c.cfg.MispredictPenalty
+		}
+	}
+	c.complete(e)
 }
 
 // Core is one out-of-order processor core.
@@ -81,16 +111,19 @@ type Core struct {
 	streamDone bool
 	nextSeq    uint64
 
-	fetchBuf  []fetchedOp
-	decodeBuf []fetchedOp
-	rob       []*robEntry
+	fetchBuf  sim.Queue[fetchedOp]
+	decodeBuf sim.Queue[fetchedOp]
+	rob       sim.Queue[*robEntry]
 	readyQ    []*robEntry
+	readyKeep []*robEntry // scratch for issue's keep list, swapped each cycle
+
+	entryFree []*robEntry
 
 	producers map[isa.Reg]*robEntry
 
 	mobReads      int // in-flight loads + offloads
 	mobWrites     int // in-flight committed stores
-	pendingStores []pendingStore
+	pendingStores sim.Queue[*robEntry]
 
 	fetchStallUntil sim.Cycle
 	blockingBranch  uint64 // seq of the unresolved mispredicted branch
@@ -156,6 +189,74 @@ func New(engine *sim.Engine, cfg Config, dcache, umem mem.Port, offloadPort Offl
 	return c, nil
 }
 
+// newEntry draws a pooled entry and initialises it for f.
+func (c *Core) newEntry(f fetchedOp) *robEntry {
+	var e *robEntry
+	if n := len(c.entryFree); n > 0 {
+		e = c.entryFree[n-1]
+		c.entryFree = c.entryFree[:n-1]
+	} else {
+		e = &robEntry{c: c}
+		e.loadDone = func(now sim.Cycle) {
+			e.c.mobReads--
+			e.c.complete(e)
+		}
+		e.storeDone = func(now sim.Cycle) {
+			e.c.mobWrites--
+			e.c.release(e)
+		}
+	}
+	e.fetchedOp = f
+	e.state = stWaiting
+	e.deps = 0
+	e.waiters = e.waiters[:0]
+	e.inROB = true
+	e.uncacheable = false
+	return e
+}
+
+// release returns an entry to the pool. Callers must guarantee nothing
+// still references it (see commit and storeDone).
+func (c *Core) release(e *robEntry) {
+	c.entryFree = append(c.entryFree, e)
+}
+
+// Reset returns the core to its post-New state: pipeline empty,
+// predictor untrained, MOB free, clock domain never ticked. In-flight
+// entries are recovered into the pool (a machine reset drops their
+// completion events with the engine's queue). Counters are zeroed by
+// the registry reset the machine performs alongside.
+func (c *Core) Reset() {
+	c.stream = nil
+	c.streamDone = false
+	c.nextSeq = 0
+	c.fetchBuf.Reset()
+	c.decodeBuf.Reset()
+	for c.rob.Len() > 0 {
+		c.release(c.rob.Pop())
+	}
+	for c.pendingStores.Len() > 0 {
+		c.release(c.pendingStores.Pop())
+	}
+	c.readyQ = c.readyQ[:0]
+	c.readyKeep = c.readyKeep[:0]
+	clear(c.producers)
+	c.mobReads, c.mobWrites = 0, 0
+	c.fetchStallUntil = 0
+	c.blockingBranch, c.hasBlockingBr = 0, false
+	c.issuedThisCycle = [fuClasses]int{}
+	for i := range c.divBusyUntil {
+		for j := range c.divBusyUntil[i] {
+			c.divBusyUntil[i][j] = 0
+		}
+	}
+	c.pred.reset()
+	c.domain.Reset()
+	c.startCycle, c.finishCycle = 0, 0
+	c.running = false
+	c.onFinish = nil
+}
+
 // Start begins executing a µop stream; onFinish (optional) fires when the
 // last µop has committed and all stores have drained.
 func (c *Core) Start(s Stream, onFinish func()) {
@@ -204,8 +305,8 @@ func (c *Core) Tick(now sim.Cycle) bool {
 
 func (c *Core) idle() bool {
 	return c.streamDone &&
-		len(c.fetchBuf) == 0 && len(c.decodeBuf) == 0 && len(c.rob) == 0 &&
-		len(c.pendingStores) == 0 && c.mobWrites == 0 && c.mobReads == 0
+		c.fetchBuf.Len() == 0 && c.decodeBuf.Len() == 0 && c.rob.Len() == 0 &&
+		c.pendingStores.Len() == 0 && c.mobWrites == 0 && c.mobReads == 0
 }
 
 // fetch brings µops into the fetch buffer, honoring the fetch-group byte
@@ -220,7 +321,7 @@ func (c *Core) fetch(now sim.Cycle) {
 	}
 	budget := int(c.cfg.FetchBytes / c.cfg.InstBytes)
 	branches := 0
-	for budget > 0 && len(c.fetchBuf) < c.cfg.FetchBufSize {
+	for budget > 0 && c.fetchBuf.Len() < c.cfg.FetchBufSize {
 		uop, ok := c.stream.Next()
 		if !ok {
 			c.streamDone = true
@@ -240,23 +341,23 @@ func (c *Core) fetch(now sim.Cycle) {
 				c.mispredicts.Inc()
 				c.hasBlockingBr = true
 				c.blockingBranch = f.seq
-				c.fetchBuf = append(c.fetchBuf, f)
+				c.fetchBuf.Push(f)
 				return
 			}
 			if uop.Taken && !btbHit {
 				// Correct direction but unknown target: redirect bubble.
 				c.btbMisses.Inc()
 				c.fetchStallUntil = now + c.cfg.BTBMissPenalty
-				c.fetchBuf = append(c.fetchBuf, f)
+				c.fetchBuf.Push(f)
 				return
 			}
 			if uop.Taken || branches >= c.cfg.MaxBranchFetch {
 				// Taken branches end the fetch group.
-				c.fetchBuf = append(c.fetchBuf, f)
+				c.fetchBuf.Push(f)
 				return
 			}
 		}
-		c.fetchBuf = append(c.fetchBuf, f)
+		c.fetchBuf.Push(f)
 		budget--
 	}
 }
@@ -264,9 +365,8 @@ func (c *Core) fetch(now sim.Cycle) {
 // decode moves µops from the fetch buffer to the decode buffer.
 func (c *Core) decode() {
 	n := c.cfg.DecodeWidth
-	for n > 0 && len(c.fetchBuf) > 0 && len(c.decodeBuf) < c.cfg.DecodeBufSize {
-		c.decodeBuf = append(c.decodeBuf, c.fetchBuf[0])
-		c.fetchBuf = c.fetchBuf[1:]
+	for n > 0 && c.fetchBuf.Len() > 0 && c.decodeBuf.Len() < c.cfg.DecodeBufSize {
+		c.decodeBuf.Push(c.fetchBuf.Pop())
 		n--
 	}
 }
@@ -274,18 +374,20 @@ func (c *Core) decode() {
 // dispatch renames µops into the ROB and resolves dependencies.
 func (c *Core) dispatch() {
 	n := c.cfg.IssueWidth
-	for n > 0 && len(c.decodeBuf) > 0 {
-		if len(c.rob) >= c.cfg.ROBSize {
+	for n > 0 && c.decodeBuf.Len() > 0 {
+		if c.rob.Len() >= c.cfg.ROBSize {
 			c.robStalls.Inc()
 			return
 		}
-		f := c.decodeBuf[0]
-		c.decodeBuf = c.decodeBuf[1:]
-		e := &robEntry{fetchedOp: f, inROB: true}
-		for _, src := range []isa.Reg{f.uop.Src1, f.uop.Src2} {
-			if src == isa.RegNone {
-				continue
+		f := c.decodeBuf.Pop()
+		e := c.newEntry(f)
+		if src := f.uop.Src1; src != isa.RegNone {
+			if p, ok := c.producers[src]; ok && p.state != stDone {
+				e.deps++
+				p.waiters = append(p.waiters, e)
 			}
+		}
+		if src := f.uop.Src2; src != isa.RegNone {
 			if p, ok := c.producers[src]; ok && p.state != stDone {
 				e.deps++
 				p.waiters = append(p.waiters, e)
@@ -294,7 +396,7 @@ func (c *Core) dispatch() {
 		if f.uop.Dst != isa.RegNone {
 			c.producers[f.uop.Dst] = e
 		}
-		c.rob = append(c.rob, e)
+		c.rob.Push(e)
 		if e.deps == 0 {
 			e.state = stReady
 			c.readyQ = append(c.readyQ, e)
@@ -304,9 +406,10 @@ func (c *Core) dispatch() {
 }
 
 // issue selects ready µops (oldest first) respecting FU and MOB limits.
+// The keep list reuses a scratch buffer swapped with readyQ each cycle.
 func (c *Core) issue(now sim.Cycle) {
 	issued := 0
-	var keep []*robEntry
+	keep := c.readyKeep[:0]
 	for _, e := range c.readyQ {
 		if issued >= c.cfg.IssueWidth {
 			keep = append(keep, e)
@@ -318,6 +421,7 @@ func (c *Core) issue(now sim.Cycle) {
 		}
 		issued++
 	}
+	c.readyKeep = c.readyQ[:0]
 	c.readyQ = keep
 }
 
@@ -353,12 +457,8 @@ func (c *Core) tryIssue(e *robEntry, now sim.Cycle) bool {
 		if e.uop.Uncacheable {
 			port = c.umem
 		}
-		req := &mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Read,
-			Done: func(sim.Cycle) {
-				c.mobReads--
-				c.complete(e)
-			}}
-		if !port.Access(req) {
+		e.req = mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Read, Done: e.loadDone}
+		if !port.Access(&e.req) {
 			c.cacheRetry.Inc()
 			return false
 		}
@@ -376,10 +476,7 @@ func (c *Core) tryIssue(e *robEntry, now sim.Cycle) bool {
 			c.mobStalls.Inc()
 			return false
 		}
-		if !c.offload.Submit(e.uop.Offload, func(sim.Cycle) {
-			c.mobReads--
-			c.complete(e)
-		}) {
+		if !c.offload.Submit(e.uop.Offload, e.loadDone) {
 			c.cacheRetry.Inc()
 			return false
 		}
@@ -393,7 +490,7 @@ func (c *Core) tryIssue(e *robEntry, now sim.Cycle) bool {
 		// Address generation only; the write drains post-commit.
 		e.state = stExecuting
 		c.issuedThisCycle[fu]++
-		c.scheduleDone(e, now+fuCfg.Latency)
+		c.engine.ScheduleEvent(now+fuCfg.Latency, e, tagComplete)
 		return true
 
 	default:
@@ -401,28 +498,12 @@ func (c *Core) tryIssue(e *robEntry, now sim.Cycle) bool {
 		c.issuedThisCycle[fu]++
 		done := now + fuCfg.Latency
 		if e.uop.Class == isa.Branch && e.mispredicted {
-			// Resolving mispredicted branch: restart the front end after
-			// the refill penalty.
-			c.scheduleBranchResolve(e, done)
+			c.engine.ScheduleEvent(done, e, tagBranchResolve)
 		} else {
-			c.scheduleDone(e, done)
+			c.engine.ScheduleEvent(done, e, tagComplete)
 		}
 		return true
 	}
-}
-
-func (c *Core) scheduleDone(e *robEntry, at sim.Cycle) {
-	c.engine.Schedule(at, func() { c.complete(e) })
-}
-
-func (c *Core) scheduleBranchResolve(e *robEntry, at sim.Cycle) {
-	c.engine.Schedule(at, func() {
-		if c.hasBlockingBr && c.blockingBranch == e.seq {
-			c.hasBlockingBr = false
-			c.fetchStallUntil = at + c.cfg.MispredictPenalty
-		}
-		c.complete(e)
-	})
 }
 
 // complete marks a µop done and wakes dependents.
@@ -440,14 +521,18 @@ func (c *Core) complete(e *robEntry) {
 			c.readyQ = append(c.readyQ, w)
 		}
 	}
-	e.waiters = nil
+	e.waiters = e.waiters[:0]
 }
 
 // commit retires done µops in order; stores enter the store buffer here.
+// Retired non-store entries return to the pool immediately: their
+// completion event has fired (state is stDone), their waiters list is
+// drained, and complete() removed any producer-table reference. Store
+// entries return after their drained write completes (storeDone).
 func (c *Core) commit(now sim.Cycle) {
 	n := c.cfg.CommitWidth
-	for n > 0 && len(c.rob) > 0 {
-		e := c.rob[0]
+	for n > 0 && c.rob.Len() > 0 {
+		e := *c.rob.Front()
 		if e.state != stDone {
 			return
 		}
@@ -458,28 +543,31 @@ func (c *Core) commit(now sim.Cycle) {
 			}
 			c.mobWrites++
 			c.stores.Inc()
-			req := &mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Write,
-				Done: func(sim.Cycle) { c.mobWrites-- }}
-			c.pendingStores = append(c.pendingStores, pendingStore{req: req, uncacheable: e.uop.Uncacheable})
+			e.req = mem.Request{Addr: e.uop.Addr, Size: e.uop.Size, Kind: mem.Write, Done: e.storeDone}
+			e.uncacheable = e.uop.Uncacheable
+			c.pendingStores.Push(e)
 		}
-		c.rob = c.rob[1:]
+		c.rob.Pop()
 		e.inROB = false
 		c.committed.Inc()
+		if e.uop.Class != isa.Store {
+			c.release(e)
+		}
 		n--
 	}
 }
 
 // drainStores pushes buffered stores into the memory system in order.
 func (c *Core) drainStores() {
-	for len(c.pendingStores) > 0 {
-		ps := c.pendingStores[0]
+	for c.pendingStores.Len() > 0 {
+		e := *c.pendingStores.Front()
 		port := c.dcache
-		if ps.uncacheable {
+		if e.uncacheable {
 			port = c.umem
 		}
-		if !port.Access(ps.req) {
+		if !port.Access(&e.req) {
 			return
 		}
-		c.pendingStores = c.pendingStores[1:]
+		c.pendingStores.Pop()
 	}
 }

@@ -28,6 +28,18 @@ func newBranchPredictor(ghrBits uint8, phtEntries, btbEntries int) *branchPredic
 	return p
 }
 
+// reset restores the untrained post-construction state in place,
+// keeping the PHT/BTB arrays (machine reset must not allocate).
+func (p *branchPredictor) reset() {
+	p.ghr = 0
+	for i := range p.pht {
+		p.pht[i] = 1 // weakly not-taken
+	}
+	for i := range p.btb {
+		p.btb[i] = ^uint64(0)
+	}
+}
+
 func (p *branchPredictor) phtIndex(pc uint64) int {
 	return int((uint64(p.ghr) ^ (pc >> 2)) % uint64(len(p.pht)))
 }

@@ -8,6 +8,7 @@ package db
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/hipe-sim/hipe/internal/isa"
 	"github.com/hipe-sim/hipe/internal/mem"
@@ -121,6 +122,86 @@ func GenerateClustered(n int, seed uint64, noiseDays int32) *Table {
 		t.ShipDate[i] = int32(d)
 	}
 	return t
+}
+
+// ImageBytesFor sizes a simulated-machine backing image for an n-row
+// workload: the NSM layout is the hungriest client (tuples +
+// materialisation region + lane masks ≈ 130 bytes/row); triple the
+// tuple bytes plus fixed slack bounds every plan with room to spare,
+// rounded up to a whole MiB. Layouts bump-allocate from address zero,
+// so the image size never changes addresses or timing — only the bytes
+// a machine build or reset touches.
+func ImageBytesFor(n int) uint64 {
+	need := uint64(n)*3*TupleBytes + (64 << 10)
+	const mib = 1 << 20
+	return (need + mib - 1) &^ (mib - 1)
+}
+
+// tableKey identifies one distinct generated workload table.
+type tableKey struct {
+	n         int
+	seed      uint64
+	clustered bool
+	noiseDays int32
+}
+
+// tableMemo caches generated tables process-wide: every sweep cell,
+// figure-bench iteration and serving shard replay over the same
+// (tuples, seed, clustering) triple shares one table instead of
+// regenerating it. Guarded for the sweep and serve layers' concurrent
+// workers; generation runs outside the lock so a slow build never
+// serialises unrelated lookups.
+var tableMemo struct {
+	mu sync.Mutex
+	m  map[tableKey]*Table
+}
+
+// maxMemoTables bounds the memo: a long-lived process sweeping many
+// distinct workloads must not grow without limit (a 4M-row table is
+// ~100 MB). On overflow the memo drops wholesale — callers that need a
+// table across a whole sweep hold their own reference (the sweep
+// layer's per-run cache does), so eviction only costs a regeneration
+// on the next cross-run reuse.
+const maxMemoTables = 16
+
+func memoised(k tableKey, build func() *Table) *Table {
+	tableMemo.mu.Lock()
+	if tableMemo.m == nil {
+		tableMemo.m = make(map[tableKey]*Table)
+	}
+	t, ok := tableMemo.m[k]
+	tableMemo.mu.Unlock()
+	if ok {
+		return t
+	}
+	built := build()
+	tableMemo.mu.Lock()
+	// A racing builder may have won; keep the first so every caller
+	// shares one instance.
+	if t, ok = tableMemo.m[k]; !ok {
+		if len(tableMemo.m) >= maxMemoTables {
+			clear(tableMemo.m)
+		}
+		tableMemo.m[k] = built
+		t = built
+	}
+	tableMemo.mu.Unlock()
+	return t
+}
+
+// GenerateMemo returns the memoised table for (n, seed): equal to
+// Generate(n, seed), generated at most once per process. The returned
+// table is shared — callers must treat it as read-only (every layout
+// and evaluator in the reproduction already does).
+func GenerateMemo(n int, seed uint64) *Table {
+	return memoised(tableKey{n: n, seed: seed}, func() *Table { return Generate(n, seed) })
+}
+
+// GenerateClusteredMemo is the memoised GenerateClustered. The returned
+// table is shared and must be treated as read-only.
+func GenerateClusteredMemo(n int, seed uint64, noiseDays int32) *Table {
+	return memoised(tableKey{n: n, seed: seed, clustered: true, noiseDays: noiseDays},
+		func() *Table { return GenerateClustered(n, seed, noiseDays) })
 }
 
 // Q06 is the paper's benchmark query predicate — the selection scan of

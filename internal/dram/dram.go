@@ -193,6 +193,21 @@ func New(engine *sim.Engine, geom mem.Geometry, timing Timing, reg *stats.Regist
 	return h, nil
 }
 
+// Reset returns every vault to its post-New state: banks closed and
+// free, buses idle, refresh schedule restarted. Counters are zeroed by
+// the registry reset the machine performs alongside.
+func (h *HMC) Reset() {
+	for _, v := range h.vaults {
+		for b := range v.banks {
+			v.banks[b] = bank{openRow: ^uint64(0)}
+		}
+		v.busFreeAt = 0
+		v.arrivalFree = 0
+		v.nextRefresh = v.timing.RefreshInterval
+		v.latency.Reset()
+	}
+}
+
 // Vault returns vault i.
 func (h *HMC) Vault(i uint32) *Vault { return h.vaults[i] }
 
@@ -301,8 +316,10 @@ func (v *Vault) access(req *mem.Request, loc mem.Location) {
 	v.latency.Observe(uint64(done - now))
 
 	if req.Done != nil {
-		done := done
-		v.engine.Schedule(done, func() { req.Done(done) })
+		// ScheduleCall stores the callback without a wrapper closure:
+		// this is the hottest event in the simulator (one per DRAM
+		// access) and must not allocate.
+		v.engine.ScheduleCall(done, req.Done)
 	}
 }
 

@@ -60,12 +60,53 @@ type Engine struct {
 	image  []byte
 
 	inFlight int
+	opFree   []*hmcOp
+
+	// Scratch for apply's lane expansion and mask compaction. Valid
+	// only within one apply call; OnResult consumers must not retain
+	// the slice (the query layer compares and discards it).
+	laneScratch [isa.RegisterBytes]byte
+	maskScratch [isa.RegisterBytes / 8]byte
 
 	executed  *stats.Counter
 	cmpReads  *stats.Counter
 	updates   *stats.Counter
 	rejected  *stats.Counter
 	maskBytes *stats.Counter
+}
+
+// hmcOp is one pooled in-flight instruction: the link packet, the vault
+// request it becomes inside the cube, and the pre-bound callbacks for
+// every hop. Submit draws one; the response delivery releases it.
+type hmcOp struct {
+	e    *Engine
+	inst *isa.OffloadInst
+	done func(now sim.Cycle)
+	pkt  link.Packet
+	req  mem.Request
+
+	execFn      func(p *link.Packet)
+	readDoneFn  func(now sim.Cycle)
+	writeDoneFn func(now sim.Cycle)
+	deliverFn   func(now sim.Cycle)
+
+	// wb records apply's write-back decision between the DRAM read
+	// completing (where the functional effect happens, exactly as
+	// before the refactor) and the FU latency elapsing.
+	wb bool
+}
+
+// OnEvent implements sim.Handler: the functional-unit latency elapsed;
+// write back if needed, else complete toward the response link.
+func (op *hmcOp) OnEvent(now sim.Cycle, _ uint64) {
+	e := op.e
+	e.executed.Inc()
+	if !op.wb {
+		op.pkt.Complete()
+		return
+	}
+	op.req = mem.Request{Addr: op.inst.Addr, Size: sizeOf(op.inst), Kind: mem.Write, Done: op.writeDoneFn}
+	e.vaults.Access(&op.req)
 }
 
 // New builds the baseline engine over the given DRAM and link models.
@@ -91,6 +132,21 @@ func New(engine *sim.Engine, cfg Config, links *link.Controller, vaults *dram.HM
 	}, nil
 }
 
+// getOp draws a pooled instruction context.
+func (e *Engine) getOp() *hmcOp {
+	if n := len(e.opFree); n > 0 {
+		op := e.opFree[n-1]
+		e.opFree = e.opFree[:n-1]
+		return op
+	}
+	op := &hmcOp{e: e}
+	op.execFn = op.exec
+	op.readDoneFn = op.readDone
+	op.writeDoneFn = func(sim.Cycle) { op.pkt.Complete() }
+	op.deliverFn = op.deliver
+	return op
+}
+
 // Submit implements the processor offload port for TargetHMC
 // instructions. It reports false when the in-flight window is full.
 func (e *Engine) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
@@ -111,59 +167,61 @@ func (e *Engine) Submit(inst *isa.OffloadInst, done func(now sim.Cycle)) bool {
 	if inst.Op == isa.CmpRead {
 		respPayload = isa.MaskBytes(inst.Size)
 	}
-	e.links.Send(&link.Packet{
+	op := e.getOp()
+	op.inst = inst
+	op.done = done
+	op.pkt = link.Packet{
 		Vault:       loc.Vault,
 		ReqPayload:  e.cfg.RequestBytes,
 		RespPayload: respPayload,
-		Execute: func(complete func()) {
-			e.execute(inst, complete)
-		},
-		Done: func(now sim.Cycle) {
-			e.inFlight--
-			done(now)
-		},
-	})
+		Execute:     op.execFn,
+		Done:        op.deliverFn,
+	}
+	e.links.Send(&op.pkt)
 	return true
 }
 
-// execute runs one instruction in the vault: DRAM read, FU op, and (for
-// updates) DRAM write-back, then completes toward the response link.
-func (e *Engine) execute(inst *isa.OffloadInst, complete func()) {
-	size := inst.Size
-	if inst.Op == isa.CompareSwap {
-		size = isa.LaneBytes
-	}
-	read := &mem.Request{Addr: inst.Addr, Size: size, Kind: mem.Read,
-		Done: func(now sim.Cycle) {
-			writeBack := e.apply(inst)
-			after := now + e.cfg.FULatency
-			e.engine.Schedule(after, func() {
-				e.executed.Inc()
-				if !writeBack {
-					complete()
-					return
-				}
-				e.vaults.Access(&mem.Request{Addr: inst.Addr, Size: size, Kind: mem.Write,
-					Done: func(sim.Cycle) { complete() }})
-			})
-		}}
-	e.vaults.Access(read)
+// exec runs cube-side on instruction arrival: issue the DRAM read.
+func (op *hmcOp) exec(*link.Packet) {
+	op.req = mem.Request{Addr: op.inst.Addr, Size: sizeOf(op.inst), Kind: mem.Read, Done: op.readDoneFn}
+	op.e.vaults.Access(&op.req)
+}
+
+// readDone fires when the operand read completes: the functional effect
+// applies here (visible to anything that reads the image afterwards),
+// then the FU latency elapses before write-back / response.
+func (op *hmcOp) readDone(now sim.Cycle) {
+	op.wb = op.e.apply(op.inst)
+	op.e.engine.ScheduleEvent(now+op.e.cfg.FULatency, op, 0)
+}
+
+// deliver fires on the requester side: release the window slot and the
+// op, then complete toward the core.
+func (op *hmcOp) deliver(now sim.Cycle) {
+	e := op.e
+	done := op.done
+	op.inst, op.done = nil, nil
+	e.opFree = append(e.opFree, op)
+	e.inFlight--
+	done(now)
 }
 
 // apply performs the functional effect; it reports whether the
-// instruction writes DRAM back.
+// instruction writes DRAM back. The mask handed to OnResult lives in
+// the engine's scratch buffer: consumers compare and discard it within
+// the call.
 func (e *Engine) apply(inst *isa.OffloadInst) bool {
 	data := e.image[inst.Addr : uint64(inst.Addr)+uint64(sizeOf(inst))]
 	switch inst.Op {
 	case isa.CmpRead:
 		e.cmpReads.Inc()
-		lanes := make([]byte, inst.Size)
+		lanes := e.laneScratch[:inst.Size]
 		if len(inst.Pattern) > 0 {
 			isa.LaneOpPattern(inst.ALU, lanes, data, inst.Pattern, int(inst.Size))
 		} else {
 			isa.LaneOpImm(inst.ALU, lanes, data, inst.Imm, int(inst.Size))
 		}
-		mask := make([]byte, isa.MaskBytes(inst.Size))
+		mask := e.maskScratch[:isa.MaskBytes(inst.Size)]
 		isa.CompactMask(mask, lanes, int(inst.Size))
 		e.maskBytes.Add(uint64(len(mask)))
 		if inst.OnResult != nil {
@@ -182,7 +240,7 @@ func (e *Engine) apply(inst *isa.OffloadInst) bool {
 			isa.SetLane(data, 0, inst.Imm2)
 		}
 		if inst.OnResult != nil {
-			res := make([]byte, isa.LaneBytes)
+			res := e.laneScratch[:isa.LaneBytes]
 			isa.SetLane(res, 0, old)
 			inst.OnResult(res)
 		}
@@ -198,6 +256,11 @@ func sizeOf(inst *isa.OffloadInst) uint32 {
 	}
 	return inst.Size
 }
+
+// Reset clears the in-flight window. Abandoned ops go with the engine's
+// event queue; counters are zeroed by the registry reset the machine
+// performs alongside.
+func (e *Engine) Reset() { e.inFlight = 0 }
 
 // InFlight reports the current window occupancy (for tests).
 func (e *Engine) InFlight() int { return e.inFlight }

@@ -273,13 +273,25 @@ type OffloadInst struct {
 
 	// OnResult, if non-nil, receives the functional result an engine
 	// computes for this instruction (the compacted bitmask of a CmpRead,
-	// the old value of a CompareSwap). Used by the query runner and the
+	// the old value of a CompareSwap). The slice is only valid during
+	// the call: engines hand out scratch buffers, so consumers must
+	// compare or copy, never retain. Used by the query runner and the
 	// tests to cross-check engine results against reference evaluation.
 	OnResult func(result []byte) `json:"-"`
+
+	// validated memoises a successful Validate: the engines validate on
+	// Submit, and a window-full rejection resubmits the same instruction
+	// every cycle — revalidating an immutable instruction each retry was
+	// a measurable share of simulation time. Mutating an instruction
+	// after validation is a programming error.
+	validated bool
 }
 
 // Validate checks structural well-formedness of an instruction.
 func (in *OffloadInst) Validate() error {
+	if in.validated {
+		return nil
+	}
 	switch in.Op {
 	case Lock, Unlock:
 		if in.Pred.Valid {
@@ -329,11 +341,18 @@ func (in *OffloadInst) Validate() error {
 			return fmt.Errorf("isa: valu without ALU kind")
 		}
 	}
-	for _, r := range []uint8{in.Dst, in.Src1, in.Src2} {
-		if int(r) >= NumRegisters {
-			return fmt.Errorf("isa: register %d out of range (bank has %d)", r, NumRegisters)
-		}
+	// Checked individually (not via a slice literal): Validate runs once
+	// per instruction on the submit path and must not allocate.
+	if int(in.Dst) >= NumRegisters {
+		return fmt.Errorf("isa: register %d out of range (bank has %d)", in.Dst, NumRegisters)
 	}
+	if int(in.Src1) >= NumRegisters {
+		return fmt.Errorf("isa: register %d out of range (bank has %d)", in.Src1, NumRegisters)
+	}
+	if int(in.Src2) >= NumRegisters {
+		return fmt.Errorf("isa: register %d out of range (bank has %d)", in.Src2, NumRegisters)
+	}
+	in.validated = true
 	return nil
 }
 

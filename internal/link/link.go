@@ -47,7 +47,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Packet is one request/response exchange across the links.
+// Packet is one request/response exchange across the links. The packet
+// itself is the scheduler event for both link traversals (request
+// arrival at the cube, response delivery at the requester), so sending
+// one allocates nothing beyond what the caller provides; hot callers
+// keep packets in free lists and reuse them.
 type Packet struct {
 	// Vault selects the destination vault, which determines the link.
 	Vault uint32
@@ -56,13 +60,45 @@ type Packet struct {
 	// RespPayload is the response payload size in bytes.
 	RespPayload uint32
 	// Execute runs on the cube side when the request arrives; the
-	// callee must invoke the supplied completion function exactly once
-	// when the in-cube operation finishes, which triggers response
-	// serialisation back to the requester.
-	Execute func(complete func())
+	// callee must invoke p.Complete exactly once when the in-cube
+	// operation finishes, which triggers response serialisation back to
+	// the requester.
+	Execute func(p *Packet)
 	// Done fires on the requester side when the response has fully
 	// arrived. May be nil.
 	Done func(now sim.Cycle)
+
+	// Bound by Send for the response path.
+	ctl *Controller
+	l   *phyLink
+}
+
+// Packet event tags.
+const (
+	pktArrive uint64 = iota
+	pktDeliver
+)
+
+// OnEvent implements sim.Handler: the packet dispatches its own link
+// traversals.
+func (p *Packet) OnEvent(now sim.Cycle, tag uint64) {
+	switch tag {
+	case pktArrive:
+		p.Execute(p)
+	default:
+		p.Done(now)
+	}
+}
+
+// Complete serialises the response back to the requester: the cube side
+// must call it exactly once, when the in-cube operation has finished.
+// Done (if set) fires once the response has fully arrived.
+func (p *Packet) Complete() {
+	respDone := p.ctl.serialize(&p.l.resp, p.RespPayload)
+	deliver := respDone + p.ctl.cfg.Latency
+	if p.Done != nil {
+		p.ctl.engine.ScheduleEvent(deliver, p, pktDeliver)
+	}
 }
 
 type direction struct {
@@ -107,6 +143,19 @@ func New(engine *sim.Engine, cfg Config, vaults uint32, reg *stats.Registry) (*C
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// Reset idles both directions of every link. Counters are zeroed by the
+// registry reset the machine performs alongside.
+func (c *Controller) Reset() {
+	for i := range c.links {
+		c.links[i].req.freeAt = 0
+		c.links[i].resp.freeAt = 0
+	}
+}
+
+// Reset drops the port's in-flight state. Pooled free ops survive; ops
+// that were in flight are abandoned with the engine's event queue.
+func (m *MemPort) Reset() {}
+
 // linkFor maps a vault to its link (vault quadrants).
 func (c *Controller) linkFor(vault uint32) *phyLink {
 	perLink := c.vaults / c.cfg.Links
@@ -127,33 +176,79 @@ func (c *Controller) serialize(d *direction, payload uint32) sim.Cycle {
 }
 
 // Send transmits a packet: request serialisation + latency, Execute at the
-// cube, then response serialisation + latency, then Done.
+// cube, then response serialisation + latency (Complete), then Done.
 func (c *Controller) Send(p *Packet) {
 	if p.Execute == nil {
 		panic("link: packet without Execute")
 	}
-	l := c.linkFor(p.Vault)
-	txDone := c.serialize(&l.req, p.ReqPayload)
+	p.ctl = c
+	p.l = c.linkFor(p.Vault)
+	txDone := c.serialize(&p.l.req, p.ReqPayload)
 	arrive := txDone + c.cfg.Latency
-	c.engine.Schedule(arrive, func() {
-		p.Execute(func() {
-			respDone := c.serialize(&l.resp, p.RespPayload)
-			deliver := respDone + c.cfg.Latency
-			if p.Done != nil {
-				c.engine.Schedule(deliver, func() { p.Done(deliver) })
-			}
-		})
-	})
+	c.engine.ScheduleEvent(arrive, p, pktArrive)
 }
 
 // MemPort adapts the link controller into a mem.Port in front of the
 // DRAM (the plain "HMC as main memory" path used by the cache hierarchy):
 // reads carry a header-only request and a payload response; writes carry a
 // payload request and a header-only acknowledgement.
+//
+// MemPort pools its in-flight operation state: each access draws a
+// memOp (packet + inner DRAM request + pre-bound callbacks) from a free
+// list and returns it when the response delivers, so the steady-state
+// uncacheable path allocates nothing.
 type MemPort struct {
 	Ctl   *Controller
 	Geom  mem.Geometry
 	Inner mem.Port
+
+	free []*memOp
+}
+
+// memOp is one pooled in-flight MemPort access.
+type memOp struct {
+	m     *MemPort
+	pkt   Packet
+	inner mem.Request
+	done  func(now sim.Cycle) // the original requester's Done (may be nil)
+
+	// Pre-bound method values, created once per pooled op.
+	execFn      func(p *Packet)
+	innerDoneFn func(now sim.Cycle)
+	deliverFn   func(now sim.Cycle)
+}
+
+func (m *MemPort) getOp() *memOp {
+	if n := len(m.free); n > 0 {
+		op := m.free[n-1]
+		m.free = m.free[:n-1]
+		return op
+	}
+	op := &memOp{m: m}
+	op.execFn = op.exec
+	op.innerDoneFn = op.innerDone
+	op.deliverFn = op.deliver
+	return op
+}
+
+// exec runs cube-side on request arrival: forward to the DRAM.
+func (op *memOp) exec(*Packet) {
+	op.inner.Done = op.innerDoneFn
+	op.m.Inner.Access(&op.inner)
+}
+
+// innerDone fires when the DRAM access completes: serialise the response.
+func (op *memOp) innerDone(sim.Cycle) { op.pkt.Complete() }
+
+// deliver fires requester-side when the response arrives: release the
+// op, then complete the original request.
+func (op *memOp) deliver(now sim.Cycle) {
+	done := op.done
+	op.done = nil
+	op.m.free = append(op.m.free, op)
+	if done != nil {
+		done(now)
+	}
 }
 
 // Access implements mem.Port. Requests must be row-contained (cache lines
@@ -166,17 +261,21 @@ func (m *MemPort) Access(req *mem.Request) bool {
 	} else {
 		respPayload = req.Size
 	}
-	inner := &mem.Request{Addr: req.Addr, Size: req.Size, Kind: req.Kind}
-	m.Ctl.Send(&Packet{
+	op := m.getOp()
+	op.inner = mem.Request{Addr: req.Addr, Size: req.Size, Kind: req.Kind}
+	op.done = req.Done
+	op.pkt = Packet{
 		Vault:       loc.Vault,
 		ReqPayload:  reqPayload,
 		RespPayload: respPayload,
-		Execute: func(complete func()) {
-			inner.Done = func(sim.Cycle) { complete() }
-			m.Inner.Access(inner)
-		},
-		Done: req.Done,
-	})
+		Execute:     op.execFn,
+		// Always set, so the op is always released at delivery even
+		// when the requester passed no Done. The extra no-op event
+		// cannot reorder other same-cycle events (pairwise FIFO order
+		// depends only on their own scheduling order).
+		Done: op.deliverFn,
+	}
+	m.Ctl.Send(&op.pkt)
 	return true
 }
 

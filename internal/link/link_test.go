@@ -44,12 +44,12 @@ func TestPacketRoundTripTiming(t *testing.T) {
 		Vault:       0,
 		ReqPayload:  0,  // 16B header only → 1 cycle at 16B/cyc
 		RespPayload: 16, // 32B → 2 cycles
-		Execute: func(complete func()) {
+		Execute: func(p *Packet) {
 			executed = true
 			if e.Now() != 9 { // 1 serialisation + 8 latency
 				t.Fatalf("request arrived at %d, want 9", e.Now())
 			}
-			complete()
+			p.Complete()
 		},
 		Done: func(now sim.Cycle) { doneAt = now },
 	})
@@ -70,9 +70,9 @@ func TestRequestSerialisationQueues(t *testing.T) {
 		c.Send(&Packet{
 			Vault:      0,
 			ReqPayload: 48, // 64B → 4 cycles each
-			Execute: func(complete func()) {
+			Execute: func(p *Packet) {
 				arrivals = append(arrivals, e.Now())
-				complete()
+				p.Complete()
 			},
 		})
 	}
@@ -93,7 +93,7 @@ func TestVaultQuadrantRouting(t *testing.T) {
 	e, c, reg := newCtl(t)
 	// Vaults 0..7 → link0, 8..15 → link1, etc.
 	for v := uint32(0); v < 32; v++ {
-		c.Send(&Packet{Vault: v, Execute: func(complete func()) { complete() }})
+		c.Send(&Packet{Vault: v, Execute: func(p *Packet) { p.Complete() }})
 	}
 	e.Run()
 	for l := 0; l < 4; l++ {
@@ -110,9 +110,9 @@ func TestPacketsOnDifferentLinksDoNotContend(t *testing.T) {
 	var arrivals []sim.Cycle
 	for _, v := range []uint32{0, 8, 16, 24} {
 		c.Send(&Packet{Vault: v, ReqPayload: 48,
-			Execute: func(complete func()) {
+			Execute: func(p *Packet) {
 				arrivals = append(arrivals, e.Now())
-				complete()
+				p.Complete()
 			}})
 	}
 	e.Run()
@@ -198,7 +198,7 @@ func TestAggregateLinkBandwidth(t *testing.T) {
 		c.Send(&Packet{
 			Vault:       uint32(i) % 32,
 			RespPayload: 240, // 256B packets → 16 cycles each
-			Execute:     func(complete func()) { complete() },
+			Execute:     func(p *Packet) { p.Complete() },
 			Done: func(now sim.Cycle) {
 				if now > last {
 					last = now

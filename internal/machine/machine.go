@@ -164,3 +164,26 @@ func (m *Machine) Run(stream cpu.Stream) sim.Cycle {
 	m.Engine.Run()
 	return m.CPU.Cycles()
 }
+
+// Reset returns the machine to its post-New state — clock at zero, no
+// pending events, caches cold, predictor untrained, image zeroed,
+// counters at zero — while keeping every allocation (event queue
+// capacity, pooled requests, cache arrays, the image itself). A reset
+// machine produces bit-identical results to a freshly constructed one,
+// which is what lets sweep cells and serving shard replays reuse
+// machines instead of rebuilding the world per run (verified by
+// TestResetMatchesFreshMachine and the worker-count determinism tests).
+func (m *Machine) Reset() {
+	// The engine resets first: dropping every pending event is what
+	// makes it safe for the components to reclaim their in-flight state.
+	m.Engine.Reset()
+	m.Registry.Reset()
+	clear(m.Image)
+	m.DRAM.Reset()
+	m.Links.Reset()
+	m.Caches.Reset()
+	m.CPU.Reset()
+	m.HMC.Reset()
+	m.HIVE.Reset()
+	m.HIPE.Reset()
+}

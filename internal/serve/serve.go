@@ -122,6 +122,13 @@ type Cluster struct {
 
 	mu   sync.Mutex
 	refs map[db.Q06]*db.ReferenceResult
+
+	// mpool recycles simulated machines across shard replays: a Reset
+	// machine is bit-identical to a fresh one, so reuse never changes
+	// answers or timelines — it only stops the fleet from rebuilding
+	// (and re-allocating) the world once per shard task.
+	mpoolMu sync.Mutex
+	mpool   []*machine.Machine
 }
 
 // New partitions tab into nShards contiguous shards (each a multiple of
@@ -149,15 +156,9 @@ func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
 	}, nil
 }
 
-// shardImageBytes sizes a machine image for an n-row shard: the NSM
-// layout is the hungriest client (tuples + materialisation region +
-// lane masks ≈ 130 bytes/row); triple the tuple bytes plus fixed slack
-// bounds every plan with room to spare.
-func shardImageBytes(n int) uint64 {
-	need := uint64(n)*3*db.TupleBytes + (64 << 10)
-	const mib = 1 << 20
-	return (need + mib - 1) &^ (mib - 1)
-}
+// shardImageBytes sizes a machine image for an n-row shard (see
+// db.ImageBytesFor).
+func shardImageBytes(n int) uint64 { return db.ImageBytesFor(n) }
 
 // Shards reports the shard count.
 func (c *Cluster) Shards() int { return len(c.shards) }
@@ -196,14 +197,38 @@ func (c *Cluster) reference(q db.Q06) *db.ReferenceResult {
 	return r
 }
 
-// runShard executes req's plan over shard s on a fresh machine
+// getMachine draws a pooled (Reset) machine, or builds one.
+func (c *Cluster) getMachine() (*machine.Machine, error) {
+	c.mpoolMu.Lock()
+	if n := len(c.mpool); n > 0 {
+		m := c.mpool[n-1]
+		c.mpool = c.mpool[:n-1]
+		c.mpoolMu.Unlock()
+		return m, nil
+	}
+	c.mpoolMu.Unlock()
+	return machine.New(c.mc)
+}
+
+// putMachine resets a machine and returns it to the pool.
+func (c *Cluster) putMachine(m *machine.Machine) {
+	m.Reset()
+	c.mpoolMu.Lock()
+	c.mpool = append(c.mpool, m)
+	c.mpoolMu.Unlock()
+}
+
+// runShard executes req's plan over shard s on a pooled machine
 // instance, verifies the engine-computed result against the shard
 // reference, and returns the shard partial.
 func (c *Cluster) runShard(s int, p query.Plan) (ShardPartial, error) {
-	m, err := machine.New(c.mc)
+	m, err := c.getMachine()
 	if err != nil {
 		return ShardPartial{}, err
 	}
+	// Recycle on every path: Reset is proven safe even after a run
+	// abandoned mid-flight, so failed shard tasks keep the pool warm.
+	defer c.putMachine(m)
 	w, err := query.Prepare(m, c.shards[s], p)
 	if err != nil {
 		return ShardPartial{}, err

@@ -6,11 +6,39 @@
 // the same cycle fire in FIFO order of their scheduling, which makes every
 // simulation run bit-reproducible regardless of map iteration order or
 // goroutine scheduling: the engine is strictly single-threaded.
+//
+// # Scheduler structure
+//
+// The queue is split into two lanes that together behave exactly like one
+// priority queue ordered by (cycle, sequence number):
+//
+//   - a near-future ring of ringSize per-cycle FIFO buckets covering
+//     [now, now+ringSize), with a bitmap tracking occupied buckets. The
+//     overwhelming majority of events in the timing models are "a few
+//     cycles ahead" (pipeline ticks, FU latencies, DRAM bank timings),
+//     so they enqueue and dequeue in O(1) with no comparisons at all;
+//   - a concrete-typed 4-ary min-heap for events at or beyond the ring
+//     horizon (long DRAM refresh intervals, far ALU completions). 4-ary
+//     halves the tree depth of a binary heap and keeps children of a node
+//     in one cache line; there is no container/heap indirection and no
+//     interface{} boxing of queue entries.
+//
+// Step compares the earliest ring event with the heap root under the
+// global (cycle, seq) order, so an event that entered the heap when it
+// was far away and a later event scheduled into the ring for the same
+// cycle still fire in their scheduling order. See docs/ARCHITECTURE.md
+// for the full determinism argument.
+//
+// Steady-state scheduling is allocation-free: bucket slices and the heap
+// array retain their high-water capacity, and both event forms — a
+// Handler implemented by a pre-bound model object, or a plain func —
+// store into the queue entry without boxing (func values are
+// pointer-shaped, so the Handler interface conversion does not allocate).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in CPU clock cycles.
@@ -19,59 +47,125 @@ type Cycle uint64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
+// Handler is a pre-bound event target: a model object that receives the
+// event directly, with no closure allocation at the scheduling site. The
+// tag disambiguates multiple event kinds scheduled on one object, and
+// now is the cycle the event fires at (== the cycle it was scheduled
+// for). Schedule a Handler with ScheduleEvent/AfterEvent.
+type Handler interface {
+	OnEvent(now Cycle, tag uint64)
+}
+
+// fnHandler adapts a plain func() to Handler. A func value is
+// pointer-shaped, so converting fnHandler to Handler does not allocate.
+type fnHandler func()
+
+func (f fnHandler) OnEvent(Cycle, uint64) { f() }
+
+// callHandler adapts a completion callback func(Cycle) to Handler —
+// the shape of mem.Request.Done and link.Packet.Done — passing the
+// firing cycle through. Pointer-shaped: no boxing.
+type callHandler func(now Cycle)
+
+func (f callHandler) OnEvent(now Cycle, _ uint64) { f(now) }
+
+// queuedEvent is one queue entry. Entries are stored by value in the
+// ring buckets and the heap array; nothing is boxed.
 type queuedEvent struct {
 	cycle Cycle
 	seq   uint64
-	fn    Event
+	h     Handler
+	tag   uint64
 }
 
-type eventHeap []queuedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+// before reports the global firing order: cycle, then scheduling
+// sequence (FIFO within a cycle).
+func (a *queuedEvent) before(b *queuedEvent) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// Near-future ring geometry. 256 cycles covers the overwhelming
+// majority of the Table I models' delays (pipeline ticks, FU
+// latencies up to the 40-cycle divider, link hops, most DRAM bank
+// timings) while keeping the occupancy bitmap at four words; the few
+// longer delays — closed-page DRAM worst cases around ~300 cycles,
+// refresh intervals in the thousands — correctly fall to the heap
+// lane, which preserves the same total order.
+const (
+	ringBits = 8
+	ringSize = 1 << ringBits
+	ringMask = ringSize - 1
+)
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(queuedEvent)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = queuedEvent{}
-	*h = old[:n-1]
-	return ev
+// bucket is one ring slot: a FIFO of events for a single cycle. head
+// indexes the next event to fire so dequeue never shifts; the slice
+// resets to [:0] when drained, retaining capacity.
+type bucket struct {
+	evs  []queuedEvent
+	head int
 }
 
 // Engine is a single-threaded discrete-event scheduler.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now Cycle
+	seq uint64
+
+	// ring holds events with cycle in [now, now+ringSize), indexed by
+	// cycle & ringMask. occ is the occupancy bitmap (bit i ⇔ ring[i]
+	// has unfired events). ringCount is the total across buckets.
+	ring      [ringSize]bucket
+	occ       [ringSize / 64]uint64
+	ringCount int
+
+	// heap is a 4-ary min-heap (by queuedEvent.before) of events at or
+	// beyond the ring horizon.
+	heap []queuedEvent
+
 	// executed counts events that have fired, for diagnostics.
 	executed uint64
 }
 
 // NewEngine returns an engine positioned at cycle 0 with no pending events.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
+}
+
+// Reset returns the engine to its post-NewEngine state — cycle 0, empty
+// queue, sequence numbers restarted — while keeping the ring buckets'
+// and heap's high-water capacity, so a reused engine schedules without
+// reallocating. Pending events are dropped.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.executed = 0, 0, 0
+	if e.ringCount != 0 {
+		for i := range e.ring {
+			b := &e.ring[i]
+			for j := b.head; j < len(b.evs); j++ {
+				b.evs[j].h = nil
+			}
+			b.evs = b.evs[:0]
+			b.head = 0
+		}
+		e.ringCount = 0
+	}
+	for i := range e.heap {
+		e.heap[i] = queuedEvent{}
+	}
+	e.heap = e.heap[:0]
+	for i := range e.occ {
+		e.occ[i] = 0
+	}
 }
 
 // Now reports the current simulation cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
 // Pending reports the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.ringCount + len(e.heap) }
 
 // Executed reports the total number of events that have fired.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -80,14 +174,10 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // (at < Now) is a programming error and panics: allowing it would silently
 // corrupt causality in the timing models.
 func (e *Engine) Schedule(at Cycle, fn Event) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", at, e.now))
-	}
 	if fn == nil {
 		panic("sim: schedule nil event")
 	}
-	heap.Push(&e.events, queuedEvent{cycle: at, seq: e.seq, fn: fn})
-	e.seq++
+	e.enqueue(at, fnHandler(fn), 0)
 }
 
 // After queues fn to run delay cycles from now.
@@ -95,17 +185,197 @@ func (e *Engine) After(delay Cycle, fn Event) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleCall queues cb to run at absolute cycle at, receiving that
+// cycle as its argument. It is the allocation-free form for completion
+// callbacks (mem.Request.Done and friends): where Schedule(at, func() {
+// cb(at) }) would allocate a closure per event, ScheduleCall stores cb
+// directly.
+func (e *Engine) ScheduleCall(at Cycle, cb func(now Cycle)) {
+	if cb == nil {
+		panic("sim: schedule nil event")
+	}
+	e.enqueue(at, callHandler(cb), 0)
+}
+
+// AfterCall queues cb to run delay cycles from now, receiving the firing
+// cycle.
+func (e *Engine) AfterCall(delay Cycle, cb func(now Cycle)) {
+	e.ScheduleCall(e.now+delay, cb)
+}
+
+// ScheduleEvent queues a pre-bound handler to fire at absolute cycle at
+// with the given tag. This is the zero-alloc path for model objects that
+// schedule themselves: the object pointer stores directly into the
+// queue entry.
+func (e *Engine) ScheduleEvent(at Cycle, h Handler, tag uint64) {
+	if h == nil {
+		panic("sim: schedule nil event")
+	}
+	e.enqueue(at, h, tag)
+}
+
+// AfterEvent queues a pre-bound handler tag cycles of delay from now.
+func (e *Engine) AfterEvent(delay Cycle, h Handler, tag uint64) {
+	e.ScheduleEvent(e.now+delay, h, tag)
+}
+
+// enqueue routes an event to the ring or the heap.
+func (e *Engine) enqueue(at Cycle, h Handler, tag uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at cycle %d before now %d", at, e.now))
+	}
+	ev := queuedEvent{cycle: at, seq: e.seq, h: h, tag: tag}
+	e.seq++
+	if at-e.now < ringSize {
+		i := int(at & ringMask)
+		b := &e.ring[i]
+		b.evs = append(b.evs, ev)
+		e.occ[i>>6] |= 1 << (uint(i) & 63)
+		e.ringCount++
+		return
+	}
+	e.heapPush(ev)
+}
+
+// nextRingBucket returns the index of the occupied ring bucket with the
+// earliest cycle, scanning the occupancy bitmap from now's slot forward
+// (at most four word reads plus one trailing-zeros). Call only when
+// ringCount > 0.
+func (e *Engine) nextRingBucket() int {
+	start := int(e.now & ringMask)
+	w := start >> 6
+	// Mask off bits below start in the first word, then rotate through
+	// the (wrapped) remaining words.
+	if m := e.occ[w] &^ ((1 << (uint(start) & 63)) - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	for k := 1; k <= len(e.occ); k++ {
+		i := (w + k) & (len(e.occ) - 1)
+		if m := e.occ[i]; i == w {
+			// Wrapped fully: only bits below start remain.
+			if m &= (1 << (uint(start) & 63)) - 1; m != 0 {
+				return i<<6 + bits.TrailingZeros64(m)
+			}
+		} else if m != 0 {
+			return i<<6 + bits.TrailingZeros64(m)
+		}
+	}
+	panic("sim: ringCount > 0 with empty occupancy bitmap")
+}
+
+// ringCycle converts an occupied bucket index to the absolute cycle its
+// events fire at. Ring events always lie in [now, now+ringSize), so the
+// offset is the index distance from now's slot, modulo the ring.
+func (e *Engine) ringCycle(i int) Cycle {
+	return e.now + Cycle((i-int(e.now&ringMask))&ringMask)
+}
+
 // Step fires the earliest pending event, advancing the clock to its cycle.
 // It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	ev, ok := e.dequeue()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(queuedEvent)
 	e.now = ev.cycle
 	e.executed++
-	ev.fn()
+	ev.h.OnEvent(ev.cycle, ev.tag)
 	return true
+}
+
+// dequeue removes and returns the globally earliest event under the
+// (cycle, seq) order, merging the ring and heap lanes.
+func (e *Engine) dequeue() (queuedEvent, bool) {
+	if e.ringCount == 0 {
+		if len(e.heap) == 0 {
+			return queuedEvent{}, false
+		}
+		return e.heapPop(), true
+	}
+	i := e.nextRingBucket()
+	b := &e.ring[i]
+	ringEv := &b.evs[b.head]
+	// A heap event can precede the ring head: its cycle may have entered
+	// the ring window as now advanced, or tie the ring head's cycle with
+	// an earlier sequence number.
+	if len(e.heap) > 0 && e.heap[0].before(ringEv) {
+		return e.heapPop(), true
+	}
+	ev := *ringEv
+	ringEv.h = nil // release the reference; the slot is reused
+	b.head++
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		e.occ[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	e.ringCount--
+	return ev, true
+}
+
+// peekCycle reports the cycle of the earliest pending event.
+func (e *Engine) peekCycle() (Cycle, bool) {
+	var best Cycle
+	have := false
+	if e.ringCount > 0 {
+		best = e.ringCycle(e.nextRingBucket())
+		have = true
+	}
+	if len(e.heap) > 0 && (!have || e.heap[0].cycle < best) {
+		best = e.heap[0].cycle
+		have = true
+	}
+	return best, have
+}
+
+// heapPush inserts into the 4-ary min-heap.
+func (e *Engine) heapPush(ev queuedEvent) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.heap = h
+}
+
+// heapPop removes the heap root.
+func (e *Engine) heapPop() queuedEvent {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = queuedEvent{} // clear the vacated slot for the GC
+	h = h[:n]
+	e.heap = h
+	// Sift down: promote the smallest of up to four children.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return root
 }
 
 // Run fires events until the queue is empty and returns the final cycle.
@@ -115,14 +385,23 @@ func (e *Engine) Run() Cycle {
 	return e.now
 }
 
-// RunUntil fires events with cycle <= limit. It returns true if the queue
-// drained, false if events at cycles beyond limit remain. The clock is left
-// at the cycle of the last fired event (or limit if nothing fired beyond it).
+// RunUntil fires every event with cycle <= limit, in order. It reports
+// true if that drained the queue, false if events at cycles beyond limit
+// remain. The clock is left at the cycle of the last event fired; it
+// does not advance to limit when no event lands exactly there (and does
+// not move at all if nothing fires), so after RunUntil(limit) the clock
+// reads the last real activity, not the probe horizon.
 func (e *Engine) RunUntil(limit Cycle) bool {
-	for len(e.events) > 0 && e.events[0].cycle <= limit {
+	for {
+		c, ok := e.peekCycle()
+		if !ok {
+			return true
+		}
+		if c > limit {
+			return false
+		}
 		e.Step()
 	}
-	return len(e.events) == 0
 }
 
 // RunLimit fires at most n events; it reports the number actually fired.

@@ -1,0 +1,76 @@
+package sim
+
+// Queue is a growable ring-buffer FIFO that reuses its storage. The
+// timing models' instruction buffers and store queues previously used
+// the append-then-reslice idiom (q = append(q, x); q = q[1:]), which
+// marches the slice window through memory and forces a fresh allocation
+// every time the window reaches the end of its backing array — on hot
+// pipelines, one allocation every few µops. A ring touches the
+// allocator only when occupancy exceeds the high-water mark.
+//
+// The zero value is an empty queue ready for use.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Push appends v at the tail.
+func (q *Queue[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// grow doubles the ring (min 8 slots, always a power of two so index
+// masking stays branch-free) and linearises the live window.
+func (q *Queue[T]) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]T, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Front returns a pointer to the head element without removing it. It
+// panics on an empty queue.
+func (q *Queue[T]) Front() *T {
+	if q.n == 0 {
+		panic("sim: Front on empty queue")
+	}
+	return &q.buf[q.head]
+}
+
+// Pop removes and returns the head element. The vacated slot is zeroed
+// so pooled pointers are not retained. It panics on an empty queue.
+func (q *Queue[T]) Pop() T {
+	if q.n == 0 {
+		panic("sim: Pop on empty queue")
+	}
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// Reset empties the queue, retaining capacity. Live slots are zeroed so
+// pooled pointers are not retained across a reset.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := 0; i < q.n; i++ {
+		q.buf[(q.head+i)&(len(q.buf)-1)] = zero
+	}
+	q.head, q.n = 0, 0
+}

@@ -51,14 +51,16 @@ func (d *ClockDomain) Kick() {
 			delay = d.Period - rem
 		}
 	}
-	d.Engine.After(delay, d.tick)
+	d.Engine.AfterEvent(delay, d, 0)
 }
 
-func (d *ClockDomain) tick() {
+// OnEvent implements Handler: the domain is its own pre-bound tick
+// event, so ticking never allocates (a method value per tick would).
+func (d *ClockDomain) OnEvent(now Cycle, _ uint64) {
 	d.everTicked = true
-	d.lastTick = d.Engine.Now()
-	if d.T.Tick(d.Engine.Now()) {
-		d.Engine.After(d.Period, d.tick)
+	d.lastTick = now
+	if d.T.Tick(now) {
+		d.Engine.AfterEvent(d.Period, d, 0)
 		return
 	}
 	d.running = false
@@ -66,3 +68,12 @@ func (d *ClockDomain) tick() {
 
 // Running reports whether the domain currently has a tick scheduled.
 func (d *ClockDomain) Running() bool { return d.running }
+
+// Reset returns the domain to its never-ticked state. The owning
+// component calls it as part of a machine reset, after the engine's own
+// Reset dropped any scheduled tick.
+func (d *ClockDomain) Reset() {
+	d.running = false
+	d.everTicked = false
+	d.lastTick = 0
+}

@@ -159,3 +159,19 @@ func TestLogHistEmpty(t *testing.T) {
 		t.Fatal("empty histogram not zero-valued")
 	}
 }
+
+// TestLogHistObserveZeroAlloc pins Observe as allocation-free: it sits
+// on the serving layer's per-request hot path and inside the DRAM
+// vaults' latency accounting, where one alloc per sample would dominate
+// the simulator's memory traffic.
+func TestLogHistObserveZeroAlloc(t *testing.T) {
+	var h LogHist
+	v := uint64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v = v*2862933555777941757 + 3037000493 // cheap LCG, varied buckets
+	})
+	if allocs != 0 {
+		t.Fatalf("LogHist.Observe allocated %.1f times per call, want 0", allocs)
+	}
+}

@@ -35,6 +35,17 @@ func (r *Registry) Scope(name string) *Scope {
 	return s
 }
 
+// Reset zeroes every counter in every scope, preserving the registered
+// scope/counter structure (a reset registry reports the same counter
+// names as a fresh machine, all at zero).
+func (r *Registry) Reset() {
+	for _, s := range r.scopes {
+		for _, c := range s.counters {
+			c.v = 0
+		}
+	}
+}
+
 // Scopes returns all scopes in creation order.
 func (r *Registry) Scopes() []*Scope {
 	out := make([]*Scope, 0, len(r.order))
@@ -183,3 +194,6 @@ func (h *Histogram) Bucket(i int) uint64 {
 	}
 	return h.buckets[i]
 }
+
+// Reset returns the histogram to empty.
+func (h *Histogram) Reset() { *h = Histogram{} }

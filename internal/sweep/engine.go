@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
 )
 
@@ -117,8 +118,11 @@ func Run(cfg Config, g Grid, opt Options) (*ResultSet, error) {
 	return RunCells(cfg, cells, opt)
 }
 
-// tableCache generates each distinct workload table exactly once, even
-// when many workers ask for it concurrently.
+// tableCache resolves each distinct workload's table and selectivity
+// exactly once per sweep, even when many workers ask concurrently. The
+// tables themselves come from the process-wide db memo, so repeated
+// sweeps and figure runs over the same (tuples, seed, clustering)
+// triples share one generated table.
 type tableCache struct {
 	mu     sync.Mutex
 	tables map[workload]*tableEntry
@@ -140,9 +144,9 @@ func (tc *tableCache) get(w workload) (*db.Table, float64) {
 	tc.mu.Unlock()
 	e.once.Do(func() {
 		if w.Clustered {
-			e.tab = db.GenerateClustered(w.Tuples, w.Seed, w.NoiseDays)
+			e.tab = db.GenerateClusteredMemo(w.Tuples, w.Seed, w.NoiseDays)
 		} else {
-			e.tab = db.Generate(w.Tuples, w.Seed)
+			e.tab = db.GenerateMemo(w.Tuples, w.Seed)
 		}
 		e.sel = db.Selectivity(e.tab, w.Q)
 	})
@@ -159,6 +163,25 @@ func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
 	errs := make([]error, len(cells))
 	cache := &tableCache{tables: map[workload]*tableEntry{}}
 
+	// Size the default machine image to the sweep's largest workload
+	// instead of the full 64 MiB default: layouts bump-allocate from
+	// address zero, so the image size changes no addresses and no
+	// timing — only how many bytes each machine build and reset touches.
+	// An explicit cfg.Machine is honoured untouched.
+	mc := cfg.machineConfig()
+	if cfg.Machine == nil {
+		maxTuples := 0
+		for _, c := range cells {
+			if c.Tuples > maxTuples {
+				maxTuples = c.Tuples
+			}
+		}
+		if ib := db.ImageBytesFor(maxTuples); ib < mc.ImageBytes {
+			mc.ImageBytes = ib
+		}
+	}
+	cfg.Machine = &mc
+
 	indices := make(chan int)
 	var done sync.WaitGroup
 	var progressMu sync.Mutex
@@ -167,11 +190,26 @@ func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
 		done.Add(1)
 		go func() {
 			defer done.Done()
+			// Each worker builds one machine lazily and Reset-reuses it
+			// across its cells: a reset machine is bit-identical to a
+			// fresh one (machine.Reset), so reuse changes wall-clock
+			// only — the worker-count determinism tests double as reuse
+			// determinism tests.
+			var m *machine.Machine
 			for i := range indices {
 				cell := cells[i]
 				tab, sel := cache.get(cell.workload())
 				cr := CellResult{Index: i, Cell: cell, Selectivity: sel}
-				res, err := cfg.Run(tab, cell.Plan)
+				var res Result
+				var err error
+				if m == nil {
+					m, err = machine.New(cfg.machineConfig())
+				} else {
+					m.Reset()
+				}
+				if err == nil {
+					res, err = cfg.runOn(m, tab, cell.Plan)
+				}
 				if err != nil {
 					errs[i] = fmt.Errorf("sweep: cell %d (%s): %w", i, cell, err)
 				} else {

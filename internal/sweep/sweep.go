@@ -82,6 +82,13 @@ func (c Config) Run(tab *db.Table, p query.Plan) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return c.runOn(m, tab, p)
+}
+
+// runOn executes one plan on an already-built machine in a pristine
+// (fresh or Reset) state — the worker pool's machine-reuse path. The
+// machine is left dirty; callers Reset it before the next run.
+func (c Config) runOn(m *machine.Machine, tab *db.Table, p query.Plan) (Result, error) {
 	w, err := query.Prepare(m, tab, p)
 	if err != nil {
 		return Result{}, err
