@@ -69,6 +69,27 @@ func BenchmarkFig3dBestCases(b *testing.B) {
 	}
 }
 
+// BenchmarkQ1BestCases runs the TPC-H Q01-style grouped aggregation on
+// each architecture's best configuration — the aggregation-workload
+// counterpart of Figure 3d, reporting simulated cycles and (for HIPE)
+// the DRAM reads its predication squashed.
+func BenchmarkQ1BestCases(b *testing.B) {
+	cfg := benchConfig()
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	q := hipe.DefaultQ01()
+	var results [4]hipe.Result
+	archs := [...]hipe.Arch{hipe.X86, hipe.HMC, hipe.HIVE, hipe.HIPE}
+	for i := 0; i < b.N; i++ {
+		for j, arch := range archs {
+			results[j] = runPoint(b, cfg, tab, hipe.ServeQ1Plan(arch, q))
+		}
+	}
+	for j, arch := range archs {
+		b.ReportMetric(float64(results[j].Cycles), "simcyc:"+arch.String())
+	}
+	b.ReportMetric(float64(results[3].SquashedDRAMBytes), "savedB:hipe")
+}
+
 // BenchmarkTableIConfig exercises machine construction with the full
 // Table I parameter set (the paper's configuration table).
 func BenchmarkTableIConfig(b *testing.B) {

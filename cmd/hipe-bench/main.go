@@ -4,44 +4,81 @@
 //
 // Usage:
 //
-//	hipe-bench [-fig 3a|3b|3c|3d|all] [-tuples N] [-seed S]
+//	hipe-bench [-fig 3a|3b|3c|3d|all] [-tuples N] [-seed S] [-timing=false]
+//
+// Flag combinations are validated before anything runs — positional
+// arguments, unknown figure names and invalid tuple counts exit with a
+// usage message, matching the other CLIs. -timing=false suppresses the
+// wall-clock line, making the output deterministic (the CI determinism
+// gate compares it byte-for-byte across worker counts).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"slices"
 	"time"
 
 	hipe "github.com/hipe-sim/hipe"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hipe-bench: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d or all")
-	tuples := flag.Int("tuples", 16384, "lineitem tuples (multiple of 64)")
-	seed := flag.Uint64("seed", 42, "generator seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses and validates args, regenerates the requested figures to
+// stdout, and returns the process exit code. Factored out of main so
+// the flag validation is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hipe-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure to regenerate: 3a, 3b, 3c, 3d or all")
+	tuples := fs.Int("tuples", 16384, "lineitem tuples (multiple of 64)")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	timing := fs.Bool("timing", true, "print the wall-clock time of each figure (disable for byte-stable output)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "hipe-bench: "+format+"\n\nusage of hipe-bench:\n", a...)
+		fs.PrintDefaults()
+		return 2
+	}
+	// Validate every flag combination up front: a malformed run must
+	// die with usage, not after minutes of simulation.
+	if fs.NArg() > 0 {
+		return fail("unexpected argument %q (all options are flags)", fs.Arg(0))
+	}
+	if *tuples <= 0 || *tuples%64 != 0 {
+		return fail("-tuples %d must be a positive multiple of 64", *tuples)
+	}
+	figures := hipe.Figures()
+	if *fig != "all" {
+		if !slices.Contains(figures, *fig) {
+			return fail("unknown figure %q (have %v or all)", *fig, figures)
+		}
+		figures = []string{*fig}
+	}
 
 	cfg := hipe.Default()
 	cfg.Tuples = *tuples
 	cfg.Seed = *seed
 
-	figures := hipe.Figures()
-	if *fig != "all" {
-		figures = []string{*fig}
-	}
-	fmt.Printf("HIPE reproduction — TPC-H Q06 selection scan, %d tuples, seed %d\n\n", *tuples, *seed)
+	fmt.Fprintf(stdout, "HIPE reproduction — TPC-H Q06 selection scan, %d tuples, seed %d\n\n", *tuples, *seed)
 	for _, name := range figures {
 		start := time.Now()
 		table, err := hipe.Figure(cfg, name)
 		if err != nil {
-			log.Printf("figure %s failed: %v", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "hipe-bench: figure %s failed: %v\n", name, err)
+			return 1
 		}
-		fmt.Print(table.String())
-		fmt.Printf("   (simulated in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, table.String())
+		if *timing {
+			fmt.Fprintf(stdout, "   (simulated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintln(stdout)
 	}
+	return 0
 }

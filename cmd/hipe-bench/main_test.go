@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional arg", []string{"3d"}, "unexpected argument"},
+		{"unknown figure", []string{"-fig", "9z"}, `unknown figure "9z"`},
+		{"zero tuples", []string{"-tuples", "0"}, "positive multiple of 64"},
+		{"non-multiple tuples", []string{"-tuples", "1000"}, "positive multiple of 64"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.want)
+			}
+			if !strings.Contains(stderr, "usage of hipe-bench") {
+				t.Fatalf("stderr %q lacks the usage block", stderr)
+			}
+		})
+	}
+}
+
+func TestSingleFigureRuns(t *testing.T) {
+	code, out, stderr := runCLI(t, "-fig", "3d", "-tuples", "256", "-timing=false")
+	if code != 0 {
+		t.Fatalf("exit code %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(out, "Figure 3d") {
+		t.Fatalf("output lacks the figure table:\n%s", out)
+	}
+	if strings.Contains(out, "wall time") {
+		t.Fatal("-timing=false still printed the wall-clock line")
+	}
+}
+
+func TestTimingSuppressionIsByteStable(t *testing.T) {
+	_, a, _ := runCLI(t, "-fig", "3d", "-tuples", "256", "-timing=false")
+	_, b, _ := runCLI(t, "-fig", "3d", "-tuples", "256", "-timing=false")
+	if a != b {
+		t.Fatal("-timing=false output differs across runs")
+	}
+}

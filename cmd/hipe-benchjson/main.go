@@ -143,7 +143,9 @@ func main() {
 	var err error
 	if !*skipFigures {
 		log.Printf("running figure benches (-benchtime %s)...", *figureBenchtime)
-		doc.Figures, err = runBench(".", "^BenchmarkFig", *figureBenchtime)
+		// The Q01 aggregation bench rides with the figure panels: both
+		// are whole-workload simulations on the paper's configurations.
+		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1)", *figureBenchtime)
 		if err != nil {
 			log.Fatal(err)
 		}

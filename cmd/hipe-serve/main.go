@@ -10,9 +10,15 @@
 //
 //	hipe-serve -shards 8 -requests 64 -mode open -qps 20000 \
 //	           [-archs x86,hmc,hive,hipe] [-aggregate] \
+//	           [-q1-every 4] [-q1-cut 2436] \
 //	           [-duration-ms 0] [-concurrency 4] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
 //	           [-workers N] [-csv out.csv] [-json out.json]
+//
+// -q1-every N mixes TPC-H Q01-style grouped aggregations into the
+// stream (every Nth request): shards answer with per-group partial
+// aggregates that recompose into the whole-table group table, verified
+// against the unsharded reference evaluator.
 //
 // Time is simulated: QPS and milliseconds convert to cycles at the
 // Table I 2 GHz core clock; results are exact in cycles.
@@ -43,6 +49,8 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "closed loop: client count")
 	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures in the mix")
 	aggregate := flag.Bool("aggregate", false, "upgrade HIPE requests to in-memory Q06 aggregation")
+	q1every := flag.Int("q1-every", 0, "turn every Nth request into a Q01 grouped aggregation (0 = pure Q06 stream)")
+	q1cut := flag.Int("q1-cut", 0, "Q01 shipdate cutoff in days (0 = the TPC-H 90-day default; needs -q1-every)")
 	tuples := flag.Int("tuples", 16384, "lineitem row count (multiple of 64)")
 	seed := flag.Uint64("seed", 42, "table generator seed")
 	streamSeed := flag.Uint64("stream-seed", 1, "request-stream and arrival-process seed")
@@ -89,6 +97,15 @@ func main() {
 	if *workers <= 0 {
 		fail("-workers %d must be positive", *workers)
 	}
+	if *q1every < 0 {
+		fail("-q1-every %d must not be negative", *q1every)
+	}
+	if *q1cut < 0 || *q1cut >= hipe.ShipDateDays {
+		fail("-q1-cut %d outside the generated 0..%d day range", *q1cut, hipe.ShipDateDays-1)
+	}
+	if *q1cut > 0 && *q1every == 0 {
+		fail("-q1-cut %d has no effect without -q1-every", *q1cut)
+	}
 	if !(*durationMS >= 0) || math.IsInf(*durationMS, 1) {
 		fail("-duration-ms %g must be a non-negative finite duration", *durationMS)
 	}
@@ -119,8 +136,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	q1 := hipe.Q01{ShipCut: int32(*q1cut)}
+	if *q1cut == 0 {
+		q1 = hipe.DefaultQ01()
+	}
 	reqs, err := hipe.StreamSpec{
 		N: *requests, Seed: *streamSeed, Archs: mix, Aggregate: *aggregate,
+		Q1Every: *q1every, Q1Query: q1,
 	}.Requests()
 	if err != nil {
 		log.Fatal(err)

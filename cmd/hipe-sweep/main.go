@@ -8,8 +8,13 @@
 //
 //	hipe-sweep -archs x86,hmc,hive,hipe -strategies column \
 //	           -opsizes 16,32,64,128,256 -unrolls 1,8,32 \
-//	           [-fused both] [-qtyhi 24,50] [-tuples 16384] [-seeds 42] \
+//	           [-fused both] [-qtyhi 24,50] [-q1cuts 2436] \
+//	           [-tuples 16384] [-seeds 42] \
 //	           [-clustered both] [-workers N] [-csv out.csv] [-json out.json]
+//
+// -q1cuts adds TPC-H Q01-style grouped-aggregation cells to the query
+// axis (one per shipdate cutoff), swept across the same architecture,
+// op-size and unroll axes as the Q06 cells.
 //
 // Per-architecture envelopes (x86 ≤ 64 B, unroll ≤ 8; HIPE
 // column-at-a-time only) are trimmed automatically, mirroring the
@@ -53,6 +58,7 @@ func main() {
 	clustered := flag.String("clustered", "false", "date-clustered table: false, true or both")
 	noise := flag.Int("noise", 10, "clustering noise in days (with -clustered)")
 	qtyhi := flag.String("qtyhi", "24", "comma list of Q06 quantity bounds (the selectivity knob)")
+	q1cuts := flag.String("q1cuts", "", "comma list of Q01 shipdate cutoffs in days; each adds grouped-aggregation cells to the query axis (empty = Q06 only)")
 	disclo := flag.Int("disclo", 5, "Q06 discount lower bound")
 	dischi := flag.Int("dischi", 7, "Q06 discount upper bound")
 	strict := flag.Bool("strict", false, "fail on cells outside an architecture's envelope instead of skipping them")
@@ -116,6 +122,12 @@ func main() {
 		q.DiscLo, q.DiscHi = int32(*disclo), int32(*dischi)
 		q.QtyHi = int32(qh)
 		grid.Queries = append(grid.Queries, q)
+	}
+	for _, cut := range parseInts(*q1cuts, "q1cuts") {
+		if cut <= 0 || cut >= hipe.ShipDateDays {
+			fail("-q1cuts entry %d outside the generated 1..%d day range", cut, hipe.ShipDateDays-1)
+		}
+		grid.Q1Queries = append(grid.Q1Queries, hipe.Q01{ShipCut: int32(cut)})
 	}
 
 	opt := hipe.SweepOptions{Workers: *workers}

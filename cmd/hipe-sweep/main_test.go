@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runBinary executes this command via `go run .` — flag validation runs
+// before any simulation, so usage-error cases return immediately.
+func runBinary(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+func TestQ1CutsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero cutoff", []string{"-q1cuts", "0"}, "outside the generated"},
+		{"negative cutoff", []string{"-q1cuts", "-5"}, "outside the generated"},
+		{"cutoff past range", []string{"-q1cuts", "9999"}, "outside the generated"},
+		{"garbage cutoff", []string{"-q1cuts", "abc"}, "bad -q1cuts entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			// `go run` reports the child's failure as its own exit 1 and
+			// appends the child's "exit status 2" line.
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+func TestQ1SweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	code, out := runBinary(t,
+		"-archs", "hipe", "-opsizes", "256", "-unrolls", "8",
+		"-tuples", "1024", "-q1cuts", "2436", "-quiet")
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "/q1") {
+		t.Fatalf("summary lacks a Q01 cell:\n%s", out)
+	}
+}

@@ -1,28 +1,62 @@
 // Command tpchgen inspects the deterministic lineitem generator: value
-// distributions, Q06 selectivities (overall and per predicate column),
-// and optionally a CSV dump for external validation.
+// distributions, per-query selectivities (Q06 selection or Q01
+// aggregation), the Q01 per-group aggregate table, and optionally a CSV
+// dump for external validation.
 //
 // Usage:
 //
-//	tpchgen [-n N] [-seed S] [-clustered] [-csv K]
+//	tpchgen [-n N] [-seed S] [-clustered] [-query q6|q1] [-groups K] [-csv K]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	hipe "github.com/hipe-sim/hipe"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tpchgen: ")
-	n := flag.Int("n", 65536, "tuples to generate (multiple of 64)")
-	seed := flag.Uint64("seed", 42, "generator seed")
-	clustered := flag.Bool("clustered", false, "date-clustered table")
-	csv := flag.Int("csv", 0, "dump the first K tuples as CSV")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses and validates args, prints the requested inspection to
+// stdout, and returns the process exit code. Factored out of main so
+// the flag validation is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tpchgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 65536, "tuples to generate (multiple of 64)")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	clustered := fs.Bool("clustered", false, "date-clustered table")
+	queryName := fs.String("query", "q6", "workload to report: q6 (selection) or q1 (grouped aggregation)")
+	groups := fs.Int("groups", hipe.NumGroups, "with -query q1: print the first K groups of the aggregate table")
+	csv := fs.Int("csv", 0, "dump the first K tuples as CSV")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "tpchgen: "+format+"\n\nusage of tpchgen:\n", a...)
+		fs.PrintDefaults()
+		return 2
+	}
+	// Validate every flag combination up front.
+	if fs.NArg() > 0 {
+		return fail("unexpected argument %q (all options are flags)", fs.Arg(0))
+	}
+	if *n <= 0 || *n%64 != 0 {
+		return fail("-n %d must be a positive multiple of 64", *n)
+	}
+	if *queryName != "q6" && *queryName != "q1" {
+		return fail("unknown query %q (have q6, q1)", *queryName)
+	}
+	if *groups <= 0 || *groups > hipe.NumGroups {
+		return fail("-groups %d outside 1..%d", *groups, hipe.NumGroups)
+	}
+	if *csv < 0 {
+		return fail("-csv %d must not be negative", *csv)
+	}
 
 	var tab *hipe.Lineitem
 	if *clustered {
@@ -30,11 +64,34 @@ func main() {
 	} else {
 		tab = hipe.Generate(*n, *seed)
 	}
+	fmt.Fprintf(stdout, "lineitem: %d tuples, seed %d, clustered=%v\n", *n, *seed, *clustered)
 
+	switch *queryName {
+	case "q6":
+		reportQ6(stdout, tab)
+	case "q1":
+		reportQ1(stdout, tab, *groups)
+	}
+
+	if *csv > 0 {
+		k := *csv
+		if k > tab.N {
+			k = tab.N
+		}
+		fmt.Fprintln(stdout, "shipdate,discount,quantity,extendedprice,returnflag,linestatus")
+		for i := 0; i < k; i++ {
+			fmt.Fprintf(stdout, "%d,%d,%d,%d,%d,%d\n",
+				tab.ShipDate[i], tab.Discount[i], tab.Quantity[i],
+				tab.ExtendedPrice[i], tab.ReturnFlag[i], tab.LineStatus[i])
+		}
+	}
+	return 0
+}
+
+// reportQ6 prints the selection scan's selectivity profile.
+func reportQ6(w io.Writer, tab *hipe.Lineitem) {
 	q := hipe.DefaultQ06()
-	fmt.Printf("lineitem: %d tuples, seed %d, clustered=%v\n", *n, *seed, *clustered)
-	fmt.Printf("Q06 selectivity: %.4f (TPC-H reference ≈ 0.019)\n", hipe.Selectivity(tab, q))
-
+	fmt.Fprintf(w, "Q06 selectivity: %.4f (TPC-H reference ≈ 0.019)\n", hipe.Selectivity(tab, q))
 	shipIn, discIn, qtyIn := 0, 0, 0
 	for i := 0; i < tab.N; i++ {
 		if tab.ShipDate[i] >= q.ShipLo && tab.ShipDate[i] < q.ShipHi {
@@ -47,17 +104,28 @@ func main() {
 			qtyIn++
 		}
 	}
-	fmt.Printf("per-column selectivities: shipdate %.3f, discount %.3f, quantity %.3f\n",
+	fmt.Fprintf(w, "per-column selectivities: shipdate %.3f, discount %.3f, quantity %.3f\n",
 		float64(shipIn)/float64(tab.N), float64(discIn)/float64(tab.N), float64(qtyIn)/float64(tab.N))
+}
 
-	if *csv > 0 {
-		k := *csv
-		if k > tab.N {
-			k = tab.N
+// reportQ1 prints the aggregation workload's filter selectivity and the
+// reference per-group aggregate table (averages derived from the sums).
+func reportQ1(w io.Writer, tab *hipe.Lineitem, groups int) {
+	q := hipe.DefaultQ01()
+	res := hipe.ReferenceQ1(tab, q)
+	fmt.Fprintf(w, "Q01 filter selectivity: %.4f (TPC-H reference ≈ 0.95)\n", hipe.SelectivityQ1(tab, q))
+	fmt.Fprintf(w, "%-3s %-3s %10s %12s %16s %16s %10s\n",
+		"rf", "ls", "count", "sum_qty", "sum_price", "sum_revenue", "avg_qty")
+	rfNames := [...]string{"A", "R", "N"}
+	lsNames := [...]string{"F", "O"}
+	for g := 0; g < groups; g++ {
+		agg := res.Groups[g]
+		avgQty := 0.0
+		if agg.Count > 0 {
+			avgQty = float64(agg.SumQty) / float64(agg.Count)
 		}
-		fmt.Println("shipdate,discount,quantity,extendedprice")
-		for i := 0; i < k; i++ {
-			fmt.Printf("%d,%d,%d,%d\n", tab.ShipDate[i], tab.Discount[i], tab.Quantity[i], tab.ExtendedPrice[i])
-		}
+		fmt.Fprintf(w, "%-3s %-3s %10d %12d %16d %16d %10.2f\n",
+			rfNames[agg.ReturnFlag], lsNames[agg.LineStatus],
+			agg.Count, agg.SumQty, agg.SumPrice, agg.SumRevenue, avgQty)
 	}
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with split args and returns (exit code, stdout,
+// stderr).
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"zero tuples", []string{"-n", "0"}, "positive multiple of 64"},
+		{"negative tuples", []string{"-n", "-64"}, "positive multiple of 64"},
+		{"non-multiple tuples", []string{"-n", "100"}, "positive multiple of 64"},
+		{"unknown query", []string{"-query", "q99"}, `unknown query "q99"`},
+		{"zero groups", []string{"-query", "q1", "-groups", "0"}, "-groups 0 outside 1..6"},
+		{"negative groups", []string{"-query", "q1", "-groups", "-3"}, "-groups -3 outside"},
+		{"too many groups", []string{"-query", "q1", "-groups", "7"}, "outside 1..6"},
+		{"negative csv", []string{"-csv", "-1"}, "must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.want)
+			}
+			if !strings.Contains(stderr, "usage of tpchgen") {
+				t.Fatalf("stderr %q lacks the usage block", stderr)
+			}
+		})
+	}
+}
+
+func TestQ6Report(t *testing.T) {
+	code, out, stderr := runCLI(t, "-n", "1024")
+	if code != 0 {
+		t.Fatalf("exit code %d (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"Q06 selectivity", "per-column selectivities"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQ1Report(t *testing.T) {
+	code, out, stderr := runCLI(t, "-n", "1024", "-query", "q1")
+	if code != 0 {
+		t.Fatalf("exit code %d (stderr: %s)", code, stderr)
+	}
+	for _, want := range []string{"Q01 filter selectivity", "sum_revenue", "avg_qty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	// All six groups print by default, empty ones included.
+	if got := strings.Count(out, "\n") - 3; got != 6 {
+		t.Errorf("expected 6 group rows, output:\n%s", out)
+	}
+}
+
+func TestQ1GroupsLimit(t *testing.T) {
+	code, full, _ := runCLI(t, "-n", "1024", "-query", "q1")
+	if code != 0 {
+		t.Fatal("full report failed")
+	}
+	code, limited, _ := runCLI(t, "-n", "1024", "-query", "q1", "-groups", "2")
+	if code != 0 {
+		t.Fatal("limited report failed")
+	}
+	if !strings.HasPrefix(full, limited) {
+		t.Errorf("-groups 2 is not a prefix of the full table:\n--- limited ---\n%s--- full ---\n%s", limited, full)
+	}
+	if strings.Count(limited, "\n") >= strings.Count(full, "\n") {
+		t.Error("-groups 2 did not shorten the table")
+	}
+}
+
+func TestCSVDumpCarriesGroupKeys(t *testing.T) {
+	code, out, stderr := runCLI(t, "-n", "128", "-csv", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(out, "shipdate,discount,quantity,extendedprice,returnflag,linestatus") {
+		t.Fatalf("CSV header lacks the group-key columns:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if got := strings.Count(last, ","); got != 5 {
+		t.Fatalf("CSV row %q has %d commas, want 5", last, got)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	_, a, _ := runCLI(t, "-n", "1024", "-query", "q1")
+	_, b, _ := runCLI(t, "-n", "1024", "-query", "q1")
+	if a != b {
+		t.Fatal("same flags produced different output")
+	}
+}

@@ -48,6 +48,16 @@ type (
 	Lineitem = db.Table
 	// Q06 is the TPC-H Query 06 predicate.
 	Q06 = db.Q06
+	// Q01 is the TPC-H Query 01-style aggregation predicate: a shipdate
+	// filter whose query groups by (returnflag, linestatus) and
+	// accumulates per-group COUNT/SUM aggregates.
+	Q01 = db.Q01
+	// GroupAgg is one (returnflag, linestatus) group's aggregates.
+	GroupAgg = db.GroupAgg
+	// Q1Result is the reference outcome of the Q01 aggregation.
+	Q1Result = db.Q1Result
+	// QueryKind selects a plan's workload family (Q6Select or Q1Agg).
+	QueryKind = query.QueryKind
 	// Config parameterises experiment runs (tuples, seed, machine).
 	Config = harness.Config
 	// Result is the outcome of one simulated plan.
@@ -105,6 +115,23 @@ const (
 	ColumnAtATime = query.ColumnAtATime
 )
 
+// Workload families. A zero Plan runs Q6Select; set Plan.Kind = Q1Agg
+// (and Plan.Q1) for the grouped aggregation.
+const (
+	Q6Select = query.Q6Select
+	Q1Agg    = query.Q1Agg
+)
+
+// Workload-family constants re-exported for callers that validate
+// query parameters (CLIs, config loaders).
+const (
+	// ShipDateDays is the span of generated l_shipdate values.
+	ShipDateDays = db.ShipDateDays
+	// NumGroups is the (returnflag × linestatus) group cardinality of
+	// the Q01 aggregation.
+	NumGroups = db.NumGroups
+)
+
 // NominalHz is the Table I core clock (2 GHz): the one conversion
 // factor between simulated cycles and wall-clock-style figures (QPS,
 // microseconds) in serving flags and reports. Simulated results stay
@@ -123,6 +150,17 @@ func DefaultEnergy() EnergyModel { return energy.Default() }
 
 // DefaultQ06 returns the TPC-H Query 06 predicate parameters.
 func DefaultQ06() Q06 { return db.DefaultQ06() }
+
+// DefaultQ01 returns the TPC-H Query 01 predicate parameters (the
+// 90-day delta shipdate cutoff).
+func DefaultQ01() Q01 { return db.DefaultQ01() }
+
+// ReferenceQ1 evaluates the Q01 grouped aggregation in plain Go — the
+// oracle every simulated aggregation plan is verified against.
+func ReferenceQ1(t *Lineitem, q Q01) *db.Q1Result { return db.ReferenceQ1(t, q) }
+
+// SelectivityQ1 reports the fraction of t passing the Q01 filter.
+func SelectivityQ1(t *Lineitem, q Q01) float64 { return db.SelectivityQ1(t, q) }
 
 // Generate builds a lineitem table with dbgen-like distributions,
 // deterministically from seed. n must be a multiple of 64.
@@ -178,6 +216,10 @@ func Serve(cfg Config, tab *Lineitem, nShards int) (*Cluster, error) {
 // ServePlan returns the per-architecture best plan shape (the Figure 3d
 // configurations) over predicate q — the natural serving request.
 func ServePlan(arch Arch, q Q06) Plan { return serve.DefaultPlan(arch, q) }
+
+// ServeQ1Plan returns the per-architecture best plan shape for the Q01
+// grouped aggregation over predicate q.
+func ServeQ1Plan(arch Arch, q Q01) Plan { return serve.DefaultQ1Plan(arch, q) }
 
 // OpenLoop declares an open-loop load test: reqs arrive on a seeded
 // Poisson process with the given mean interarrival gap in simulated

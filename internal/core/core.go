@@ -811,6 +811,12 @@ func (e *Engine) Reset() {
 // Locked reports whether a lock block is open (for tests).
 func (e *Engine) Locked() bool { return e.locked }
 
+// ZeroingSquash reports whether squashed predicated instructions zero
+// their destination register (Config.ZeroingSquash). Plans that
+// accumulate through predicated temporaries are only correct under
+// zeroing-mask semantics and check this before compiling.
+func (e *Engine) ZeroingSquash() bool { return e.cfg.ZeroingSquash }
+
 // RegisterData returns a copy of a register's contents (for tests).
 func (e *Engine) RegisterData(i int) []byte {
 	out := make([]byte, isa.RegisterBytes)

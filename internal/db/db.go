@@ -23,6 +23,12 @@ const (
 	Day19940101 = 731
 	// Day19950101 is '1995-01-01', the Q06 upper bound.
 	Day19950101 = 1096
+	// Day19950617 is '1995-06-17', dbgen's CURRENTDATE: the pivot that
+	// derives l_returnflag and l_linestatus from the shipping dates.
+	Day19950617 = 1263
+	// Day19980902 is '1998-09-02' ('1998-12-01' minus the 90-day
+	// default interval), the TPC-H Query 01 shipdate cutoff.
+	Day19980902 = 2436
 )
 
 // Tuple field layout in the NSM (row-store) image: 16 little-endian
@@ -33,10 +39,33 @@ const (
 	FieldDiscount
 	FieldQuantity
 	FieldExtendedPrice
+	FieldReturnFlag
+	FieldLineStatus
 	NumFields   = 16
 	TupleBytes  = NumFields * 4
 	ColumnWidth = 4 // bytes per value in the DSM layout
 )
+
+// Group-key cardinalities of the aggregation workload: l_returnflag
+// takes three values (A, R, N) and l_linestatus two (F, O), so a Q01
+// group-by spans at most NumGroups = 6 (rf, ls) combinations. dbgen's
+// date-derived correlation populates the same four groups TPC-H Query
+// 01 reports (A/F, R/F, N/F, N/O); the remaining two stay empty.
+const (
+	ReturnFlagA = 0 // returned, accepted
+	ReturnFlagR = 1 // returned, rejected
+	ReturnFlagN = 2 // not yet returned (receipt after CURRENTDATE)
+
+	LineStatusF = 0 // fulfilled (shipped on or before CURRENTDATE)
+	LineStatusO = 1 // open (shipped after CURRENTDATE)
+
+	RFValues  = 3
+	LSValues  = 2
+	NumGroups = RFValues * LSValues
+)
+
+// GroupID maps an (rf, ls) pair to its dense group index 0..NumGroups-1.
+func GroupID(rf, ls int32) int { return int(rf)*LSValues + int(ls) }
 
 // Table is the in-memory (pre-layout) lineitem subset.
 type Table struct {
@@ -45,6 +74,8 @@ type Table struct {
 	Discount      []int32 // percent ×1 (0..10)
 	Quantity      []int32 // 1..50
 	ExtendedPrice []int32 // cents
+	ReturnFlag    []int32 // ReturnFlagA/R/N
+	LineStatus    []int32 // LineStatusF/O
 }
 
 // RNG is a splitmix64 generator: tiny, fast and deterministic across
@@ -94,7 +125,36 @@ func Generate(n int, seed uint64) *Table {
 		t.Quantity[i] = int32(1 + r.Intn(50)) // 1 .. 50
 		t.ExtendedPrice[i] = int32(90000 + r.Intn(16000))
 	}
+	deriveFlags(t, seed)
 	return t
+}
+
+// deriveFlags fills ReturnFlag and LineStatus with dbgen's correlation:
+// linestatus is O for lineitems shipped after CURRENTDATE and F
+// otherwise; returnflag is N when the receipt (ship + 1..30 days) falls
+// after CURRENTDATE, else a fair A/R coin. The draws come from their own
+// generator so the four Q06 columns stay bit-identical to tables
+// generated before the flags existed.
+func deriveFlags(t *Table, seed uint64) {
+	r := NewRNG(seed ^ 0xF1A6_5EED_0B5E_55ED)
+	t.ReturnFlag = make([]int32, t.N)
+	t.LineStatus = make([]int32, t.N)
+	for i := 0; i < t.N; i++ {
+		receipt := t.ShipDate[i] + 1 + int32(r.Intn(30))
+		coin := r.Next()&1 == 0
+		if receipt > Day19950617 {
+			t.ReturnFlag[i] = ReturnFlagN
+		} else if coin {
+			t.ReturnFlag[i] = ReturnFlagA
+		} else {
+			t.ReturnFlag[i] = ReturnFlagR
+		}
+		if t.ShipDate[i] > Day19950617 {
+			t.LineStatus[i] = LineStatusO
+		} else {
+			t.LineStatus[i] = LineStatusF
+		}
+	}
 }
 
 // GenerateClustered builds a table whose shipdates increase with the
@@ -121,6 +181,11 @@ func GenerateClustered(n int, seed uint64, noiseDays int32) *Table {
 		}
 		t.ShipDate[i] = int32(d)
 	}
+	// The flags correlate with shipping dates, so they re-derive from
+	// the clustered dates — a date-ordered table also clusters its
+	// linestatus transition, which is what lets predication skip whole
+	// chunks of absent groups.
+	deriveFlags(t, seed)
 	return t
 }
 
@@ -288,6 +353,106 @@ func Selectivity(t *Table, q Q06) float64 {
 	return float64(Reference(t, q).Matches) / float64(t.N)
 }
 
+// Q01 is the aggregation benchmark predicate — the filter of TPC-H
+// Query 01, whose body groups by (l_returnflag, l_linestatus) and
+// accumulates per-group sums and counts:
+//
+//	l_shipdate <= date '1998-12-01' - interval ':delta' day
+type Q01 struct {
+	// ShipCut is the inclusive shipdate upper bound in days since
+	// 1992-01-01 (TPC-H delta=90 puts it at Day19980902).
+	ShipCut int32
+}
+
+// DefaultQ01 returns the TPC-H Query 01 parameters at the default
+// 90-day delta (≈95% selectivity).
+func DefaultQ01() Q01 {
+	return Q01{ShipCut: Day19980902}
+}
+
+// Match evaluates the Q01 filter for tuple i.
+func (q Q01) Match(t *Table, i int) bool {
+	return t.ShipDate[i] <= q.ShipCut
+}
+
+// GroupAgg is one (returnflag, linestatus) group's aggregates. Averages
+// are derived (Sum/Count) at presentation time; keeping exact integer
+// sums is what lets sharded partials recompose losslessly.
+type GroupAgg struct {
+	ReturnFlag int32
+	LineStatus int32
+	// Count is the group's row count (count(*)).
+	Count int64
+	// SumQty is sum(l_quantity).
+	SumQty int64
+	// SumPrice is sum(l_extendedprice), in cents.
+	SumPrice int64
+	// SumRevenue is sum(l_extendedprice * l_discount) — the discounted
+	// revenue measure the Q06 path also reports, here per group.
+	SumRevenue int64
+}
+
+// Add folds another partial for the same group into g.
+func (g *GroupAgg) Add(o GroupAgg) {
+	g.Count += o.Count
+	g.SumQty += o.SumQty
+	g.SumPrice += o.SumPrice
+	g.SumRevenue += o.SumRevenue
+}
+
+// Q1Result is the oracle outcome of the Q01 aggregation scan.
+type Q1Result struct {
+	// Bitmask has one bit per tuple passing the shipdate filter.
+	Bitmask []byte
+	// Matches is the popcount of Bitmask.
+	Matches int
+	// Groups holds every (rf, ls) combination in GroupID order, empty
+	// groups included (Count == 0), so per-shard partials align by
+	// index when they recompose.
+	Groups [NumGroups]GroupAgg
+}
+
+// Revenue sums the discounted revenue across groups — the whole-query
+// checksum mirroring ReferenceResult.Revenue.
+func (r *Q1Result) Revenue() int64 {
+	var sum int64
+	for _, g := range r.Groups {
+		sum += g.SumRevenue
+	}
+	return sum
+}
+
+// ReferenceQ1 evaluates the grouped aggregation in plain Go — the
+// correctness oracle for every simulated Q01 plan.
+func ReferenceQ1(t *Table, q Q01) *Q1Result {
+	res := &Q1Result{Bitmask: make([]byte, (t.N+7)/8)}
+	for g := range res.Groups {
+		res.Groups[g].ReturnFlag = int32(g / LSValues)
+		res.Groups[g].LineStatus = int32(g % LSValues)
+	}
+	for i := 0; i < t.N; i++ {
+		if !q.Match(t, i) {
+			continue
+		}
+		res.Bitmask[i/8] |= 1 << (i % 8)
+		res.Matches++
+		agg := &res.Groups[GroupID(t.ReturnFlag[i], t.LineStatus[i])]
+		agg.Count++
+		agg.SumQty += int64(t.Quantity[i])
+		agg.SumPrice += int64(t.ExtendedPrice[i])
+		agg.SumRevenue += int64(t.ExtendedPrice[i]) * int64(t.Discount[i])
+	}
+	return res
+}
+
+// SelectivityQ1 reports the fraction of tuples passing the Q01 filter.
+func SelectivityQ1(t *Table, q Q01) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(ReferenceQ1(t, q).Matches) / float64(t.N)
+}
+
 // Arena is a bump allocator for laying regions into the physical image.
 type Arena struct {
 	next mem.Addr
@@ -344,10 +509,12 @@ func LayoutNSM(image []byte, a *Arena, t *Table) NSMLayout {
 		isa.SetLane(image[off:], FieldDiscount, t.Discount[i])
 		isa.SetLane(image[off:], FieldQuantity, t.Quantity[i])
 		isa.SetLane(image[off:], FieldExtendedPrice, t.ExtendedPrice[i])
+		isa.SetLane(image[off:], FieldReturnFlag, t.ReturnFlag[i])
+		isa.SetLane(image[off:], FieldLineStatus, t.LineStatus[i])
 		// Filler fields carry a deterministic pattern so that accidental
 		// reads of the wrong field fail tests loudly rather than seeing
 		// zeros.
-		for f := FieldExtendedPrice + 1; f < NumFields; f++ {
+		for f := FieldLineStatus + 1; f < NumFields; f++ {
 			isa.SetLane(image[off:], f, int32(0x0F00+f))
 		}
 	}
@@ -367,15 +534,23 @@ func (l DSMLayout) ValueAddr(col, i int) mem.Addr {
 	return l.ColBase[col] + mem.Addr(i*ColumnWidth)
 }
 
-// LayoutDSM writes the four Q06 columns as contiguous arrays, each
-// aligned to the 256 B row buffer (64 values per row).
-func LayoutDSM(image []byte, a *Arena, t *Table) DSMLayout {
+// LayoutDSM writes lineitem columns as contiguous arrays, each aligned
+// to the 256 B row buffer (64 values per row). With no explicit column
+// list it lays the four Q06 columns, exactly as it always has — a
+// caller whose query touches the group keys (Q01) appends them, so the
+// selection scan's physical layout is unchanged by their existence.
+func LayoutDSM(image []byte, a *Arena, t *Table, columns ...int) DSMLayout {
 	l := DSMLayout{N: t.N, ColBase: make(map[int]mem.Addr)}
 	cols := map[int][]int32{
 		FieldShipDate:      t.ShipDate,
 		FieldDiscount:      t.Discount,
 		FieldQuantity:      t.Quantity,
 		FieldExtendedPrice: t.ExtendedPrice,
+		FieldReturnFlag:    t.ReturnFlag,
+		FieldLineStatus:    t.LineStatus,
+	}
+	if len(columns) == 0 {
+		columns = []int{FieldShipDate, FieldDiscount, FieldQuantity, FieldExtendedPrice}
 	}
 	// Deterministic placement order. Each column is padded to whole rows
 	// and staggered by one extra row so that chunk k of different
@@ -384,7 +559,7 @@ func LayoutDSM(image []byte, a *Arena, t *Table) DSMLayout {
 	// stagger every per-tuple-range access to shipdate, discount and
 	// quantity would serialise on one vault's bank timing.
 	stagger := 0
-	for _, col := range []int{FieldShipDate, FieldDiscount, FieldQuantity, FieldExtendedPrice} {
+	for _, col := range columns {
 		vals := cols[col]
 		bytes := uint64(len(vals) * ColumnWidth)
 		// Round up to whole rows so vector ops never straddle columns.

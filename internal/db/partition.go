@@ -40,6 +40,8 @@ func Partition(t *Table, n int) ([]*Table, error) {
 			Discount:      t.Discount[lo:hi:hi],
 			Quantity:      t.Quantity[lo:hi:hi],
 			ExtendedPrice: t.ExtendedPrice[lo:hi:hi],
+			ReturnFlag:    t.ReturnFlag[lo:hi:hi],
+			LineStatus:    t.LineStatus[lo:hi:hi],
 		}
 		lo = hi
 	}

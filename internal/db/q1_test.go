@@ -1,0 +1,183 @@
+package db
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupKeysDeterministicAndSeparate(t *testing.T) {
+	// Same seed, same flags.
+	a := Generate(2048, 7)
+	b := Generate(2048, 7)
+	if !reflect.DeepEqual(a.ReturnFlag, b.ReturnFlag) || !reflect.DeepEqual(a.LineStatus, b.LineStatus) {
+		t.Fatal("group keys are not deterministic")
+	}
+	// The flag draws come from a separate generator: the Q06 columns of
+	// a table generated today must match a table generated before the
+	// flags existed (spot-pinned values from the seed corpus).
+	tab := Generate(64, 42)
+	if tab.ShipDate[0] != 688 || tab.Quantity[0] != 9 {
+		t.Fatalf("Q06 columns changed under the flag draws: shipdate[0]=%d quantity[0]=%d",
+			tab.ShipDate[0], tab.Quantity[0])
+	}
+}
+
+func TestGroupKeyRangesAndCorrelation(t *testing.T) {
+	tab := Generate(8192, 42)
+	for i := 0; i < tab.N; i++ {
+		rf, ls := tab.ReturnFlag[i], tab.LineStatus[i]
+		if rf < 0 || rf >= RFValues || ls < 0 || ls >= LSValues {
+			t.Fatalf("tuple %d: flags (%d, %d) out of range", i, rf, ls)
+		}
+		// dbgen correlation: anything shipped after CURRENTDATE is open
+		// and cannot have been returned yet.
+		if tab.ShipDate[i] > Day19950617 {
+			if ls != LineStatusO {
+				t.Fatalf("tuple %d: shipped after CURRENTDATE but linestatus F", i)
+			}
+			if rf != ReturnFlagN {
+				t.Fatalf("tuple %d: shipped after CURRENTDATE but returnflag %d", i, rf)
+			}
+		} else if ls != LineStatusF {
+			t.Fatalf("tuple %d: shipped before CURRENTDATE but linestatus O", i)
+		}
+	}
+}
+
+func TestClusteredRederivesFlags(t *testing.T) {
+	tab := GenerateClustered(4096, 42, 10)
+	for i := 0; i < tab.N; i++ {
+		want := int32(LineStatusF)
+		if tab.ShipDate[i] > Day19950617 {
+			want = LineStatusO
+		}
+		if tab.LineStatus[i] != want {
+			t.Fatalf("clustered tuple %d: linestatus %d does not follow its clustered shipdate %d",
+				i, tab.LineStatus[i], tab.ShipDate[i])
+		}
+	}
+}
+
+func TestReferenceQ1AgainstBruteForce(t *testing.T) {
+	tab := Generate(4096, 3)
+	q := DefaultQ01()
+	res := ReferenceQ1(tab, q)
+
+	var want Q1Result
+	for g := range want.Groups {
+		want.Groups[g].ReturnFlag = int32(g / LSValues)
+		want.Groups[g].LineStatus = int32(g % LSValues)
+	}
+	matches := 0
+	for i := 0; i < tab.N; i++ {
+		if tab.ShipDate[i] > q.ShipCut {
+			continue
+		}
+		matches++
+		a := &want.Groups[GroupID(tab.ReturnFlag[i], tab.LineStatus[i])]
+		a.Count++
+		a.SumQty += int64(tab.Quantity[i])
+		a.SumPrice += int64(tab.ExtendedPrice[i])
+		a.SumRevenue += int64(tab.ExtendedPrice[i]) * int64(tab.Discount[i])
+	}
+	if res.Matches != matches {
+		t.Fatalf("matches %d, brute force %d", res.Matches, matches)
+	}
+	if res.Groups != want.Groups {
+		t.Fatalf("groups %+v, brute force %+v", res.Groups, want.Groups)
+	}
+	// The group counts tile the filtered rows exactly.
+	var rows int64
+	for _, g := range res.Groups {
+		rows += g.Count
+	}
+	if rows != int64(matches) {
+		t.Fatalf("group counts sum to %d, matches %d", rows, matches)
+	}
+}
+
+func TestQ1SelectivityNearTPCH(t *testing.T) {
+	tab := Generate(65536, 42)
+	sel := SelectivityQ1(tab, DefaultQ01())
+	if sel < 0.90 || sel > 0.99 {
+		t.Fatalf("Q01 filter selectivity %.4f outside the TPC-H ~0.95 ballpark", sel)
+	}
+	// The populated groups mirror TPC-H Query 01's four result rows.
+	res := ReferenceQ1(tab, DefaultQ01())
+	populated := 0
+	for _, g := range res.Groups {
+		if g.Count > 0 {
+			populated++
+		}
+	}
+	if populated != 4 {
+		t.Fatalf("%d populated groups, want the TPC-H 4 (A/F, R/F, N/F, N/O)", populated)
+	}
+}
+
+func TestQ1GroupPartialsRecomposeAcrossShards(t *testing.T) {
+	tab := Generate(4096, 42)
+	q := DefaultQ01()
+	whole := ReferenceQ1(tab, q)
+	for _, n := range []int{1, 2, 4, 8} {
+		shards, err := Partition(tab, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merged Q1Result
+		for g := range merged.Groups {
+			merged.Groups[g].ReturnFlag = int32(g / LSValues)
+			merged.Groups[g].LineStatus = int32(g % LSValues)
+		}
+		for _, s := range shards {
+			part := ReferenceQ1(s, q)
+			merged.Matches += part.Matches
+			for g := range merged.Groups {
+				merged.Groups[g].Add(part.Groups[g])
+			}
+		}
+		if merged.Matches != whole.Matches {
+			t.Fatalf("%d shards: merged matches %d, whole %d", n, merged.Matches, whole.Matches)
+		}
+		if merged.Groups != whole.Groups {
+			t.Fatalf("%d shards: merged groups diverge from the whole-table reference", n)
+		}
+		if merged.Revenue() != whole.Revenue() {
+			t.Fatalf("%d shards: merged revenue %d, whole %d", n, merged.Revenue(), whole.Revenue())
+		}
+	}
+}
+
+func TestLayoutDSMAppendsGroupKeyColumns(t *testing.T) {
+	tab := Generate(256, 1)
+	imgA := make([]byte, 1<<20)
+	imgB := make([]byte, 1<<20)
+	// The default four-column layout must place those columns exactly
+	// where the six-column layout places them — the Q06 paths depend on
+	// the group keys appending after, never reshuffling.
+	la := LayoutDSM(imgA, NewArena(uint64(len(imgA))), tab)
+	lb := LayoutDSM(imgB, NewArena(uint64(len(imgB))), tab,
+		FieldShipDate, FieldDiscount, FieldQuantity, FieldExtendedPrice,
+		FieldReturnFlag, FieldLineStatus)
+	for _, col := range []int{FieldShipDate, FieldDiscount, FieldQuantity, FieldExtendedPrice} {
+		if la.ColBase[col] != lb.ColBase[col] {
+			t.Fatalf("column %d moved: %#x with four columns, %#x with six", col, la.ColBase[col], lb.ColBase[col])
+		}
+	}
+	for _, col := range []int{FieldReturnFlag, FieldLineStatus} {
+		base := lb.ColBase[col]
+		if base == 0 {
+			t.Fatalf("column %d missing from the six-column layout", col)
+		}
+		vals := tab.ReturnFlag
+		if col == FieldLineStatus {
+			vals = tab.LineStatus
+		}
+		for i, v := range vals {
+			addr := uint64(lb.ValueAddr(col, i))
+			if got := int32(uint32(imgB[addr]) | uint32(imgB[addr+1])<<8 | uint32(imgB[addr+2])<<16 | uint32(imgB[addr+3])<<24); got != v {
+				t.Fatalf("column %d value %d: image %d, table %d", col, i, got, v)
+			}
+		}
+	}
+}

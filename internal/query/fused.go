@@ -109,3 +109,347 @@ func (w *Workload) hiveFusedColumn() *chunkedStream {
 		return ops
 	}}
 }
+
+// Q01 register-bank allocation shared by the engine aggregation plans.
+// Every (group, aggregate) pair keeps a live accumulator register, so
+// the wave depth collapses to one chunk — the register-pressure cost of
+// grouped aggregation, the same trade the paper discusses for
+// predication (§III): more live state per chunk, less software
+// pipelining.
+const (
+	q1RegFilter = 0 // filter mask (HIPE: compare result; HIVE: mask reload)
+	q1RegRf     = 1 // returnflag chunk
+	q1RegLs     = 2 // linestatus chunk
+	q1RegQty    = 3 // quantity chunk
+	q1RegPrice  = 4 // extendedprice chunk
+	q1RegDisc   = 5 // discount chunk
+	q1RegRev    = 6 // per-lane discounted revenue (price × discount)
+	q1RegTmpA   = 7
+	q1RegTmpB   = 8
+	q1RegGroup  = 9  // current group-membership mask
+	q1RegShip   = 10 // shipdate chunk (HIPE one-pass only)
+	q1RegValid  = 11 // lane-validity mask (HIPE one-pass only)
+	q1RegAcc    = 12 // accumulators: q1RegAcc + g*NumAggs + agg
+)
+
+// q1AccReg names the (group, aggregate) accumulator register.
+func q1AccReg(g, agg int) uint8 { return uint8(q1RegAcc + g*NumAggs + agg) }
+
+// q1EmitGroups emits the per-group masked accumulation for one chunk:
+// the two key compares AND the filter mask into the membership mask,
+// COUNT accumulates by lane-subtracting the all-ones mask, and the
+// three sums AND their measure vector with the mask before adding. On
+// HIPE every mask-building and masking instruction is predicated — on
+// the filter flag first, then on the group mask's own zero flag, so a
+// group absent from a chunk squashes its accumulation inside the
+// memory. The running Adds/Subs stay unpredicated: a squash zeroes its
+// temp operand (zeroing-mask semantics), never the accumulator.
+func (w *Workload) q1EmitGroups(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
+	predicated := target == isa.TargetHIPE
+	eng := func(inst isa.OffloadInst) *isa.OffloadInst {
+		inst.Target = target
+		return &inst
+	}
+	nzF := isa.Predicate{}
+	if predicated {
+		nzF = isa.Predicate{Valid: true, Reg: q1RegFilter, WhenZero: false}
+	}
+	for g := 0; g < w.Desc.Groups; g++ {
+		rf, ls := groupKey(g)
+		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpEQ,
+			Dst: q1RegTmpA, Src1: q1RegRf, UseImm: true, Imm: rf, Pred: nzF}))
+		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpEQ,
+			Dst: q1RegTmpB, Src1: q1RegLs, UseImm: true, Imm: ls, Pred: nzF}))
+		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+			Dst: q1RegTmpA, Src1: q1RegTmpA, Src2: q1RegTmpB, Pred: nzF}))
+		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+			Dst: q1RegGroup, Src1: q1RegTmpA, Src2: q1RegFilter, Pred: nzF}))
+		nzG := isa.Predicate{}
+		if predicated {
+			nzG = isa.Predicate{Valid: true, Reg: q1RegGroup, WhenZero: false}
+		}
+		// COUNT: the mask lanes are -1 per member, so subtracting the
+		// mask adds one per member.
+		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.Sub,
+			Dst: q1AccReg(g, AggCount), Src1: q1AccReg(g, AggCount), Src2: q1RegGroup}))
+		for _, ma := range [...]struct {
+			agg int
+			src uint8
+		}{
+			{AggQty, q1RegQty}, {AggPrice, q1RegPrice}, {AggRevenue, q1RegRev},
+		} {
+			oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				Dst: q1RegTmpB, Src1: ma.src, Src2: q1RegGroup, Pred: nzG}))
+			oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.Add,
+				Dst: q1AccReg(g, ma.agg), Src1: q1AccReg(g, ma.agg), Src2: q1RegTmpB}))
+		}
+	}
+}
+
+// q1Columns is the key/measure column load order of the engine plans.
+var q1Columns = [...]struct {
+	reg uint8
+	col int
+}{
+	{q1RegRf, db.FieldReturnFlag},
+	{q1RegLs, db.FieldLineStatus},
+	{q1RegQty, db.FieldQuantity},
+	{q1RegPrice, db.FieldExtendedPrice},
+	{q1RegDisc, db.FieldDiscount},
+}
+
+// q1ClearAccs emits the accumulator initialisation: every (group,
+// aggregate) register XORs with itself to zero. The filter pass (HIVE)
+// reuses the high registers for chunk data, so the aggregation pass
+// cannot assume a pristine bank.
+func (w *Workload) q1ClearAccs(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
+	for g := 0; g < w.Desc.Groups; g++ {
+		for agg := 0; agg < NumAggs; agg++ {
+			r := q1AccReg(g, agg)
+			oc.emit(ops, pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+				ALU: isa.Xor, Dst: r, Src1: r, Src2: r})
+		}
+	}
+}
+
+// q1SpillAccs emits the final accumulator spill: every (group,
+// aggregate) register stores its per-lane partial sums to the AccRegion
+// so the processor — and verification — can read them.
+func (w *Workload) q1SpillAccs(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
+	for g := 0; g < w.Desc.Groups; g++ {
+		for agg := 0; agg < NumAggs; agg++ {
+			oc.emit(ops, pc, &isa.OffloadInst{Target: target, Op: isa.VStore,
+				Src1: q1AccReg(g, agg), Addr: w.accAddr(g, agg), Size: isa.RegisterBytes})
+		}
+	}
+}
+
+// q1hiveColumn generates HIVE's two-phase Q01 aggregation. Phase one is
+// a filter pass: lock blocks compute each chunk's shipdate bitmask in
+// the register bank and store it; the processor then fetches every
+// bitmask back from DRAM and branches on whether the chunk holds any
+// filtered tuple — the round trip HIPE eliminates. Phase two revisits
+// the surviving chunks: the filter mask reloads into the bank, the key
+// and measure columns load unconditionally, and every group's masked
+// accumulation executes whether or not the group occurs in the chunk.
+// A final block spills the 24 accumulator registers.
+func (w *Workload) q1hiveColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	maskBytes := isa.MaskBytes(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	st := w.Desc.Stages[0]
+	wave := p.Unroll
+	if wave > hiveWave {
+		wave = hiveWave
+	}
+
+	const tmpA, tmpB = 30, 31
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	phase := 0
+	pos := 0
+	spilled := false
+	var selected []int
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		if phase == 0 && pos >= chunks {
+			// Filter pass complete: select the chunks with matches, and
+			// zero the accumulator registers the filter pass clobbered.
+			phase, pos = 1, 0
+			for c := 0; c < chunks; c++ {
+				if bitRange(w.prefix[0], c*tuplesPerChunk, (c+1)*tuplesPerChunk) {
+					selected = append(selected, c)
+				}
+			}
+			pc := uint64(0xB200)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			w.q1ClearAccs(&ops, &pc, oc, isa.TargetHIVE)
+			oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+			return ops
+		}
+		if phase == 1 && pos >= len(selected) {
+			if spilled {
+				return nil
+			}
+			// One final block spills the accumulators.
+			spilled = true
+			pc := uint64(0xB800)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			w.q1SpillAccs(&ops, &pc, oc, isa.TargetHIVE)
+			oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+			return ops
+		}
+		if phase == 0 {
+			// Filter pass: software-pipelined lock blocks, one register
+			// per chunk, bitmasks stored for the processor's decision.
+			pc := uint64(0xB000)
+			first := pos
+			last := pos + wave
+			if last > chunks {
+				last = chunks
+			}
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			for c := first; c < last; c++ {
+				rD := uint8(c - first)
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+					Dst: rD, Addr: w.DSM.ColBase[st.Col] + mem.Addr(c*S), Size: p.OpSize})
+			}
+			for c := first; c < last; c++ {
+				rD := uint8(c - first)
+				t0 := c * tuplesPerChunk
+				want := packBits(w.prefix[0], t0, t0+tuplesPerChunk)
+				dst := [2]uint8{tmpA, tmpB}
+				for i, b := range st.Bounds {
+					oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+						ALU: b.Kind, Dst: dst[i], Src1: rD, UseImm: true, Imm: b.Imm})
+				}
+				if len(st.Bounds) == 2 {
+					oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+						ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
+				}
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
+					Src1: tmpA, Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
+					OnResult: func(r []byte) { w.check(r, want) }})
+			}
+			unlockAck := oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+			// Processor decision round trip: fetch each bitmask, branch
+			// on whether the aggregation pass needs this chunk.
+			for c := first; c < last; c++ {
+				lm := vr.fresh()
+				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+					Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+				pc += 4
+				tv := vr.fresh()
+				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
+				pc += 4
+				empty := !bitRange(w.prefix[0], c*tuplesPerChunk, (c+1)*tuplesPerChunk)
+				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: empty})
+				pc += 4
+			}
+			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != chunks})
+			pos = last
+			return ops
+		}
+		// Aggregation pass: one lock block per group of surviving
+		// chunks, each chunk folded sequentially into the live
+		// accumulators.
+		pc := uint64(0xB400)
+		first := pos
+		last := pos + p.Unroll
+		if last > len(selected) {
+			last = len(selected)
+		}
+		oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+		for k := first; k < last; k++ {
+			c := selected[k]
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+				Dst: q1RegFilter, Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
+			for _, ld := range q1Columns {
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+					Dst: ld.reg, Addr: w.DSM.ColBase[ld.col] + mem.Addr(c*S), Size: p.OpSize})
+			}
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+				ALU: isa.Mul, Dst: q1RegRev, Src1: q1RegPrice, Src2: q1RegDisc})
+			w.q1EmitGroups(&ops, &pc, oc, isa.TargetHIVE)
+		}
+		oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != len(selected)})
+		pos = last
+		return ops
+	}}
+}
+
+// q1hipeColumn generates the HIPE predicated one-pass Q01 aggregation —
+// the paper's predication argument applied to a grouped aggregate. Each
+// chunk's shipdate filter computes into a mask register whose zero flag
+// then gates, inside the memory, (a) the key and measure column loads —
+// chunks wholly past the cutoff never touch DRAM — and (b) every
+// group's masked accumulation, each predicated on its own membership
+// mask's flag, so a group absent from a chunk costs squashed sequencer
+// slots instead of functional-unit operations and flag waits. No
+// bitmask ever travels to the processor and no branch depends on
+// in-memory data.
+func (w *Workload) q1hipeColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	st := w.Desc.Stages[0]
+	blocks := (chunks + p.Unroll - 1) / p.Unroll
+
+	vr := &vregs{}
+	oc := &offloadChain{vr: vr}
+	setupDone := false
+	block := 0
+	nz := func(reg uint8) isa.Predicate {
+		return isa.Predicate{Valid: true, Reg: reg, WhenZero: false}
+	}
+	hipe := func(inst isa.OffloadInst) *isa.OffloadInst {
+		inst.Target = isa.TargetHIPE
+		return &inst
+	}
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		pc := uint64(0xC000)
+		if !setupDone {
+			setupDone = true
+			// One-time block: load the lane-validity row (sub-register
+			// chunks would otherwise leak tail-lane mask bits into the
+			// accumulators) and zero the accumulator registers.
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad,
+				Dst: q1RegValid, Addr: w.ValidRow, Size: 256}))
+			w.q1ClearAccs(&ops, &pc, oc, isa.TargetHIPE)
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Unlock}))
+			return ops
+		}
+		if block >= blocks {
+			return nil
+		}
+		pc = uint64(0xC100)
+		first := block * p.Unroll
+		last := first + p.Unroll
+		if last > chunks {
+			last = chunks
+		}
+		oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
+		for c := first; c < last; c++ {
+			// Filter stage: unpredicated shipdate load and compare,
+			// confined to the chunk's real lanes.
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: q1RegShip,
+				Addr: w.DSM.ColBase[st.Col] + mem.Addr(c*S), Size: p.OpSize}))
+			dst := [2]uint8{q1RegTmpA, q1RegTmpB}
+			for i, b := range st.Bounds {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
+					Dst: dst[i], Src1: q1RegShip, UseImm: true, Imm: b.Imm}))
+			}
+			if len(st.Bounds) == 2 {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					Dst: q1RegTmpA, Src1: q1RegTmpA, Src2: q1RegTmpB}))
+			}
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				Dst: q1RegFilter, Src1: q1RegTmpA, Src2: q1RegValid}))
+			// Key and measure loads, predicated on the filter flag:
+			// chunks wholly past the cutoff never touch DRAM.
+			for _, ld := range q1Columns {
+				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: ld.reg,
+					Addr: w.DSM.ColBase[ld.col] + mem.Addr(c*S), Size: p.OpSize,
+					Pred: nz(q1RegFilter)}))
+			}
+			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
+				Dst: q1RegRev, Src1: q1RegPrice, Src2: q1RegDisc, Pred: nz(q1RegFilter)}))
+			w.q1EmitGroups(&ops, &pc, oc, isa.TargetHIPE)
+		}
+		if block == blocks-1 {
+			w.q1SpillAccs(&ops, &pc, oc, isa.TargetHIPE)
+		}
+		oc.emitUnlock(&ops, &pc, isa.TargetHIPE)
+		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		block++
+		return ops
+	}}
+}

@@ -137,16 +137,190 @@ func (w *Workload) expectColCmp(col int, kind isa.ALUKind, imm int32, t0, n int)
 }
 
 func (w *Workload) columnValues(col int) []int32 {
-	switch col {
-	case db.FieldShipDate:
-		return w.Table.ShipDate
-	case db.FieldDiscount:
-		return w.Table.Discount
-	case db.FieldQuantity:
-		return w.Table.Quantity
-	default:
-		return w.Table.ExtendedPrice
+	return columnSlice(w.Table, col)
+}
+
+// q1hmcTuple generates the HMC-baseline tuple-at-a-time Q01
+// aggregation: per chunk of tuple data, one load-compare instruction
+// evaluates the shipdate filter pattern inside the vault; the bitmask
+// round-trips to the processor, which branches per tuple, reloads
+// matching tuples through the cache hierarchy, branches again on the
+// group key, and accumulates the group's running sums in registers.
+func (w *Workload) q1hmcTuple() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	tuplesPerChunk := S / db.TupleBytes
+	stride := S
+	if tuplesPerChunk == 0 {
+		tuplesPerChunk = 1
+		stride = db.TupleBytes
 	}
+	chunks := w.Table.N / tuplesPerChunk
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	lanePattern := w.patternLanesLE()
+
+	vr := &vregs{}
+	acc := &cpuAcc{vr: vr}
+	group := 0
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x9000)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			firstTuple := c * tuplesPerChunk
+			addr := w.NSM.Base + mem.Addr(c*stride)
+			_, wantLE := w.expectPatternMasks(firstTuple, S)
+
+			m := vr.fresh()
+			emit(isa.MicroOp{Class: isa.Offload, Dst: m, Offload: &isa.OffloadInst{
+				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpLE,
+				Addr: addr, Size: p.OpSize, Pattern: lanePattern,
+				OnResult: func(r []byte) { w.check(r, wantLE) },
+			}})
+			for t := 0; t < tuplesPerChunk; t++ {
+				i := firstTuple + t
+				tv := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
+				match := w.tupleMatch(i)
+				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				if !match {
+					continue
+				}
+				// Cache-path reload of the matching tuple, then the
+				// shared group-dispatch-and-accumulate block.
+				tup := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: tup,
+					Addr: w.NSM.TupleAddr(i), Size: db.TupleBytes})
+				w.emitTupleAccumulate(emit, acc, i, tup)
+			}
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
+// q1hmcColumn generates the HMC-baseline column-at-a-time Q01
+// aggregation: per chunk, load-compare instructions evaluate the
+// shipdate filter and every group-key value in the vaults, each bitmask
+// round-trips to the processor, and the processor reloads the measure
+// columns through the cache hierarchy to fold masked lanes into its
+// register accumulators — branchless, but every group-membership
+// decision crosses the SerDes links twice.
+func (w *Workload) q1hmcColumn() *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	tuplesPerChunk := S / db.ColumnWidth
+	chunks := w.Table.N / tuplesPerChunk
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	st := w.Desc.Stages[0]
+
+	vr := &vregs{}
+	acc := &cpuAcc{vr: vr}
+	group := 0
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x9800)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			t0 := c * tuplesPerChunk
+			cmpRead := func(col int, kind isa.ALUKind, imm int32) isa.Reg {
+				want := w.expectColCmp(col, kind, imm, t0, tuplesPerChunk)
+				r := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
+					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: kind,
+					Addr: w.DSM.ColBase[col] + mem.Addr(c*S), Size: p.OpSize, Imm: imm,
+					OnResult: func(r []byte) { w.check(r, want) },
+				}})
+				return r
+			}
+			// Filter bitmask in the vault.
+			m := isa.RegNone
+			for _, b := range st.Bounds {
+				r := cmpRead(st.Col, b.Kind, b.Imm)
+				if m == isa.RegNone {
+					m = r
+				} else {
+					nm := vr.fresh()
+					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
+					m = nm
+				}
+			}
+			// Key bitmasks in the vault, one compare per distinct value.
+			rfMask := make([]isa.Reg, db.RFValues)
+			for v := range rfMask {
+				rfMask[v] = cmpRead(db.FieldReturnFlag, isa.CmpEQ, int32(v))
+			}
+			lsMask := make([]isa.Reg, db.LSValues)
+			for v := range lsMask {
+				lsMask[v] = cmpRead(db.FieldLineStatus, isa.CmpEQ, int32(v))
+			}
+			// Measure columns reload through the cache hierarchy, in
+			// line-sized pieces.
+			load := func(col int) isa.Reg {
+				base := w.DSM.ColBase[col] + mem.Addr(c*S)
+				var d isa.Reg
+				for off := 0; off < S; off += 64 {
+					piece := S - off
+					if piece > 64 {
+						piece = 64
+					}
+					d = vr.fresh()
+					emit(isa.MicroOp{Class: isa.Load, Dst: d,
+						Addr: base + mem.Addr(off), Size: uint32(piece)})
+				}
+				return d
+			}
+			qty := load(db.FieldQuantity)
+			price := load(db.FieldExtendedPrice)
+			disc := load(db.FieldDiscount)
+			rev := vr.fresh()
+			emit(isa.MicroOp{Class: isa.IntMul, Dst: rev, Src1: price, Src2: disc})
+			for g := 0; g < w.Desc.Groups; g++ {
+				rf, ls := groupKey(g)
+				km := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: rfMask[rf], Src2: lsMask[ls]})
+				gm := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
+				masked := func(src isa.Reg) isa.Reg {
+					t := vr.fresh()
+					emit(isa.MicroOp{Class: isa.IntALU, Dst: t, Src1: src, Src2: gm})
+					return t
+				}
+				acc.add(emit, isa.IntALU, g, AggCount, gm)
+				acc.add(emit, isa.IntALU, g, AggQty, masked(qty))
+				acc.add(emit, isa.IntALU, g, AggPrice, masked(price))
+				acc.add(emit, isa.IntALU, g, AggRevenue, masked(rev))
+			}
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
 }
 
 // hmcColumn generates the HMC-baseline column-at-a-time scan: per column
@@ -160,36 +334,23 @@ func (w *Workload) hmcColumn() *chunkedStream {
 	tuplesPerChunk := S / db.ColumnWidth
 	chunks := w.Table.N / tuplesPerChunk
 	groups := (chunks + p.Unroll - 1) / p.Unroll
-	q := p.Q
 
+	stages := w.Desc.Stages
 	vr := &vregs{}
 	stage := 0
 	group := 0
 	return &chunkedStream{next: func() []isa.MicroOp {
-		if stage >= len(predCols) {
+		if stage >= len(stages) {
 			return nil
 		}
-		col := predCols[stage]
+		st := stages[stage]
+		col := st.Col
 		var ops []isa.MicroOp
 		pc := uint64(0x4000 + 0x400*stage)
 		emit := func(u isa.MicroOp) {
 			u.PC = pc
 			pc += 4
 			ops = append(ops, u)
-		}
-		// Per-stage compare set: kinds and immediates.
-		type cmp struct {
-			kind isa.ALUKind
-			imm  int32
-		}
-		var cmps []cmp
-		switch stage {
-		case 0:
-			cmps = []cmp{{isa.CmpGE, q.ShipLo}, {isa.CmpLT, q.ShipHi}}
-		case 1:
-			cmps = []cmp{{isa.CmpGE, q.DiscLo}, {isa.CmpLE, q.DiscHi}}
-		case 2:
-			cmps = []cmp{{isa.CmpLT, q.QtyHi}}
 		}
 		for u := 0; u < p.Unroll; u++ {
 			c := group*p.Unroll + u
@@ -199,14 +360,16 @@ func (w *Workload) hmcColumn() *chunkedStream {
 			t0 := c * tuplesPerChunk
 			dataAddr := w.DSM.ColBase[col] + mem.Addr(c*S)
 			var results []isa.Reg
-			for _, cm := range cmps {
+			// One load-compare per stage bound, straight from the
+			// description.
+			for _, cm := range st.Bounds {
 				cm := cm
-				want := w.expectColCmp(col, cm.kind, cm.imm, t0, tuplesPerChunk)
+				want := w.expectColCmp(col, cm.Kind, cm.Imm, t0, tuplesPerChunk)
 				r := vr.fresh()
 				results = append(results, r)
 				emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
-					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: cm.kind,
-					Addr: dataAddr, Size: p.OpSize, Imm: cm.imm,
+					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: cm.Kind,
+					Addr: dataAddr, Size: p.OpSize, Imm: cm.Imm,
 					OnResult: func(r []byte) { w.check(r, want) },
 				}})
 			}
@@ -219,7 +382,7 @@ func (w *Workload) hmcColumn() *chunkedStream {
 			if stage > 0 {
 				prev := vr.fresh()
 				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
-					Addr: w.MaskBase[predCols[stage-1]] + mem.Addr(c)*mem.Addr(maskBytes),
+					Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes),
 					Size: maskBytes})
 				nm := vr.fresh()
 				emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: prev})

@@ -174,6 +174,112 @@ func (w *Workload) pimTuple(target isa.Target) *chunkedStream {
 	}}
 }
 
+// q1pimTuple generates the HIVE tuple-at-a-time Q01 aggregation: per
+// wave, a lock block hoists the tuple-data loads and pattern-compares
+// the shipdate filter, storing lane bitmasks; the processor fetches
+// each bitmask, branches per tuple, reloads matching tuples through the
+// cache, branches on the group key and accumulates in registers — the
+// aggregation decision still round-trips through the processor.
+func (w *Workload) q1pimTuple(target isa.Target) *chunkedStream {
+	p := w.Plan
+	S := int(p.OpSize)
+	tuplesPerChunk := S / db.TupleBytes
+	stride := S
+	if tuplesPerChunk == 0 {
+		tuplesPerChunk = 1
+		stride = db.TupleBytes
+	}
+	chunks := w.Table.N / tuplesPerChunk
+	wave := p.Unroll
+	if wave > hiveWave {
+		wave = hiveWave
+	}
+	groups := (chunks + wave - 1) / wave
+	maskBytes := isa.MaskBytes(p.OpSize)
+
+	const regLE = 33
+	const tmpA = 30
+	vr := &vregs{}
+	acc := &cpuAcc{vr: vr}
+	oc := &offloadChain{vr: vr}
+	setupDone := false
+	group := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		var ops []isa.MicroOp
+		pc := uint64(0xA000)
+		if !setupDone {
+			setupDone = true
+			// One-time block: load the LE pattern row into the bound
+			// register (Q01's filter is a single upper bound).
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+				Dst: regLE, Addr: w.PatternLE, Size: 256})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
+			return ops
+		}
+		if group >= groups {
+			return nil
+		}
+		pc = uint64(0xA100)
+		first := group * wave
+		last := first + wave
+		if last > chunks {
+			last = chunks
+		}
+		oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+		// Phase A: hoisted data loads, one register per chunk.
+		for c := first; c < last; c++ {
+			rD := uint8(c - first)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+				Dst: rD, Addr: w.NSM.Base + mem.Addr(c*stride), Size: p.OpSize})
+		}
+		// Phase B: per-chunk filter compare, bitmask stored from the temp.
+		for c := first; c < last; c++ {
+			rD := uint8(c - first)
+			firstTuple := c * tuplesPerChunk
+			_, wantLE := w.expectPatternMasks(firstTuple, S)
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+				ALU: isa.CmpLE, Dst: tmpA, Src1: rD, Src2: regLE})
+			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
+				Src1: tmpA, Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
+				OnResult: func(r []byte) { w.check(r, wantLE) }})
+		}
+		unlockAck := oc.emitUnlock(&ops, &pc, target)
+
+		// Processor control flow: fetch each chunk's bitmask, branch per
+		// tuple, accumulate matching tuples' groups.
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for c := first; c < last; c++ {
+			lm := vr.fresh()
+			emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
+				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+			for t := 0; t < tuplesPerChunk; t++ {
+				i := c*tuplesPerChunk + t
+				tv := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
+				match := w.tupleMatch(i)
+				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				if !match {
+					continue
+				}
+				tup := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: tup,
+					Addr: w.NSM.TupleAddr(i), Size: db.TupleBytes})
+				w.emitTupleAccumulate(emit, acc, i, tup)
+			}
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
 // hiveColumn generates HIVE's column-at-a-time scan (Figure 3b/3c): per
 // column, software-pipelined lock blocks compute the chunk bitmasks
 // in-memory; between columns the processor must fetch every bitmask back
@@ -185,7 +291,7 @@ func (w *Workload) hiveColumn() *chunkedStream {
 	maskBytes := isa.MaskBytes(p.OpSize)
 	tuplesPerChunk := S / db.ColumnWidth
 	chunks := w.Table.N / tuplesPerChunk
-	q := p.Q
+	stages := w.Desc.Stages
 	wave := p.Unroll
 	if wave > hiveWave {
 		wave = hiveWave
@@ -207,7 +313,7 @@ func (w *Workload) hiveColumn() *chunkedStream {
 			// still produce matches.
 			stage++
 			pos = 0
-			if stage >= len(predCols) {
+			if stage >= len(stages) {
 				return nil
 			}
 			next := selected[:0]
@@ -218,11 +324,12 @@ func (w *Workload) hiveColumn() *chunkedStream {
 			}
 			selected = next
 			if len(selected) == 0 {
-				stage = len(predCols)
+				stage = len(stages)
 				return nil
 			}
 		}
-		col := predCols[stage]
+		st := stages[stage]
+		col := st.Col
 		var ops []isa.MicroOp
 		pc := uint64(0x6000 + 0x400*stage)
 
@@ -239,36 +346,27 @@ func (w *Workload) hiveColumn() *chunkedStream {
 			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
 				Dst: rD, Addr: w.DSM.ColBase[col] + mem.Addr(c*S), Size: p.OpSize})
 		}
-		// Phase B: per-chunk compares, previous-column mask AND, store.
+		// Phase B: per-chunk compares, previous-column mask AND, store —
+		// the bound list comes from the query description.
 		for k := first; k < last; k++ {
 			c := selected[k]
 			rD := uint8(k - first)
 			t0 := c * tuplesPerChunk
 			want := packBits(w.prefix[stage], t0, t0+tuplesPerChunk)
-			switch stage {
-			case 0:
+			if stage > 0 {
+				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+					Dst: tmpP, Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
+			}
+			dst := [2]uint8{tmpA, tmpB}
+			for i, b := range st.Bounds {
 				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.CmpGE, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.ShipLo})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.CmpLT, Dst: tmpB, Src1: rD, UseImm: true, Imm: q.ShipHi})
+					ALU: b.Kind, Dst: dst[i], Src1: rD, UseImm: true, Imm: b.Imm})
+			}
+			if len(st.Bounds) == 2 {
 				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
-			case 1:
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
-					Dst: tmpP, Addr: w.MaskBase[predCols[0]] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.CmpGE, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.DiscLo})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.CmpLE, Dst: tmpB, Src1: rD, UseImm: true, Imm: q.DiscHi})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpP})
-			case 2:
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
-					Dst: tmpP, Addr: w.MaskBase[predCols[1]] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
-					ALU: isa.CmpLT, Dst: tmpA, Src1: rD, UseImm: true, Imm: q.QtyHi})
+			}
+			if stage > 0 {
 				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpP})
 			}
@@ -316,7 +414,7 @@ func (w *Workload) hipeColumn() *chunkedStream {
 	maskBytes := isa.MaskBytes(p.OpSize)
 	tuplesPerChunk := S / db.ColumnWidth
 	chunks := w.Table.N / tuplesPerChunk
-	q := p.Q
+	stages := w.Desc.Stages
 	blocks := (chunks + p.Unroll - 1) / p.Unroll
 
 	const tmpA, tmpB, tmpC = 30, 31, 32
@@ -364,60 +462,60 @@ func (w *Workload) hipeColumn() *chunkedStream {
 			// regC holds the chunk's discount vector for the revenue
 			// multiply (Aggregate plans only).
 			regC := func(k int) uint8 { return uint8(2*wave + k - ws) }
-			dataReg := regX
-			if p.Aggregate {
-				dataReg = regC // discounts stay live in their own register
-			}
-			// Phase A: hoisted shipdate loads.
-			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
-					Addr: w.DSM.ColBase[db.FieldShipDate] + mem.Addr(k*S), Size: p.OpSize}))
-			}
-			// Phase B: shipdate range into each chunk's mask register.
-			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
-					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.ShipLo}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
-					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.ShipHi}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-					Dst: regM(k), Src1: tmpA, Src2: tmpB}))
-			}
-			// Phase C: discount loads, predicated — squashed chunks never
-			// touch DRAM.
-			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: dataReg(k),
-					Addr: w.DSM.ColBase[db.FieldDiscount] + mem.Addr(k*S), Size: p.OpSize,
-					Pred: nz(regM(k))}))
-			}
-			// Phase D: discount range, refined into the running mask.
-			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
-					Dst: tmpA, Src1: dataReg(k), UseImm: true, Imm: q.DiscLo, Pred: nz(regM(k))}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLE,
-					Dst: tmpB, Src1: dataReg(k), UseImm: true, Imm: q.DiscHi, Pred: nz(regM(k))}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-					Dst: tmpC, Src1: tmpA, Src2: tmpB, Pred: nz(regM(k))}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-					Dst: regM(k), Src1: tmpC, Src2: regM(k), Pred: nz(regM(k))}))
-			}
-			// Phase E: quantity loads, predicated on the refined mask.
-			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
-					Addr: w.DSM.ColBase[db.FieldQuantity] + mem.Addr(k*S), Size: p.OpSize,
-					Pred: nz(regM(k))}))
-			}
-			// Phase F: quantity compare, final AND, predicated store.
-			for k := ws; k < we; k++ {
-				t0 := k * tuplesPerChunk
-				want := packBits(w.prefix[2], t0, t0+tuplesPerChunk)
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
-					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.QtyHi, Pred: nz(regM(k))}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-					Dst: regM(k), Src1: tmpA, Src2: regM(k), Pred: nz(regM(k))}))
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
-					Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
-					Pred:     nz(regM(k)),
-					OnResult: func(r []byte) { w.check(r, want) }}))
+			// Predicate stages, straight from the query description: a
+			// load phase (predicated after the first stage — squashed
+			// chunks never touch DRAM) then a compute phase that refines
+			// each chunk's running mask register.
+			for s, st := range stages {
+				dataReg := regX
+				if p.Aggregate && st.Col == db.FieldDiscount {
+					dataReg = regC // discounts stay live for the revenue multiply
+				}
+				for k := ws; k < we; k++ {
+					ld := isa.OffloadInst{Op: isa.VLoad, Dst: dataReg(k),
+						Addr: w.DSM.ColBase[st.Col] + mem.Addr(k*S), Size: p.OpSize}
+					if s > 0 {
+						ld.Pred = nz(regM(k))
+					}
+					oc.emit(&ops, &pc, hipe(ld))
+				}
+				last := s == len(stages)-1
+				for k := ws; k < we; k++ {
+					pred := isa.Predicate{}
+					if s > 0 {
+						pred = nz(regM(k))
+					}
+					dst := [2]uint8{tmpA, tmpB}
+					for i, b := range st.Bounds {
+						d := dst[i]
+						if s == 0 && len(st.Bounds) == 1 {
+							d = regM(k) // single first-stage bound is the mask
+						}
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
+							Dst: d, Src1: dataReg(k), UseImm: true, Imm: b.Imm, Pred: pred}))
+					}
+					switch {
+					case s == 0 && len(st.Bounds) == 2:
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+							Dst: regM(k), Src1: tmpA, Src2: tmpB}))
+					case s > 0 && len(st.Bounds) == 2:
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+							Dst: tmpC, Src1: tmpA, Src2: tmpB, Pred: pred}))
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+							Dst: regM(k), Src1: tmpC, Src2: regM(k), Pred: pred}))
+					case s > 0 && len(st.Bounds) == 1:
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+							Dst: regM(k), Src1: tmpA, Src2: regM(k), Pred: pred}))
+					}
+					if last {
+						t0 := k * tuplesPerChunk
+						want := packBits(w.prefix[len(stages)-1], t0, t0+tuplesPerChunk)
+						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
+							Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
+							Pred:     nz(regM(k)),
+							OnResult: func(r []byte) { w.check(r, want) }}))
+					}
+				}
 			}
 			if p.Aggregate {
 				// Phase G: the Q06 aggregation in memory. Extended

@@ -1,5 +1,9 @@
-// Package query implements the paper's benchmark workload: the TPC-H
-// Query 06 selection scan, compiled four ways —
+// Package query implements the benchmark workloads. Every plan
+// compiles from a small declarative query description (desc.go) — an
+// ordered predicate pipeline plus, for aggregations, group-by keys and
+// an aggregate list. Two workload families ship: the paper's TPC-H
+// Query 06 selection scan (Q6Select) and the TPC-H Query 01-style
+// grouped aggregation (Q1Agg). Both compile four ways —
 //
 //   - x86: AVX-512 µops through the cache hierarchy;
 //   - HMC: extended HMC 2.1 load-compare instructions, control flow and
@@ -11,7 +15,8 @@
 //
 // Each generator produces a lazy µop stream for the core model plus the
 // functional bookkeeping needed to verify the simulated result against
-// the db package's reference evaluator.
+// the db package's reference evaluators (final bitmasks for selections,
+// per-group accumulator lane sums for aggregations).
 package query
 
 import (
@@ -83,10 +88,17 @@ type Plan struct {
 	// — sum(l_extendedprice * l_discount) over matches — computed by the
 	// engine's Mul/Add lanes under predication, so the whole query
 	// executes in memory (an extension beyond the paper's select-scan
-	// evaluation). Only valid for Arch == HIPE.
+	// evaluation). Only valid for Arch == HIPE, Kind == Q6Select.
 	Aggregate bool
-	// Q is the query predicate.
+	// Kind selects the workload family: Q6Select (zero value, the
+	// paper's selection scan over Q) or Q1Agg (the grouped aggregation
+	// over Q1). JSON-omitted at the default so Q06 exports are
+	// unchanged by the field's existence.
+	Kind QueryKind `json:",omitempty"`
+	// Q is the Query 06 predicate (Kind == Q6Select).
 	Q db.Q06
+	// Q1 is the Query 01 predicate (Kind == Q1Agg).
+	Q1 db.Q01 `json:",omitzero"`
 }
 
 var validOpSizes = map[uint32]bool{16: true, 32: true, 64: true, 128: true, 256: true}
@@ -99,11 +111,22 @@ func (p Plan) Validate() error {
 	if p.Unroll < 1 || p.Unroll > 32 {
 		return fmt.Errorf("query: unroll %d outside 1..32", p.Unroll)
 	}
+	if p.Kind != Q6Select && p.Kind != Q1Agg {
+		return fmt.Errorf("query: unknown query kind %d", p.Kind)
+	}
 	if p.Fused && !(p.Arch == HIVE && p.Strategy == ColumnAtATime) {
 		return fmt.Errorf("query: fused plans only exist for HIVE column-at-a-time")
 	}
 	if p.Aggregate && p.Arch != HIPE {
 		return fmt.Errorf("query: in-memory aggregation is the HIPE extension plan")
+	}
+	if p.Kind == Q1Agg {
+		if p.Fused {
+			return fmt.Errorf("query: the fused variant is a Q06 plan; Q01 aggregation is already one pass")
+		}
+		if p.Aggregate {
+			return fmt.Errorf("query: Aggregate is the Q06 revenue extension; Q01 plans always aggregate")
+		}
 	}
 	switch p.Arch {
 	case X86:
@@ -127,13 +150,17 @@ func (p Plan) Validate() error {
 	return nil
 }
 
-// String renders a plan identifier like "hive/column-at-a-time/256B/32x".
+// String renders a plan identifier like "hive/column-at-a-time/256B/32x"
+// (Q01 aggregation plans carry a "/q1" suffix).
 func (p Plan) String() string {
-	fused := ""
+	suffix := ""
 	if p.Fused {
-		fused = "/fused"
+		suffix = "/fused"
 	}
-	return fmt.Sprintf("%s/%s/%dB/%dx%s", p.Arch, p.Strategy, p.OpSize, p.Unroll, fused)
+	if p.Kind == Q1Agg {
+		suffix += "/q1"
+	}
+	return fmt.Sprintf("%s/%s/%dB/%dx%s", p.Arch, p.Strategy, p.OpSize, p.Unroll, suffix)
 }
 
 // chunkedStream materialises µops group by group, so multi-million-µop

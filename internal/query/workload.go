@@ -3,7 +3,6 @@ package query
 import (
 	"bytes"
 	"fmt"
-	"math"
 
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/isa"
@@ -19,6 +18,11 @@ type Workload struct {
 	Table *db.Table
 	M     *machine.Machine
 
+	// Desc is the plan's compiled query description; every generator
+	// reads its predicate stages (and, for Q1Agg, its group-by shape)
+	// from here instead of a hard-wired query.
+	Desc Desc
+
 	// Layouts (one of the two is populated, per the strategy).
 	NSM db.NSMLayout
 	DSM db.DSMLayout
@@ -26,11 +30,20 @@ type Workload struct {
 	// Output regions.
 	MaskBase    map[int]mem.Addr // per predicate column (DSM) — one bit per tuple
 	FinalMask   mem.Addr         // final bitmask region (both strategies)
-	Materialize mem.Addr         // matched-tuple region (NSM)
+	Materialize mem.Addr         // matched-tuple region (NSM, selection scans)
 
-	// AccRegion holds the in-memory aggregation accumulator (one 256 B
-	// vector of per-lane partial sums) for Aggregate plans.
+	// AccRegion holds in-memory aggregation accumulators: one 256 B
+	// vector of per-lane partial sums for the Q06 Aggregate extension,
+	// or Groups×NumAggs vectors for Q01 plans on the engine
+	// architectures (HIVE/HIPE).
 	AccRegion mem.Addr
+
+	// ValidRow is a 256 B row whose first OpSize/4 lanes are all-ones
+	// and the rest zero. Vector loads below the full register width
+	// leave a register's tail lanes untouched (zero), but compares over
+	// those lanes still produce mask bits; ANDing the filter mask with
+	// this row confines the predicated accumulation to real tuples.
+	ValidRow mem.Addr
 
 	// Pattern rows for NSM lane compares (HIVE registers load them; HMC
 	// CmpReads carry them as instruction patterns).
@@ -39,24 +52,50 @@ type Workload struct {
 	patGE     []int32
 	patLE     []int32
 
-	// Reference results.
-	Ref      *db.ReferenceResult
-	colMasks map[int][]byte
-	// prefix[i] = AND of column masks up to predicate stage i
-	// (0=shipdate, 1=+discount, 2=+quantity).
-	prefix [3][]byte
+	// Reference results (Ref for selection scans, Ref1 for aggregation).
+	Ref  *db.ReferenceResult
+	Ref1 *db.Q1Result
+	// matchMask is the flat full-predicate bitmask (Ref.Bitmask or
+	// Ref1.Bitmask), the branch-outcome oracle for tuple plans.
+	matchMask []byte
+	// prefix[i] = AND of stage masks up to predicate stage i.
+	prefix [][]byte
+	// groupMask[g] = prefix[last] ∧ group-g membership (Q1Agg only).
+	groupMask [][]byte
 
 	// Runtime verification of engine-computed results.
 	mismatches int
 	checked    int
 }
 
-// predCols is the column evaluation order of the scan.
-var predCols = [3]int{db.FieldShipDate, db.FieldDiscount, db.FieldQuantity}
+// maxGroupChunks bounds the chunk count of an engine-aggregated Q01
+// plan: per-lane partial sums are 32-bit and the worst-case per-chunk
+// addend is one maximal discounted revenue (≈1.06e6), so beyond ~2025
+// chunks a lane could overflow.
+const maxGroupChunks = 2025
+
+// ValidateFor extends Validate with the table-dependent envelope: an
+// engine-aggregated Q01 plan keeps 32-bit per-lane partial sums, so
+// its chunk count (tuples per operation) is bounded. Grid expansion
+// and serve admission use this so oversized cells trim or reject up
+// front instead of aborting a run mid-sweep.
+func (p Plan) ValidateFor(tuples int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Kind == Q1Agg && p.Strategy == ColumnAtATime &&
+		(p.Arch == HIVE || p.Arch == HIPE) {
+		if chunks := tuples / (int(p.OpSize) / db.ColumnWidth); chunks > maxGroupChunks {
+			return fmt.Errorf("query: %d chunks of %d B risk 32-bit lane overflow in group accumulators (max %d; raise the op size or shard the table)",
+				chunks, p.OpSize, maxGroupChunks)
+		}
+	}
+	return nil
+}
 
 // Prepare lays the table into m's image and builds all bookkeeping.
 func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
-	if err := p.Validate(); err != nil {
+	if err := p.ValidateFor(t.N); err != nil {
 		return nil, err
 	}
 	if t.N == 0 {
@@ -67,12 +106,20 @@ func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
 		// 1 GB table trivially satisfies this.
 		return nil, fmt.Errorf("query: tuple count %d must be a multiple of 64", t.N)
 	}
+	if p.Arch == HIPE && (p.Aggregate || p.Kind == Q1Agg) && !m.HIPE.ZeroingSquash() {
+		// The accumulating plans feed unpredicated Adds from predicated
+		// temporaries: only zeroing-mask squash semantics guarantee a
+		// squashed temp contributes zero. On the paper-literal
+		// "leave dst unchanged" ablation machine the temps would carry
+		// stale data into the accumulators, so refuse up front.
+		return nil, fmt.Errorf("query: %s accumulates through predicated temporaries and requires the HIPE engine's zeroing-squash semantics", p)
+	}
 	w := &Workload{
 		Plan:     p,
 		Table:    t,
 		M:        m,
+		Desc:     p.Desc(),
 		MaskBase: make(map[int]mem.Addr),
-		colMasks: make(map[int][]byte),
 	}
 	a := db.NewArena(uint64(len(m.Image)))
 
@@ -82,7 +129,7 @@ func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
 		// Pattern rows: per-lane constants tiled every 16 lanes (one
 		// tuple). CmpGE pattern / CmpLE pattern; filler lanes always in
 		// range.
-		w.patGE, w.patLE = tuplePatterns(p.Q)
+		w.patGE, w.patLE = tuplePatternsDesc(w.Desc)
 		w.PatternGE = writePattern(m.Image, a, w.patGE)
 		w.PatternLE = writePattern(m.Image, a, w.patLE)
 		// Lane-mask region: one bit per 32-bit lane of tuple data.
@@ -90,15 +137,24 @@ func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
 		w.FinalMask = a.Alloc(uint64(lanes/8), 256)
 		w.Materialize = a.Alloc(uint64(t.N*db.TupleBytes), 256)
 	case ColumnAtATime:
-		w.DSM = db.LayoutDSM(m.Image, a, t)
+		if w.Desc.Grouped() {
+			// The aggregation plans touch the group-key columns; they
+			// append after the standard four so the Q06 layout is
+			// byte-identical with or without them.
+			w.DSM = db.LayoutDSM(m.Image, a, t,
+				db.FieldShipDate, db.FieldDiscount, db.FieldQuantity,
+				db.FieldExtendedPrice, db.FieldReturnFlag, db.FieldLineStatus)
+		} else {
+			w.DSM = db.LayoutDSM(m.Image, a, t)
+		}
 		// Chunks below 8 tuples still occupy a whole mask byte, so the
 		// region is chunks×MaskBytes, not N/8.
 		tuplesPerChunk := int(p.OpSize) / db.ColumnWidth
 		regionBytes := uint64(t.N / tuplesPerChunk * int(isa.MaskBytes(p.OpSize)))
-		for _, col := range predCols {
-			w.MaskBase[col] = a.Alloc(regionBytes, 256)
+		for _, st := range w.Desc.Stages {
+			w.MaskBase[st.Col] = a.Alloc(regionBytes, 256)
 		}
-		w.FinalMask = w.MaskBase[db.FieldQuantity]
+		w.FinalMask = w.MaskBase[w.Desc.Stages[len(w.Desc.Stages)-1].Col]
 		if p.Aggregate {
 			// Per-lane partial sums are 32-bit: bound the table so the
 			// worst-case lane sum (every 64th tuple matching at maximum
@@ -108,15 +164,48 @@ func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
 			}
 			w.AccRegion = a.Alloc(isa.RegisterBytes, 256)
 		}
+		if w.Desc.Grouped() && (p.Arch == HIVE || p.Arch == HIPE) {
+			// The engines keep one accumulator register per (group,
+			// aggregate); ValidateFor bounded the chunk count so the
+			// 32-bit lanes cannot overflow.
+			w.AccRegion = a.Alloc(uint64(w.Desc.Groups*NumAggs)*isa.RegisterBytes, 256)
+			w.ValidRow = a.Alloc(256, 256)
+			for i := 0; i < tuplesPerChunk; i++ {
+				isa.SetLane(m.Image[uint64(w.ValidRow):], i, -1)
+			}
+		}
 	}
 
-	w.Ref = db.Reference(t, p.Q)
-	for _, col := range predCols {
-		w.colMasks[col] = db.ColumnMask(t, p.Q, col)
+	switch w.Desc.Kind {
+	case Q1Agg:
+		w.Ref1 = db.ReferenceQ1(t, p.Q1)
+		w.matchMask = w.Ref1.Bitmask
+	default:
+		w.Ref = db.Reference(t, p.Q)
+		w.matchMask = w.Ref.Bitmask
 	}
-	w.prefix[0] = w.colMasks[db.FieldShipDate]
-	w.prefix[1] = andMasks(w.prefix[0], w.colMasks[db.FieldDiscount])
-	w.prefix[2] = andMasks(w.prefix[1], w.colMasks[db.FieldQuantity])
+	w.prefix = make([][]byte, len(w.Desc.Stages))
+	for i, st := range w.Desc.Stages {
+		m := stageMask(t, st)
+		if i > 0 {
+			m = andMasks(w.prefix[i-1], m)
+		}
+		w.prefix[i] = m
+	}
+	if w.Desc.Grouped() {
+		w.groupMask = make([][]byte, w.Desc.Groups)
+		filter := w.prefix[len(w.prefix)-1]
+		for g := range w.groupMask {
+			rf, ls := groupKey(g)
+			gm := make([]byte, len(filter))
+			for i := 0; i < t.N; i++ {
+				if filter[i/8]&(1<<(i%8)) != 0 && t.ReturnFlag[i] == rf && t.LineStatus[i] == ls {
+					gm[i/8] |= 1 << (i % 8)
+				}
+			}
+			w.groupMask[g] = gm
+		}
+	}
 	return w, nil
 }
 
@@ -128,23 +217,6 @@ func andMasks(a, b []byte) []byte {
 	return out
 }
 
-// tuplePatterns builds the per-lane GE and LE constants for one 16-field
-// tuple: predicate fields carry the Q06 bounds, other lanes always match.
-func tuplePatterns(q db.Q06) (ge, le []int32) {
-	ge = make([]int32, db.NumFields)
-	le = make([]int32, db.NumFields)
-	for f := 0; f < db.NumFields; f++ {
-		ge[f] = math.MinInt32
-		le[f] = math.MaxInt32
-	}
-	ge[db.FieldShipDate] = q.ShipLo
-	le[db.FieldShipDate] = q.ShipHi - 1
-	ge[db.FieldDiscount] = q.DiscLo
-	le[db.FieldDiscount] = q.DiscHi
-	le[db.FieldQuantity] = q.QtyHi - 1
-	return ge, le
-}
-
 // writePattern stores a 16-lane pattern tiled across one 256 B row.
 func writePattern(image []byte, a *db.Arena, pat []int32) mem.Addr {
 	base := a.Alloc(256, 256)
@@ -154,13 +226,23 @@ func writePattern(image []byte, a *db.Arena, pat []int32) mem.Addr {
 	return base
 }
 
-// tupleLaneMatch reports whether tuple i fully matches per the reference
+// tupleMatch reports whether tuple i fully matches per the reference
 // (used for branch outcomes in tuple-at-a-time plans).
 func (w *Workload) tupleMatch(i int) bool {
-	return w.Ref.Bitmask[i/8]&(1<<(i%8)) != 0
+	return w.matchMask[i/8]&(1<<(i%8)) != 0
 }
 
-// expectTupleMask returns the packed GE/LE lane masks a pattern compare
+// tupleGroup reports tuple i's group index (Q1Agg plans).
+func (w *Workload) tupleGroup(i int) int {
+	return db.GroupID(w.Table.ReturnFlag[i], w.Table.LineStatus[i])
+}
+
+// accAddr is the address of the (group, aggregate) accumulator vector.
+func (w *Workload) accAddr(g, agg int) mem.Addr {
+	return w.AccRegion + mem.Addr((g*NumAggs+agg)*isa.RegisterBytes)
+}
+
+// expectPatternMasks returns the packed GE/LE lane masks a pattern compare
 // over [first, first+n) tuples should produce.
 func (w *Workload) expectPatternMasks(firstTuple, nBytes int) (ge, le []byte) {
 	lanes := nBytes / 4
@@ -213,8 +295,44 @@ func (w *Workload) Checked() int { return w.checked }
 // Mismatches reports runtime cross-check failures (must be zero).
 func (w *Workload) Mismatches() int { return w.mismatches }
 
+// GroupResults returns the per-group aggregates of a verified Q1Agg run,
+// in db.GroupID order (nil for selection plans). Call after Verify: for
+// the engine architectures the values were checked against the
+// in-memory accumulators, for the baselines against the runtime mask
+// cross-checks.
+func (w *Workload) GroupResults() []db.GroupAgg {
+	if w.Ref1 == nil {
+		return nil
+	}
+	out := make([]db.GroupAgg, len(w.Ref1.Groups))
+	copy(out, w.Ref1.Groups[:])
+	return out
+}
+
 // Stream builds the µop stream for the plan.
 func (w *Workload) Stream() *chunkedStream {
+	if w.Desc.Kind == Q1Agg {
+		switch w.Plan.Arch {
+		case X86:
+			if w.Plan.Strategy == TupleAtATime {
+				return w.q1x86Tuple()
+			}
+			return w.q1x86Column()
+		case HMC:
+			if w.Plan.Strategy == TupleAtATime {
+				return w.q1hmcTuple()
+			}
+			return w.q1hmcColumn()
+		case HIVE:
+			if w.Plan.Strategy == TupleAtATime {
+				return w.q1pimTuple(isa.TargetHIVE)
+			}
+			return w.q1hiveColumn()
+		case HIPE:
+			return w.q1hipeColumn()
+		}
+		panic("query: unreachable")
+	}
 	switch w.Plan.Arch {
 	case X86:
 		if w.Plan.Strategy == TupleAtATime {
@@ -242,13 +360,16 @@ func (w *Workload) Stream() *chunkedStream {
 
 // Verify checks the functional outcome of a completed run against the
 // reference evaluator. Which artifacts exist depends on the plan:
-// engine-written bitmask regions for HIVE/HIPE, runtime cross-checks for
-// HMC, and (by construction) nothing for x86, whose correctness is the
-// reference itself.
+// engine-written bitmask regions and group accumulators for HIVE/HIPE,
+// runtime cross-checks for HMC, and (by construction) nothing for x86,
+// whose correctness is the reference itself.
 func (w *Workload) Verify() error {
 	if w.mismatches > 0 {
 		return fmt.Errorf("query %s: %d of %d runtime result checks failed",
 			w.Plan, w.mismatches, w.checked)
+	}
+	if w.Desc.Kind == Q1Agg {
+		return w.verifyQ1()
 	}
 	switch {
 	case w.Plan.Arch == HIVE && w.Plan.Strategy == ColumnAtATime,
@@ -284,6 +405,50 @@ func (w *Workload) Verify() error {
 			return fmt.Errorf("query %s: no runtime checks ran", w.Plan)
 		}
 	case w.Plan.Arch == HMC:
+		if w.checked == 0 {
+			return fmt.Errorf("query %s: no runtime checks ran", w.Plan)
+		}
+	}
+	return nil
+}
+
+// verifyQ1 checks a grouped-aggregation run. The engine architectures
+// spilled their accumulator registers to AccRegion: each (group,
+// aggregate) register's lane sum must equal the reference evaluator's
+// value. The baselines verified their bitmasks at runtime.
+func (w *Workload) verifyQ1() error {
+	engine := w.Plan.Strategy == ColumnAtATime &&
+		(w.Plan.Arch == HIVE || w.Plan.Arch == HIPE)
+	if engine {
+		if w.Plan.Arch == HIVE {
+			// HIVE's filter pass stored the chunked filter bitmask.
+			want := w.expectedMaskRegion(w.Ref1.Bitmask)
+			got := w.M.Image[w.FinalMask : uint64(w.FinalMask)+uint64(len(want))]
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("query %s: filter bitmask differs from reference (%d vs %d matches)",
+					w.Plan, isa.PopcountMask(got), isa.PopcountMask(want))
+			}
+		}
+		for g := 0; g < w.Desc.Groups; g++ {
+			ref := w.Ref1.Groups[g]
+			want := [NumAggs]int64{ref.Count, ref.SumQty, ref.SumPrice, ref.SumRevenue}
+			for agg := 0; agg < NumAggs; agg++ {
+				base := uint64(w.accAddr(g, agg))
+				acc := w.M.Image[base : base+isa.RegisterBytes]
+				var got int64
+				for i := 0; i < isa.LanesPerReg; i++ {
+					got += int64(isa.LaneAt(acc, i))
+				}
+				if got != want[agg] {
+					return fmt.Errorf("query %s: group %d %s: in-memory %d, reference %d",
+						w.Plan, g, AggName(agg), got, want[agg])
+				}
+			}
+		}
+		return nil
+	}
+	switch w.Plan.Arch {
+	case HMC, HIVE:
 		if w.checked == 0 {
 			return fmt.Errorf("query %s: no runtime checks ran", w.Plan)
 		}

@@ -76,6 +76,165 @@ func (w *Workload) x86Tuple() *chunkedStream {
 	}}
 }
 
+// q1x86Tuple generates the AVX tuple-at-a-time Q01 aggregation over the
+// NSM layout: load the tuple, compare the shipdate filter, branch on
+// the match, then branch again on the group key — the returnflag and
+// linestatus dispatch whose direction depends on in-memory data, which
+// is exactly the control flow the paper's predication argument targets
+// — and accumulate the group's four running sums in registers.
+func (w *Workload) q1x86Tuple() *chunkedStream {
+	p := w.Plan
+	S := p.OpSize
+	chunksPerTuple := int(db.TupleBytes / S)
+	if chunksPerTuple == 0 {
+		chunksPerTuple = 1
+	}
+	st := w.Desc.Stages[0]
+	vr := &vregs{}
+	acc := &cpuAcc{vr: vr}
+	group := 0
+	groups := (w.Table.N + p.Unroll - 1) / p.Unroll
+
+	const pcBase = 0x8000
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(pcBase)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			i := group*p.Unroll + u
+			if i >= w.Table.N {
+				break
+			}
+			var firstChunk isa.Reg
+			for k := 0; k < chunksPerTuple; k++ {
+				dst := vr.fresh()
+				if k == 0 {
+					firstChunk = dst
+				}
+				emit(isa.MicroOp{Class: isa.Load, Dst: dst,
+					Addr: w.NSM.TupleAddr(i) + mem.Addr(k)*mem.Addr(S), Size: S})
+			}
+			// Filter compare(s) over the predicate lanes.
+			m := firstChunk
+			for range st.Bounds {
+				c := vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: c, Src1: firstChunk, Size: S})
+				if m != firstChunk {
+					nm := vr.fresh()
+					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: c})
+					m = nm
+				} else {
+					m = c
+				}
+			}
+			match := w.tupleMatch(i)
+			emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
+			if !match {
+				continue
+			}
+			// Group dispatch and accumulates over the already-loaded
+			// tuple registers.
+			w.emitTupleAccumulate(emit, acc, i, firstChunk)
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
+// q1x86Column generates the AVX column-at-a-time Q01 aggregation over
+// the DSM layout: per chunk, compare the shipdate filter into a lane
+// mask, load the key and measure columns, and for every group build the
+// membership mask (two key compares ANDed with the filter) and fold the
+// masked lanes into vector accumulators — branchless masked
+// accumulation, the column-store analogue of Figure 1b extended with a
+// grouped reduction.
+func (w *Workload) q1x86Column() *chunkedStream {
+	p := w.Plan
+	S := p.OpSize
+	chunks := w.Table.N * db.ColumnWidth / int(S)
+	groups := (chunks + p.Unroll - 1) / p.Unroll
+	st := w.Desc.Stages[0]
+	vr := &vregs{}
+	acc := &cpuAcc{vr: vr}
+	group := 0
+
+	return &chunkedStream{next: func() []isa.MicroOp {
+		if group >= groups {
+			return nil
+		}
+		var ops []isa.MicroOp
+		pc := uint64(0x8800)
+		emit := func(u isa.MicroOp) {
+			u.PC = pc
+			pc += 4
+			ops = append(ops, u)
+		}
+		for u := 0; u < p.Unroll; u++ {
+			c := group*p.Unroll + u
+			if c >= chunks {
+				break
+			}
+			load := func(col int) isa.Reg {
+				d := vr.fresh()
+				emit(isa.MicroOp{Class: isa.Load, Dst: d,
+					Addr: w.DSM.ColBase[col] + mem.Addr(c)*mem.Addr(S), Size: S})
+				return d
+			}
+			ship := load(st.Col)
+			m := ship
+			for range st.Bounds {
+				cr := vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: cr, Src1: ship, Size: S})
+				if m != ship {
+					nm := vr.fresh()
+					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: cr})
+					m = nm
+				} else {
+					m = cr
+				}
+			}
+			rfv := load(db.FieldReturnFlag)
+			lsv := load(db.FieldLineStatus)
+			qty := load(db.FieldQuantity)
+			price := load(db.FieldExtendedPrice)
+			disc := load(db.FieldDiscount)
+			rev := vr.fresh()
+			emit(isa.MicroOp{Class: isa.VecALU, Dst: rev, Src1: price, Src2: disc, Size: S})
+			for g := 0; g < w.Desc.Groups; g++ {
+				ka, kb := vr.fresh(), vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: ka, Src1: rfv, Size: S})
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: kb, Src1: lsv, Size: S})
+				km := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: ka, Src2: kb})
+				gm := vr.fresh()
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
+				masked := func(src isa.Reg) isa.Reg {
+					t := vr.fresh()
+					emit(isa.MicroOp{Class: isa.VecALU, Dst: t, Src1: src, Src2: gm, Size: S})
+					return t
+				}
+				acc.add(emit, isa.IntALU, g, AggCount, gm)
+				acc.add(emit, isa.IntALU, g, AggQty, masked(qty))
+				acc.add(emit, isa.IntALU, g, AggPrice, masked(price))
+				acc.add(emit, isa.IntALU, g, AggRevenue, masked(rev))
+			}
+		}
+		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
+		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		group++
+		return ops
+	}}
+}
+
 // x86Column generates the AVX column-at-a-time scan over the DSM layout:
 // three passes (shipdate, discount, quantity), each producing/refining a
 // packed bitmask in memory — the paper's Figure 1b flow. Branchless
@@ -86,15 +245,17 @@ func (w *Workload) x86Column() *chunkedStream {
 	maskBytes := isa.MaskBytes(S)
 	chunks := w.Table.N * db.ColumnWidth / int(S)
 	groups := (chunks + p.Unroll - 1) / p.Unroll
+	stages := w.Desc.Stages
 	vr := &vregs{}
 	stage := 0
 	group := 0
 
 	return &chunkedStream{next: func() []isa.MicroOp {
-		if stage >= len(predCols) {
+		if stage >= len(stages) {
 			return nil
 		}
-		col := predCols[stage]
+		st := stages[stage]
+		col := st.Col
 		var ops []isa.MicroOp
 		pc := uint64(0x2000 + 0x400*stage)
 		emit := func(u isa.MicroOp) {
@@ -112,28 +273,33 @@ func (w *Workload) x86Column() *chunkedStream {
 			d := vr.fresh()
 			emit(isa.MicroOp{Class: isa.Load, Dst: d, Addr: dataAddr, Size: S})
 			m := vr.fresh()
-			switch stage {
-			case 0: // shipdate: >= lo AND < hi
-				a, b := vr.fresh(), vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: b, Src1: d, Size: S})
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: a, Src2: b})
-			case 1: // discount: between lo and hi, AND previous mask
-				prev := vr.fresh()
+			// Refinement stages reload the previous column's bitmask.
+			var prev isa.Reg
+			if stage > 0 {
+				prev = vr.fresh()
 				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
-					Addr: w.MaskBase[predCols[0]] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
-				a, b, t := vr.fresh(), vr.fresh(), vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: b, Src1: d, Size: S})
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: t, Src1: a, Src2: b})
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: t, Src2: prev})
-			case 2: // quantity: < hi, AND previous mask
-				prev := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
-					Addr: w.MaskBase[predCols[1]] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
-				a := vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: a, Src1: d, Size: S})
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: a, Src2: prev})
+					Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
+			}
+			// One vector compare per stage bound, then mask combines.
+			regs := make([]isa.Reg, len(st.Bounds))
+			for i := range st.Bounds {
+				regs[i] = vr.fresh()
+				emit(isa.MicroOp{Class: isa.VecCmp, Dst: regs[i], Src1: d, Size: S})
+			}
+			cur := regs[0]
+			for _, r := range regs[1:] {
+				dst := m
+				if stage > 0 {
+					dst = vr.fresh() // intermediate: the prev-mask AND still follows
+				}
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: dst, Src1: cur, Src2: r})
+				cur = dst
+			}
+			switch {
+			case stage > 0:
+				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: cur, Src2: prev})
+			case len(regs) == 1:
+				m = cur // single unrefined bound: the compare is the mask
 			}
 			emit(isa.MicroOp{Class: isa.Store, Addr: maskAddr, Size: maskBytes, Src1: m})
 		}

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/query"
 )
 
@@ -97,6 +98,13 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	for _, tr := range r.Requests {
 		p, q := tr.Plan, tr.Plan.Q
+		if p.Kind == query.Q1Agg {
+			// Aggregation rows render their filter in the shared date
+			// columns ([0, ShipCut] as a half-open range); the zero
+			// discount/quantity bounds mark the row as Q01, keeping the
+			// schema — and Q06-only exports — byte-stable.
+			q = db.Q06{ShipLo: 0, ShipHi: p.Q1.ShipCut + 1}
+		}
 		rec := []string{
 			strconv.Itoa(tr.Index),
 			strconv.Itoa(tr.Client),

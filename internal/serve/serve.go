@@ -60,6 +60,19 @@ func DefaultPlan(arch query.Arch, q db.Q06) query.Plan {
 	}
 }
 
+// DefaultQ1Plan returns the per-architecture best configuration for the
+// Q01 aggregation workload: the column-at-a-time shapes of DefaultPlan
+// with the query description swapped (the fused variant is a pure-Q06
+// plan, so HIVE serves Q01 unfused).
+func DefaultQ1Plan(arch query.Arch, q db.Q01) query.Plan {
+	p := DefaultPlan(arch, db.Q06{})
+	p.Fused = false
+	p.Kind = query.Q1Agg
+	p.Q = db.Q06{}
+	p.Q1 = q
+	return p
+}
+
 // ShardPartial is one shard's contribution to a request: the simulated
 // service time plus the partials that merge into the whole-table
 // answer. Matches is the cardinality of the shard's result bitmask,
@@ -70,6 +83,10 @@ type ShardPartial struct {
 	Cycles  uint64
 	Matches int
 	Revenue int64
+	// Groups holds the shard's per-group aggregates for Q01 requests,
+	// in db.GroupID order (nil for selection requests). Contiguous
+	// shards tile the table, so group partials recompose by index.
+	Groups []db.GroupAgg `json:",omitempty"`
 }
 
 // Response is a merged, verified whole-table answer.
@@ -82,6 +99,10 @@ type Response struct {
 	// matches. For Aggregate plans each addend was computed by the HIPE
 	// engine's predicated Mul/Add lanes and checked in-shard.
 	Revenue int64
+	// Groups is the merged per-group aggregate table of a Q01 request
+	// (nil for selection requests): shard partials summed group-wise
+	// and verified against the unsharded reference evaluator.
+	Groups []db.GroupAgg `json:",omitempty"`
 	// Cycles is the request's service time on an idle fleet: the
 	// critical path, i.e. the slowest shard's simulation.
 	Cycles uint64
@@ -120,8 +141,9 @@ type Cluster struct {
 	whole  *db.Table
 	shards []*db.Table
 
-	mu   sync.Mutex
-	refs map[db.Q06]*db.ReferenceResult
+	mu    sync.Mutex
+	refs  map[db.Q06]*db.ReferenceResult
+	refs1 map[db.Q01]*db.Q1Result
 
 	// mpool recycles simulated machines across shard replays: a Reset
 	// machine is bit-identical to a fresh one, so reuse never changes
@@ -153,6 +175,7 @@ func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
 		whole:  tab,
 		shards: shards,
 		refs:   make(map[db.Q06]*db.ReferenceResult),
+		refs1:  make(map[db.Q01]*db.Q1Result),
 	}, nil
 }
 
@@ -176,9 +199,17 @@ func (c *Cluster) ShardRows() []int {
 func (c *Cluster) Rows() int { return c.whole.N }
 
 // Admit validates a request against the cluster: the plan must be
-// inside the evaluated envelope and executable on every shard.
+// inside the evaluated envelope — including the table-dependent
+// bounds, checked against the largest shard — and executable on every
+// shard.
 func (c *Cluster) Admit(req Request) error {
-	if err := req.Plan.Validate(); err != nil {
+	maxRows := 0
+	for _, s := range c.shards {
+		if s.N > maxRows {
+			maxRows = s.N
+		}
+	}
+	if err := req.Plan.ValidateFor(maxRows); err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
 	return nil
@@ -194,6 +225,19 @@ func (c *Cluster) reference(q db.Q06) *db.ReferenceResult {
 	}
 	r := db.Reference(c.whole, q)
 	c.refs[q] = r
+	return r
+}
+
+// referenceQ1 returns the whole-table aggregation oracle for predicate
+// q, computed once per distinct predicate.
+func (c *Cluster) referenceQ1(q db.Q01) *db.Q1Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.refs1[q]; ok {
+		return r
+	}
+	r := db.ReferenceQ1(c.whole, q)
+	c.refs1[q] = r
 	return r
 }
 
@@ -237,9 +281,18 @@ func (c *Cluster) runShard(s int, p query.Plan) (ShardPartial, error) {
 	if err := w.Verify(); err != nil {
 		return ShardPartial{}, err
 	}
-	// Verify passed: the engine's bitmask (and, for Aggregate plans,
-	// its in-memory revenue accumulator) equals the shard reference, so
-	// the reference values ARE the engine-computed partials.
+	// Verify passed: the engine's bitmask (and, for aggregation plans,
+	// its in-memory accumulators) equals the shard reference, so the
+	// reference values ARE the engine-computed partials.
+	if w.Ref1 != nil {
+		return ShardPartial{
+			Shard:   s,
+			Cycles:  cycles,
+			Matches: w.Ref1.Matches,
+			Revenue: w.Ref1.Revenue(),
+			Groups:  w.GroupResults(),
+		}, nil
+	}
 	return ShardPartial{
 		Shard:   s,
 		Cycles:  cycles,
@@ -259,6 +312,9 @@ func (c *Cluster) merge(req Request, parts []ShardPartial) (*Response, error) {
 			resp.Cycles = p.Cycles
 		}
 	}
+	if req.Plan.Kind == query.Q1Agg {
+		return c.mergeQ1(req, resp, parts)
+	}
 	ref := c.reference(req.Plan.Q)
 	if resp.Matches != ref.Matches {
 		return nil, fmt.Errorf("serve: %s: merged matches %d, reference %d",
@@ -267,6 +323,40 @@ func (c *Cluster) merge(req Request, parts []ShardPartial) (*Response, error) {
 	if resp.Revenue != ref.Revenue {
 		return nil, fmt.Errorf("serve: %s: merged revenue %d, reference %d",
 			req.Plan, resp.Revenue, ref.Revenue)
+	}
+	return resp, nil
+}
+
+// mergeQ1 recomposes per-shard group aggregates — contiguous shards
+// tile the table, so every (group, aggregate) sum is the plain sum of
+// the shard values — and verifies the merged table against the
+// unsharded reference evaluator.
+func (c *Cluster) mergeQ1(req Request, resp *Response, parts []ShardPartial) (*Response, error) {
+	merged := make([]db.GroupAgg, db.NumGroups)
+	for g := range merged {
+		merged[g].ReturnFlag = int32(g / db.LSValues)
+		merged[g].LineStatus = int32(g % db.LSValues)
+	}
+	for _, p := range parts {
+		if len(p.Groups) != db.NumGroups {
+			return nil, fmt.Errorf("serve: %s: shard %d returned %d groups, want %d",
+				req.Plan, p.Shard, len(p.Groups), db.NumGroups)
+		}
+		for g := range merged {
+			merged[g].Add(p.Groups[g])
+		}
+	}
+	resp.Groups = merged
+	ref := c.referenceQ1(req.Plan.Q1)
+	if resp.Matches != ref.Matches {
+		return nil, fmt.Errorf("serve: %s: merged matches %d, reference %d",
+			req.Plan, resp.Matches, ref.Matches)
+	}
+	for g := range merged {
+		if merged[g] != ref.Groups[g] {
+			return nil, fmt.Errorf("serve: %s: merged group %d %+v, reference %+v",
+				req.Plan, g, merged[g], ref.Groups[g])
+		}
 	}
 	return resp, nil
 }

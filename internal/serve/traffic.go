@@ -37,12 +37,24 @@ type StreamSpec struct {
 	// Aggregate upgrades HIPE requests to the in-memory aggregation
 	// plan (whole Q06 in memory), exercising the revenue merge path.
 	Aggregate bool
+	// Q1Every, when positive, turns every Q1Every-th request into a
+	// TPC-H Q01-style grouped aggregation over Q1Query — a mixed
+	// selection/aggregation stream, the traffic shape of a reporting
+	// dashboard riding on an operational fleet. Zero keeps the stream
+	// pure Q06, bit-identical to streams generated before this knob
+	// existed.
+	Q1Every int
+	// Q1Query is the aggregation predicate (zero value: DefaultQ01).
+	Q1Query db.Q01
 }
 
 // Requests materialises the stream.
 func (s StreamSpec) Requests() ([]Request, error) {
 	if s.N <= 0 {
 		return nil, fmt.Errorf("serve: stream of %d requests", s.N)
+	}
+	if s.Q1Every < 0 {
+		return nil, fmt.Errorf("serve: negative Q1 cadence %d", s.Q1Every)
 	}
 	archs := s.Archs
 	if len(archs) == 0 {
@@ -52,12 +64,24 @@ func (s StreamSpec) Requests() ([]Request, error) {
 	if len(qtys) == 0 {
 		qtys = []int32{10, 24, 50}
 	}
+	q1 := s.Q1Query
+	if q1 == (db.Q01{}) {
+		q1 = db.DefaultQ01()
+	}
 	r := db.NewRNG(s.Seed)
 	reqs := make([]Request, s.N)
 	for i := range reqs {
+		// The selectivity draw is consumed for every request — Q01
+		// positions included — so enabling the aggregation mix never
+		// changes which predicates the Q06 positions receive.
 		q := db.DefaultQ06()
 		q.QtyHi = qtys[r.Intn(int64(len(qtys)))]
-		p := DefaultPlan(archs[i%len(archs)], q)
+		arch := archs[i%len(archs)]
+		if s.Q1Every > 0 && (i+1)%s.Q1Every == 0 {
+			reqs[i] = Request{Plan: DefaultQ1Plan(arch, q1)}
+			continue
+		}
+		p := DefaultPlan(arch, q)
 		if s.Aggregate && p.Arch == query.HIPE {
 			p.Aggregate = true
 		}

@@ -148,7 +148,11 @@ func (tc *tableCache) get(w workload) (*db.Table, float64) {
 		} else {
 			e.tab = db.GenerateMemo(w.Tuples, w.Seed)
 		}
-		e.sel = db.Selectivity(e.tab, w.Q)
+		if w.Kind == query.Q1Agg {
+			e.sel = db.SelectivityQ1(e.tab, w.Q1)
+		} else {
+			e.sel = db.Selectivity(e.tab, w.Q)
+		}
 	})
 	return e.tab, e.sel
 }

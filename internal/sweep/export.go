@@ -9,6 +9,9 @@ import (
 	"encoding/json"
 	"io"
 	"strconv"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
 )
 
 // CSVHeader is the column layout of WriteCSV, one column per cell axis
@@ -33,6 +36,13 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	}
 	for _, c := range rs.Cells {
 		p, q, r := c.Cell.Plan, c.Cell.Plan.Q, c.Result
+		if p.Kind == query.Q1Agg {
+			// Aggregation rows render their filter in the shared date
+			// columns, [0, ShipCut] as a half-open range; the discount
+			// and quantity bounds read zero, which no Q06 row has — the
+			// schema stays fixed, so Q06-only exports are byte-stable.
+			q = db.Q06{ShipLo: 0, ShipHi: p.Q1.ShipCut + 1}
+		}
 		rec := []string{
 			strconv.Itoa(c.Index),
 			p.Arch.String(),

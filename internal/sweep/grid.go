@@ -23,20 +23,22 @@ type Cell struct {
 	NoiseDays int32
 }
 
-// workload identifies the table + predicate group a cell belongs to.
-// Cells sharing a workload share a generated table and a speedup
-// baseline.
+// workload identifies the table + query group a cell belongs to. Cells
+// sharing a workload share a generated table and a speedup baseline.
 type workload struct {
 	Tuples    int
 	Seed      uint64
 	Clustered bool
 	NoiseDays int32
+	Kind      query.QueryKind
 	Q         db.Q06
+	Q1        db.Q01
 }
 
 func (c Cell) workload() workload {
 	return workload{Tuples: c.Tuples, Seed: c.Seed,
-		Clustered: c.Clustered, NoiseDays: c.NoiseDays, Q: c.Plan.Q}
+		Clustered: c.Clustered, NoiseDays: c.NoiseDays,
+		Kind: c.Plan.Kind, Q: c.Plan.Q, Q1: c.Plan.Q1}
 }
 
 // String renders a cell identifier like
@@ -71,8 +73,13 @@ type Grid struct {
 	// Default: {false}.
 	Aggregate []bool
 	// Queries are the Q06 predicate variants (the selectivity knobs).
-	// Default: {db.DefaultQ06()}.
+	// Default: {db.DefaultQ06()} when Q1Queries is also empty.
 	Queries []db.Q06
+	// Q1Queries are TPC-H Q01-style aggregation variants. The query
+	// axis is the concatenation of Queries and Q1Queries, so one grid
+	// can sweep selection and aggregation workloads side by side; cells
+	// from this list carry Kind == Q1Agg.
+	Q1Queries []db.Q01
 	// Tuples are lineitem row counts (multiples of 64). When empty,
 	// Run inherits the Config's Tuples; a bare Expand uses 16384.
 	Tuples []int
@@ -115,7 +122,7 @@ func orArchs(v []query.Arch, d []query.Arch) []query.Arch {
 func (g Grid) Size() int {
 	n := 1
 	for _, l := range []int{len(orInt(g.Tuples, defaultTuples)), len(orU64(g.Seeds, defaultSeeds)),
-		len(orBool(g.Clustered, defaultBools)), max(len(g.Queries), 1),
+		len(orBool(g.Clustered, defaultBools)), max(len(g.Queries)+len(g.Q1Queries), 1),
 		len(orArchs(g.Archs, defaultArchs)), max(len(g.Strategies), 1),
 		len(orBool(g.Fused, defaultBools)), len(orBool(g.Aggregate, defaultBools)),
 		len(orU32(g.OpSizes, defaultOpSizes)), len(orInt(g.Unrolls, defaultUnrolls))} {
@@ -157,9 +164,22 @@ func (g Grid) Expand() ([]Cell, error) {
 	if len(strategies) == 0 {
 		strategies = defaultStrategies
 	}
-	queries := g.Queries
+	// The query axis spans the Q06 variants followed by the Q01
+	// variants; a grid naming neither sweeps the default Q06.
+	type queryVariant struct {
+		kind query.QueryKind
+		q    db.Q06
+		q1   db.Q01
+	}
+	var queries []queryVariant
+	for _, q := range g.Queries {
+		queries = append(queries, queryVariant{kind: query.Q6Select, q: q})
+	}
+	for _, q1 := range g.Q1Queries {
+		queries = append(queries, queryVariant{kind: query.Q1Agg, q1: q1})
+	}
 	if len(queries) == 0 {
-		queries = []db.Q06{db.DefaultQ06()}
+		queries = []queryVariant{{kind: query.Q6Select, q: db.DefaultQ06()}}
 	}
 	var cells []Cell
 	for _, n := range orInt(g.Tuples, defaultTuples) {
@@ -168,7 +188,7 @@ func (g Grid) Expand() ([]Cell, error) {
 		}
 		for _, seed := range orU64(g.Seeds, defaultSeeds) {
 			for _, clustered := range orBool(g.Clustered, defaultBools) {
-				for _, q := range queries {
+				for _, qv := range queries {
 					for _, arch := range orArchs(g.Archs, defaultArchs) {
 						for _, strat := range strategies {
 							for _, fused := range orBool(g.Fused, defaultBools) {
@@ -178,14 +198,20 @@ func (g Grid) Expand() ([]Cell, error) {
 											c := Cell{
 												Plan: query.Plan{Arch: arch, Strategy: strat,
 													OpSize: op, Unroll: u, Fused: fused,
-													Aggregate: agg, Q: q},
+													Aggregate: agg, Kind: qv.kind,
+													Q: qv.q, Q1: qv.q1},
 												Tuples: n, Seed: seed,
 											}
 											if clustered {
 												c.Clustered = true
 												c.NoiseDays = g.NoiseDays
 											}
-											if err := c.Plan.Validate(); err != nil {
+											// ValidateFor also applies the
+											// table-dependent envelope (e.g.
+											// Q01 accumulator-overflow bounds),
+											// so SkipInvalid trims such cells
+											// instead of aborting the run.
+											if err := c.Plan.ValidateFor(n); err != nil {
 												if g.SkipInvalid {
 													continue
 												}

@@ -1,0 +1,238 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+func TestGridQ1AxisConcatenatesQueries(t *testing.T) {
+	g := Grid{
+		Archs:     []query.Arch{query.HIPE},
+		Queries:   []db.Q06{db.DefaultQ06()},
+		Q1Queries: []db.Q01{db.DefaultQ01(), {ShipCut: db.Day19950617}},
+		Tuples:    []int{256},
+	}
+	if g.Size() != 3 {
+		t.Fatalf("size %d, want 3", g.Size())
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("expanded to %d cells", len(cells))
+	}
+	// Q06 variants first, then the Q01 variants in declaration order.
+	if cells[0].Plan.Kind != query.Q6Select {
+		t.Fatalf("cell 0 kind %v", cells[0].Plan.Kind)
+	}
+	if cells[1].Plan.Kind != query.Q1Agg || cells[1].Plan.Q1 != db.DefaultQ01() {
+		t.Fatalf("cell 1 = %+v", cells[1].Plan)
+	}
+	if cells[2].Plan.Q1.ShipCut != db.Day19950617 {
+		t.Fatalf("cell 2 = %+v", cells[2].Plan)
+	}
+	// A pure-Q01 grid needs no Q06 entries.
+	only := Grid{Q1Queries: []db.Q01{db.DefaultQ01()}, Tuples: []int{256}}
+	cells, err = only.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Plan.Kind != query.Q1Agg {
+		t.Fatalf("pure-Q01 grid expanded to %+v", cells)
+	}
+}
+
+func TestQ1OverflowCellsTrimNotAbort(t *testing.T) {
+	// At 16384 tuples, 16 B ops put the engine architectures past the
+	// accumulator-overflow envelope; SkipInvalid must trim exactly
+	// those cells (the documented CLI op-size sweep must not abort).
+	g := Grid{
+		Archs:       []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE},
+		OpSizes:     []uint32{16, 256},
+		Unrolls:     []int{8},
+		Q1Queries:   []db.Q01{db.DefaultQ01()},
+		Tuples:      []int{16384},
+		SkipInvalid: true,
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Plan.OpSize == 16 && (c.Plan.Arch == query.HIVE || c.Plan.Arch == query.HIPE) {
+			t.Fatalf("overflow-prone cell survived trimming: %s", c)
+		}
+	}
+	// x86 and HMC keep their 16 B points (processor-side accumulation).
+	saw16 := false
+	for _, c := range cells {
+		if c.Plan.OpSize == 16 {
+			saw16 = true
+		}
+	}
+	if !saw16 {
+		t.Fatal("trimming removed the baseline 16 B cells too")
+	}
+	// Without SkipInvalid the same grid reports the envelope error.
+	g.SkipInvalid = false
+	if _, err := g.Expand(); err == nil {
+		t.Fatal("strict expansion accepted an overflow-prone cell")
+	}
+}
+
+func TestQ1CellsCarryGroupsAndFilterSelectivity(t *testing.T) {
+	rs, err := Run(small(), Grid{
+		Archs:     []query.Arch{query.HIPE, query.HIVE},
+		Q1Queries: []db.Q01{db.DefaultQ01()},
+		Unrolls:   []int{8},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.Generate(256, 42)
+	wantSel := db.SelectivityQ1(tab, db.DefaultQ01())
+	ref := db.ReferenceQ1(tab, db.DefaultQ01())
+	for _, c := range rs.Cells {
+		if c.Selectivity != wantSel {
+			t.Errorf("%s: selectivity %f, want the Q01 filter's %f", c.Cell, c.Selectivity, wantSel)
+		}
+		if len(c.Result.Groups) != db.NumGroups {
+			t.Fatalf("%s: %d groups", c.Cell, len(c.Result.Groups))
+		}
+		for g, agg := range c.Result.Groups {
+			if agg != ref.Groups[g] {
+				t.Errorf("%s group %d: %+v, reference %+v", c.Cell, g, agg, ref.Groups[g])
+			}
+		}
+	}
+}
+
+func TestQ1DeterministicAcrossWorkerCounts(t *testing.T) {
+	grid := Grid{
+		Archs:       []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE},
+		OpSizes:     []uint32{64, 256},
+		Unrolls:     []int{8},
+		Queries:     []db.Q06{db.DefaultQ06()},
+		Q1Queries:   []db.Q01{db.DefaultQ01()},
+		Tuples:      []int{256},
+		SkipInvalid: true,
+	}
+	var base *ResultSet
+	for _, workers := range []int{1, 2, 8} {
+		rs, err := Run(small(), grid, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rs
+			continue
+		}
+		if !reflect.DeepEqual(base, rs) {
+			t.Fatalf("results differ at %d workers", workers)
+		}
+	}
+	var csvA, csvB bytes.Buffer
+	if err := base.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(small(), grid, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Fatal("CSV export differs across worker counts")
+	}
+}
+
+func TestQ1CSVRendersFilterInDateColumns(t *testing.T) {
+	rs, err := Run(small(), Grid{
+		Archs:     []query.Arch{query.HIPE},
+		Q1Queries: []db.Q01{db.DefaultQ01()},
+		Unrolls:   []int{8},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, row := recs[0], recs[1]
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return row[i]
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return ""
+	}
+	if col("ship_lo") != "0" || col("ship_hi") != "2437" {
+		t.Errorf("Q01 filter rendered as [%s, %s), want [0, 2437)", col("ship_lo"), col("ship_hi"))
+	}
+	// Zero discount/quantity bounds mark the row as an aggregation.
+	if col("disc_hi") != "0" || col("qty_hi") != "0" {
+		t.Errorf("Q01 marker columns: disc_hi=%s qty_hi=%s", col("disc_hi"), col("qty_hi"))
+	}
+}
+
+func TestQ1JSONRoundTripKeepsGroupsAndKind(t *testing.T) {
+	rs, err := Run(small(), Grid{
+		Archs:     []query.Arch{query.HIPE},
+		Q1Queries: []db.Q01{db.DefaultQ01()},
+		Unrolls:   []int{8},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, back) {
+		t.Fatal("JSON round trip lost data")
+	}
+	if back.Cells[0].Cell.Plan.Kind != query.Q1Agg {
+		t.Fatal("kind lost in round trip")
+	}
+	if len(back.Cells[0].Result.Groups) != db.NumGroups {
+		t.Fatal("groups lost in round trip")
+	}
+}
+
+func TestQ6ResultJSONOmitsAggregationFields(t *testing.T) {
+	// The Q06 export schema must not change shape because the
+	// aggregation fields exist: a selection cell's JSON carries no
+	// Kind, Q1 or Groups keys.
+	rs, err := Run(small(), Grid{Unrolls: []int{8}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"Kind"`, `"Q1"`, `"Groups"`} {
+		if strings.Contains(buf.String(), key) {
+			t.Errorf("Q06 JSON export contains %s", key)
+		}
+	}
+}

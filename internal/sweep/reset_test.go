@@ -6,6 +6,7 @@ package sweep
 // that lets the worker pool and the serving layer recycle machines.
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/hipe-sim/hipe/internal/db"
@@ -55,7 +56,7 @@ func TestResetMatchesFreshMachine(t *testing.T) {
 			if err != nil {
 				t.Fatalf("reused %s: %v", plans[i], err)
 			}
-			if got != fresh[i] {
+			if !reflect.DeepEqual(got, fresh[i]) {
 				t.Fatalf("plan %s on reused machine: %+v, fresh machine: %+v", plans[i], got, fresh[i])
 			}
 			if reg := m.Registry.String(); reg != freshRegs[i] {
@@ -83,7 +84,7 @@ func TestResetMatchesFreshMachine(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != fresh[1] {
+		if !reflect.DeepEqual(got, fresh[1]) {
 			t.Fatalf("after mid-run reset: %+v, fresh: %+v", got, fresh[1])
 		}
 	}

@@ -65,6 +65,10 @@ type Result struct {
 	Squashed uint64
 	// SquashedDRAMBytes reports DRAM reads avoided by predication.
 	SquashedDRAMBytes uint64
+	// Groups holds the per-group aggregates of a Q01 aggregation plan
+	// in db.GroupID order, verified against the reference evaluator
+	// (nil — and JSON-omitted — for selection scans).
+	Groups []db.GroupAgg `json:",omitempty"`
 }
 
 // Speedup reports baseCycles / this result's cycles.
@@ -111,5 +115,6 @@ func (c Config) runOn(m *machine.Machine, tab *db.Table, p query.Plan) (Result, 
 		Checked:           w.Checked(),
 		Squashed:          m.Registry.Scope(scope).Get("squashed"),
 		SquashedDRAMBytes: m.Registry.Scope(scope).Get("squashed_dram_bytes"),
+		Groups:            w.GroupResults(),
 	}, nil
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Byte-determinism gate: the repository's documented invariant is that
+# every result artifact — figure tables, sweep CSV/JSON exports, serve
+# reports — is byte-identical at any worker count. This script makes the
+# claim an explicit pipeline gate: it renders each artifact at 1 worker
+# and at all cores, and fails on the first byte of difference. The sweep
+# and serve runs include Q01 aggregation cells/requests so the grouped
+# workload family is gated alongside the Q06 selection scan.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+many=$(nproc)
+if [ "$many" -lt 4 ]; then
+  # Even on small machines, compare against a genuinely concurrent pool:
+  # extra workers beyond the core count still interleave goroutines.
+  many=4
+fi
+
+echo "== figure tables: GOMAXPROCS=1 vs GOMAXPROCS=$many =="
+GOMAXPROCS=1 go run ./cmd/hipe-bench -timing=false -tuples 4096 >"$out/figs.1"
+GOMAXPROCS="$many" go run ./cmd/hipe-bench -timing=false -tuples 4096 >"$out/figs.N"
+cmp "$out/figs.1" "$out/figs.N"
+
+echo "== sweep CSV/JSON: -workers 1 vs -workers $many =="
+sweep() {
+  go run ./cmd/hipe-sweep -workers "$1" \
+    -archs x86,hmc,hive,hipe -opsizes 64,256 -unrolls 1,8 \
+    -tuples 4096 -q1cuts 2436 -quiet \
+    -csv "$out/sweep.$1.csv" -json "$out/sweep.$1.json" >/dev/null
+}
+sweep 1
+sweep "$many"
+cmp "$out/sweep.1.csv" "$out/sweep.$many.csv"
+cmp "$out/sweep.1.json" "$out/sweep.$many.json"
+
+echo "== serve report: -workers 1 vs -workers $many =="
+serve() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -q1-every 3 -quiet \
+    -csv "$out/serve.$1.csv" -json "$out/serve.$1.json" >/dev/null
+}
+serve 1
+serve "$many"
+cmp "$out/serve.1.csv" "$out/serve.$many.csv"
+cmp "$out/serve.1.json" "$out/serve.$many.json"
+
+echo "determinism gate passed: all artifacts byte-identical at 1 and $many workers"
