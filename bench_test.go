@@ -8,7 +8,9 @@ package hipe_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
+	"time"
 
 	hipe "github.com/hipe-sim/hipe"
 	"github.com/hipe-sim/hipe/internal/dram"
@@ -88,6 +90,59 @@ func BenchmarkQ1BestCases(b *testing.B) {
 		b.ReportMetric(float64(results[j].Cycles), "simcyc:"+arch.String())
 	}
 	b.ReportMetric(float64(results[3].SquashedDRAMBytes), "savedB:hipe")
+}
+
+// BenchmarkAutoRouting measures the adaptive planner's per-request
+// overhead: one COLD routing decision per iteration (a fresh predicate
+// each time, so the serving layer's per-predicate decision cache never
+// hides the work — production requests repeating a predicate pay less)
+// across the four serving-shape candidates. The plannerpct metric is
+// the decision's wall-clock share of actually simulating the chosen
+// plan once; the target is < 1% of query latency.
+func BenchmarkAutoRouting(b *testing.B) {
+	pr := hipe.DefaultCostParams()
+	tab := hipe.GenerateClustered(benchTuples, 42, 10)
+	candidates := func(q hipe.Q06) []hipe.Plan {
+		archs := [...]hipe.Arch{hipe.X86, hipe.HMC, hipe.HIVE, hipe.HIPE}
+		out := make([]hipe.Plan, len(archs))
+		for i, a := range archs {
+			out[i] = hipe.ServePlan(a, q)
+		}
+		return out
+	}
+	var chosen hipe.Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := hipe.DefaultQ06()
+		q.QtyHi = int32(1 + i%50) // fresh predicate: no cache, full profile+estimate
+		d, err := hipe.PickPlan(pr, tab, candidates(q))
+		if err != nil {
+			b.Fatal(err)
+		}
+		chosen = d.Chosen
+	}
+	b.StopTimer()
+	routeNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	// Simulate the last chosen plan for the overhead ratio; min of three
+	// runs so first-touch page faults and cold tables don't inflate the
+	// denominator.
+	cfg := benchConfig()
+	var res hipe.Result
+	queryNs := math.Inf(1)
+	for k := 0; k < 3; k++ {
+		start := time.Now()
+		r, err := hipe.Run(cfg, tab, chosen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); ns < queryNs {
+			queryNs = ns
+		}
+		res = r
+	}
+	b.ReportMetric(routeNs, "routens")
+	b.ReportMetric(100*routeNs/queryNs, "plannerpct")
+	b.ReportMetric(float64(res.Cycles), "simcyc:"+chosen.Arch.String())
 }
 
 // BenchmarkTableIConfig exercises machine construction with the full

@@ -143,9 +143,11 @@ func main() {
 	var err error
 	if !*skipFigures {
 		log.Printf("running figure benches (-benchtime %s)...", *figureBenchtime)
-		// The Q01 aggregation bench rides with the figure panels: both
-		// are whole-workload simulations on the paper's configurations.
-		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1)", *figureBenchtime)
+		// The Q01 aggregation and adaptive-routing benches ride with the
+		// figure panels: whole-workload simulations (and, for routing,
+		// the planner's per-request overhead and plannerpct share) on
+		// the paper's configurations.
+		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting)", *figureBenchtime)
 		if err != nil {
 			log.Fatal(err)
 		}

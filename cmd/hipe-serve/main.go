@@ -9,8 +9,8 @@
 // Usage:
 //
 //	hipe-serve -shards 8 -requests 64 -mode open -qps 20000 \
-//	           [-archs x86,hmc,hive,hipe] [-aggregate] \
-//	           [-q1-every 4] [-q1-cut 2436] \
+//	           [-archs x86,hmc,hive,hipe|auto] [-aggregate] \
+//	           [-q1-every 4] [-q1-cut 2436] [-clustered] [-noise 10] \
 //	           [-duration-ms 0] [-concurrency 4] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
 //	           [-workers N] [-csv out.csv] [-json out.json]
@@ -19,6 +19,15 @@
 // stream (every Nth request): shards answer with per-group partial
 // aggregates that recompose into the whole-table group table, verified
 // against the unsharded reference evaluator.
+//
+// -archs auto engages the adaptive planner: each request is routed to
+// the backend the analytic cost model predicts fastest for the
+// request's selectivity profile on the served table. Routed reports
+// carry extra routing-decision columns (the profiled selectivity and
+// every candidate backend's estimated cycles) so each pick is
+// auditable; routing is deterministic at any worker count. Pair with
+// -clustered to serve the date-clustered layout where selectivity
+// actually moves the per-backend costs.
 //
 // Time is simulated: QPS and milliseconds convert to cycles at the
 // Table I 2 GHz core clock; results are exact in cycles.
@@ -47,8 +56,10 @@ func main() {
 	qps := flag.Float64("qps", 10000, "open loop: offered load in queries/second at the 2 GHz nominal clock")
 	durationMS := flag.Float64("duration-ms", 0, "open loop: simulated duration bound in milliseconds (0 = unlimited)")
 	concurrency := flag.Int("concurrency", 4, "closed loop: client count")
-	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures in the mix")
+	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures in the mix; \"auto\" routes each request to the predicted-fastest backend")
 	aggregate := flag.Bool("aggregate", false, "upgrade HIPE requests to in-memory Q06 aggregation")
+	clustered := flag.Bool("clustered", false, "serve a date-clustered (append-ordered) table — the layout where selectivity-adaptive routing pays off")
+	noise := flag.Int("noise", 10, "clustering noise in days (with -clustered)")
 	q1every := flag.Int("q1-every", 0, "turn every Nth request into a Q01 grouped aggregation (0 = pure Q06 stream)")
 	q1cut := flag.Int("q1-cut", 0, "Q01 shipdate cutoff in days (0 = the TPC-H 90-day default; needs -q1-every)")
 	tuples := flag.Int("tuples", 16384, "lineitem row count (multiple of 64)")
@@ -112,16 +123,20 @@ func main() {
 	if *csvPath == "-" && *jsonPath == "-" {
 		fail("-csv - and -json - both claim stdout; pick one")
 	}
-	archNames := map[string]hipe.Arch{"x86": hipe.X86, "hmc": hipe.HMC, "hive": hipe.HIVE, "hipe": hipe.HIPE}
+	if *noise < 0 {
+		fail("-noise %d must not be negative", *noise)
+	}
+	// Architectures validate against the backend registry, so the error
+	// message tracks whatever backends are actually registered.
 	var mix []hipe.Arch
 	for _, s := range strings.Split(*archs, ",") {
 		s = strings.TrimSpace(s)
 		if s == "" {
 			continue
 		}
-		a, ok := archNames[s]
+		a, ok := hipe.ParseArch(s)
 		if !ok {
-			fail("unknown arch %q (have x86, hmc, hive, hipe)", s)
+			fail("unknown arch %q (have %s)", s, hipe.ArchChoices())
 		}
 		mix = append(mix, a)
 	}
@@ -131,7 +146,12 @@ func main() {
 
 	cfg := hipe.Default()
 	cfg.Tuples, cfg.Seed = *tuples, *seed
-	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+	var tab *hipe.Lineitem
+	if *clustered {
+		tab = hipe.GenerateClustered(cfg.Tuples, cfg.Seed, int32(*noise))
+	} else {
+		tab = hipe.Generate(cfg.Tuples, cfg.Seed)
+	}
 	cluster, err := hipe.Serve(cfg, tab, *shards)
 	if err != nil {
 		log.Fatal(err)

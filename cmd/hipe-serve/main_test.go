@@ -65,3 +65,40 @@ func TestMixedQ1LoadTestRuns(t *testing.T) {
 		t.Fatalf("summary missing:\n%s", out)
 	}
 }
+
+// TestArchValidationListsRegistry: an unknown -archs entry fails with a
+// usage message that lists the registered backends (not a hard-coded
+// string), including the planner's "auto".
+func TestArchValidationListsRegistry(t *testing.T) {
+	code, out := runBinary(t, "-archs", "riscv")
+	if code == 0 {
+		t.Fatalf("unknown arch exited 0\n%s", out)
+	}
+	for _, want := range []string{`unknown arch "riscv"`, "x86", "hmc", "hive", "hipe", "auto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("usage output %q does not mention %q", out, want)
+		}
+	}
+	if code, out := runBinary(t, "-noise", "-1"); code == 0 || !strings.Contains(out, "must not be negative") {
+		t.Fatalf("negative -noise not rejected\n%s", out)
+	}
+}
+
+// TestAutoServeRuns: -archs auto routes every request and exports the
+// routing-decision columns.
+func TestAutoServeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	code, out := runBinary(t,
+		"-shards", "2", "-requests", "6", "-tuples", "1024",
+		"-archs", "auto", "-clustered", "-quiet", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("auto serve failed (%d)\n%s", code, out)
+	}
+	for _, want := range []string{"routed", "est_selectivity", "est_x86_cycles", "est_hipe_cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("auto serve CSV lacks %q\n%s", want, out)
+		}
+	}
+}

@@ -16,6 +16,11 @@
 // axis (one per shipdate cutoff), swept across the same architecture,
 // op-size and unroll axes as the Q06 cells.
 //
+// -archs may include "auto": an auto cell keeps the grid's shape axes
+// and the adaptive planner routes it to the predicted-fastest backend
+// whose envelope admits that shape; exports gain routed_arch/est_cycles
+// columns recording each decision.
+//
 // Per-architecture envelopes (x86 ≤ 64 B, unroll ≤ 8; HIPE
 // column-at-a-time only) are trimmed automatically, mirroring the
 // paper's figures, unless -strict is given. Flag combinations are
@@ -48,7 +53,7 @@ func fail(format string, args ...any) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hipe-sweep: ")
-	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures (x86,hmc,hive,hipe)")
+	archs := flag.String("archs", "x86,hmc,hive,hipe", "comma list of architectures; \"auto\" adds planner-routed cells (validated against the backend registry)")
 	strategies := flag.String("strategies", "column", "comma list of scan strategies (tuple,column)")
 	opsizes := flag.String("opsizes", "256", "comma list of operation sizes in bytes")
 	unrolls := flag.String("unrolls", "32", "comma list of loop unroll depths")
@@ -95,11 +100,12 @@ func main() {
 		NoiseDays:   int32(*noise),
 		SkipInvalid: !*strict,
 	}
-	archNames := map[string]hipe.Arch{"x86": hipe.X86, "hmc": hipe.HMC, "hive": hipe.HIVE, "hipe": hipe.HIPE}
+	// Architectures validate against the backend registry, so the error
+	// message tracks whatever backends are actually registered.
 	for _, s := range splitList(*archs) {
-		a, ok := archNames[s]
+		a, ok := hipe.ParseArch(s)
 		if !ok {
-			fail("unknown arch %q (have x86, hmc, hive, hipe)", s)
+			fail("unknown arch %q (have %s)", s, hipe.ArchChoices())
 		}
 		grid.Archs = append(grid.Archs, a)
 	}

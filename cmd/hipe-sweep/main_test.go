@@ -65,3 +65,38 @@ func TestQ1SweepRuns(t *testing.T) {
 		t.Fatalf("summary lacks a Q01 cell:\n%s", out)
 	}
 }
+
+// TestArchValidationListsRegistry: an unknown -archs entry fails with a
+// usage message that lists the registered backends (not a hard-coded
+// string), including the planner's "auto".
+func TestArchValidationListsRegistry(t *testing.T) {
+	code, out := runBinary(t, "-archs", "riscv")
+	if code == 0 {
+		t.Fatalf("unknown arch exited 0\n%s", out)
+	}
+	for _, want := range []string{`unknown arch "riscv"`, "x86", "hmc", "hive", "hipe", "auto"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("usage output %q does not mention %q", out, want)
+		}
+	}
+}
+
+// TestAutoArchSweepRuns: -archs auto produces planner-routed cells with
+// routing columns in the CSV export.
+func TestAutoArchSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	code, out := runBinary(t,
+		"-archs", "auto", "-opsizes", "256", "-unrolls", "32",
+		"-tuples", "1024", "-quiet", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("auto sweep failed (%d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "routed_arch") || !strings.Contains(out, "est_cycles") {
+		t.Fatalf("auto sweep CSV lacks routing columns\n%s", out)
+	}
+	if !strings.Contains(out, "auto,") {
+		t.Fatalf("auto sweep CSV lacks the auto arch marker\n%s", out)
+	}
+}

@@ -99,6 +99,36 @@ func ExampleServe() {
 	// tail above median: true
 }
 
+// ExampleServe_autoRouting routes a request with hipe.ArchAuto: the
+// adaptive planner profiles the predicate's selectivity on the served
+// table, estimates every registered backend's cycles with the analytic
+// cost model, and executes the predicted-fastest backend — here HIPE,
+// whose predication skips whole chunks on the date-clustered layout at
+// Query 06's low selectivity.
+func ExampleServe_autoRouting() {
+	cfg := hipe.Default()
+	cfg.Tuples = 4096
+	tab := hipe.GenerateClustered(cfg.Tuples, cfg.Seed, 10)
+
+	cluster, err := hipe.Serve(cfg, tab, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := cluster.Query(hipe.ServeRequest{
+		Plan: hipe.ServePlan(hipe.ArchAuto, hipe.DefaultQ06()),
+	}, hipe.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("routed to:", resp.Request.Plan.Arch)
+	fmt.Println("candidates considered:", len(resp.Routing.Estimates))
+	fmt.Println("answer verified:", resp.Matches == int(float64(tab.N)*hipe.Selectivity(tab, hipe.DefaultQ06())))
+	// Output:
+	// routed to: hipe
+	// candidates considered: 4
+	// answer verified: true
+}
+
 // ExampleRun_q1Aggregation runs the TPC-H Q01-style grouped aggregation
 // on the HIPE predicated engine: the shipdate filter, the (returnflag,
 // linestatus) group-by and all four per-group aggregates execute inside

@@ -25,6 +25,7 @@
 package hipe
 
 import (
+	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/energy"
 	"github.com/hipe-sim/hipe/internal/harness"
@@ -101,13 +102,72 @@ type (
 	LoadReport = serve.Report
 )
 
-// Architectures.
+// Architectures. ArchAuto is the adaptive planner's sentinel: a plan
+// (or serving request, or sweep cell) carrying it is routed to the
+// predicted-fastest registered backend by the analytic cost model
+// before it compiles.
 const (
-	X86  = query.X86
-	HMC  = query.HMC
-	HIVE = query.HIVE
-	HIPE = query.HIPE
+	X86      = query.X86
+	HMC      = query.HMC
+	HIVE     = query.HIVE
+	HIPE     = query.HIPE
+	ArchAuto = query.ArchAuto
 )
+
+// Backend registry and cost-model types (aliases into the
+// implementation packages).
+type (
+	// Backend is one registered execution architecture: a µop-stream
+	// compiler plus its static capability report.
+	Backend = query.Backend
+	// BackendCaps is a backend's capability/constraint envelope.
+	BackendCaps = query.Caps
+	// CostParams are the analytic cost model's per-operation costs,
+	// derived from the simulated machine's latency constants.
+	CostParams = cost.Params
+	// CostEstimate is the model's cycle/energy prediction for one plan.
+	CostEstimate = cost.Estimate
+	// RoutingDecision is one adaptive-routing outcome: profiled
+	// selectivity, every candidate's estimate, and the chosen plan.
+	RoutingDecision = cost.Decision
+	// WorkloadProfile is the selectivity profile the model consumes.
+	WorkloadProfile = cost.Profile
+)
+
+// Backends returns the registered execution backends in architecture
+// order.
+func Backends() []Backend { return query.Backends() }
+
+// ArchNames returns the registered backend names — what CLIs validate
+// -arch flags against instead of a hard-coded list.
+func ArchNames() []string { return query.BackendNames() }
+
+// ArchChoices renders the valid -arch spellings for usage errors: the
+// registered backend names plus "auto".
+func ArchChoices() string { return query.ArchChoices() }
+
+// ParseArch resolves a backend name (or "auto") to its architecture.
+func ParseArch(name string) (Arch, bool) { return query.ParseArch(name) }
+
+// DefaultCostParams derives the adaptive planner's cost model from the
+// paper's Table I machine and default energy constants.
+func DefaultCostParams() CostParams { return cost.DefaultParams() }
+
+// ProfileWorkload computes the exact selectivity profile of plan p's
+// predicate over tab at p's chunk granularity — the model's input.
+func ProfileWorkload(tab *Lineitem, p Plan) WorkloadProfile { return cost.ProfileFor(tab, p) }
+
+// EstimateCost predicts the simulated cycles and energy of one concrete
+// plan over tab without running the simulator.
+func EstimateCost(pr CostParams, tab *Lineitem, p Plan) (CostEstimate, error) {
+	return cost.EstimatePlan(pr, p, cost.ProfileFor(tab, p))
+}
+
+// PickPlan ranks candidate plans by estimated cycles over tab and
+// returns the routing decision for the predicted-fastest.
+func PickPlan(pr CostParams, tab *Lineitem, candidates []Plan) (*RoutingDecision, error) {
+	return cost.Pick(pr, tab, candidates)
+}
 
 // Scan strategies.
 const (

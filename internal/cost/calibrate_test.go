@@ -1,0 +1,164 @@
+package cost_test
+
+// Model-vs-simulator calibration: sweep selectivity across the serving
+// shapes on uniform and date-clustered tables, measure real simulated
+// cycles, and assert the cost model's ranking matches. This is the test
+// that pins the calibrated overlap divisors in cost.go: a change to the
+// simulator's timing model that shifts a ranking shows up here.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/cost"
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// servePlan mirrors serve.DefaultPlan / DefaultQ1Plan — the
+// per-architecture best serving shapes the router chooses among.
+// (Duplicated here because serve imports cost.)
+func servePlan(arch query.Arch, q db.Q06) query.Plan {
+	switch arch {
+	case query.X86:
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q}
+	case query.HIVE:
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Fused: true, Q: q}
+	default:
+		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q}
+	}
+}
+
+func serveQ1Plan(arch query.Arch, q db.Q01) query.Plan {
+	p := servePlan(arch, db.Q06{})
+	p.Fused = false
+	p.Kind = query.Q1Agg
+	p.Q = db.Q06{}
+	p.Q1 = q
+	return p
+}
+
+// measure runs one plan for real and returns simulated cycles.
+func measure(t *testing.T, tab *db.Table, p query.Plan) uint64 {
+	t.Helper()
+	mc := machine.Default()
+	mc.ImageBytes = db.ImageBytesFor(tab.N)
+	m, err := machine.New(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := query.Prepare(m, tab, p)
+	if err != nil {
+		t.Fatalf("%s: %v", p, err)
+	}
+	cycles := uint64(m.Run(w.Stream()))
+	if err := w.Verify(); err != nil {
+		t.Fatalf("%s: %v", p, err)
+	}
+	return cycles
+}
+
+// grid of Q6 predicates spanning selectivity from ~0 to 1 (widening
+// quantity, discount and date windows).
+func q6Grid() []db.Q06 {
+	base := db.DefaultQ06()
+	var qs []db.Q06
+	for _, qty := range []int32{1, 10, 24, 50} {
+		q := base
+		q.QtyHi = qty
+		qs = append(qs, q)
+	}
+	qs = append(qs,
+		db.Q06{ShipLo: base.ShipLo, ShipHi: base.ShipHi, DiscLo: 0, DiscHi: 10, QtyHi: 50},
+		db.Q06{ShipLo: 0, ShipHi: db.ShipDateDays, DiscLo: 0, DiscHi: 10, QtyHi: 24},
+		db.Q06{ShipLo: 0, ShipHi: db.ShipDateDays, DiscLo: 0, DiscHi: 10, QtyHi: 51},
+	)
+	return qs
+}
+
+func q1Grid() []db.Q01 {
+	var qs []db.Q01
+	for _, cut := range []int32{100, 400, 800, 1300, 1800, 2300, 2556} {
+		qs = append(qs, db.Q01{ShipCut: cut})
+	}
+	return qs
+}
+
+var serveArchs = []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE}
+
+// TestRankingMatchesMeasured is the calibration gate: across the
+// selectivity sweep grid (Q6 and Q1, uniform and clustered tables) the
+// model's chosen backend must match the measured-fastest backend on at
+// least 90% of cells — the adaptive planner's acceptance bar.
+func TestRankingMatchesMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full selectivity grid")
+	}
+	pr := cost.DefaultParams()
+	type cell struct {
+		label      string
+		tab        *db.Table
+		candidates []query.Plan
+	}
+	var cells []cell
+	for _, n := range []int{1024, 4096} {
+		for _, clustered := range []bool{false, true} {
+			var tab *db.Table
+			layout := "uniform"
+			if clustered {
+				tab = db.GenerateClusteredMemo(n, 42, 10)
+				layout = "clustered"
+			} else {
+				tab = db.GenerateMemo(n, 42)
+			}
+			for qi, q := range q6Grid() {
+				var cands []query.Plan
+				for _, a := range serveArchs {
+					cands = append(cands, servePlan(a, q))
+				}
+				cells = append(cells, cell{fmt.Sprintf("q6/%s/n=%d/#%d", layout, n, qi), tab, cands})
+			}
+			for qi, q := range q1Grid() {
+				var cands []query.Plan
+				for _, a := range serveArchs {
+					cands = append(cands, serveQ1Plan(a, q))
+				}
+				cells = append(cells, cell{fmt.Sprintf("q1/%s/n=%d/#%d", layout, n, qi), tab, cands})
+			}
+		}
+	}
+
+	agree := 0
+	for _, c := range cells {
+		d, err := cost.Pick(pr, c.tab, c.candidates)
+		if err != nil {
+			t.Fatalf("%s: %v", c.label, err)
+		}
+		bestArch := query.Arch(0)
+		var bestCycles uint64
+		var measured []string
+		for _, p := range c.candidates {
+			cyc := measure(t, c.tab, p)
+			measured = append(measured, fmt.Sprintf("%s=%d", p.Arch, cyc))
+			if bestCycles == 0 || cyc < bestCycles {
+				bestCycles, bestArch = cyc, p.Arch
+			}
+		}
+		ok := d.Chosen.Arch == bestArch
+		if ok {
+			agree++
+		}
+		var ests []string
+		for _, e := range d.Estimates {
+			ests = append(ests, fmt.Sprintf("%s=%.0f", e.Plan.Arch, e.Cycles))
+		}
+		t.Logf("%-24s sel=%.3f chose=%-4s best=%-4s %-5t measured[%s] model[%s]",
+			c.label, d.Selectivity, d.Chosen.Arch, bestArch, ok, measured, ests)
+	}
+	frac := float64(agree) / float64(len(cells))
+	t.Logf("routing agreement: %d/%d = %.1f%%", agree, len(cells), 100*frac)
+	if frac < 0.9 {
+		t.Errorf("model picked the measured-fastest backend on %.1f%% of cells, want >= 90%%", 100*frac)
+	}
+}

@@ -1,0 +1,190 @@
+// The workload profiler: the exact, deterministic selectivity inputs
+// the cost model consumes. For a given table and plan shape it computes
+// the full-predicate selectivity and, at the plan's chunk granularity,
+// the per-stage chunk-survival fractions — the share of chunks that
+// still hold at least one live tuple entering each predicate stage,
+// which is what decides how much work the engines' chunk-granular
+// skipping (HIVE's processor branches, HIPE's predication squashes)
+// actually avoids. On a date-clustered table survival tracks the
+// predicate's date window; on a uniform table it saturates toward 1
+// within a few percent selectivity — both effects the simulator
+// measures and the model must reproduce.
+package cost
+
+import (
+	"math"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/isa"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// Profile is the selectivity profile of one (table, plan shape) pair.
+type Profile struct {
+	// Tuples is the table's row count.
+	Tuples int
+	// Sel is the full-predicate selectivity: the fraction of tuples
+	// passing every stage.
+	Sel float64
+	// Stages is the plan's compiled predicate pipeline.
+	Stages []query.Stage
+	// Survival[s] is the fraction of chunks (at the plan's operation
+	// size) with at least one tuple passing stages 0..s — the active
+	// fraction for work gated on stage s's outcome.
+	Survival []float64
+}
+
+// FinalSurvival is the surviving-chunk fraction after the whole
+// pipeline (1 when the profile has no stages).
+func (p Profile) FinalSurvival() float64 {
+	if len(p.Survival) == 0 {
+		return 1
+	}
+	return p.Survival[len(p.Survival)-1]
+}
+
+// ProfileFor computes the exact profile of plan p's predicate over tab
+// at p's chunk granularity. O(tuples × stages), deterministic; the
+// serving layer caches it per distinct predicate.
+func ProfileFor(tab *db.Table, p query.Plan) Profile {
+	d := p.Desc()
+	tuplesPerChunk := int(p.OpSize) / db.ColumnWidth
+	if p.Strategy == query.TupleAtATime {
+		tuplesPerChunk = int(p.OpSize) / db.TupleBytes
+	}
+	if tuplesPerChunk < 1 {
+		tuplesPerChunk = 1
+	}
+	prof := Profile{
+		Tuples:   tab.N,
+		Stages:   d.Stages,
+		Survival: make([]float64, len(d.Stages)),
+	}
+	if tab.N == 0 {
+		return prof
+	}
+	// alive[i] tracks whether tuple i has passed every stage so far.
+	alive := make([]bool, tab.N)
+	for i := range alive {
+		alive[i] = true
+	}
+	matches := 0
+	chunks := (tab.N + tuplesPerChunk - 1) / tuplesPerChunk
+	for s, st := range d.Stages {
+		col := query.Column(tab, st.Col)
+		liveChunks := 0
+		last := s == len(d.Stages)-1
+		// The planner runs once per distinct predicate but on the whole
+		// table, so the per-tuple test matters: stages whose bounds form
+		// a plain range (every shipped predicate) compare inline instead
+		// of walking the bound list per tuple.
+		lo, hi, ranged := stageRange(st)
+		for c := 0; c < chunks; c++ {
+			base := c * tuplesPerChunk
+			end := base + tuplesPerChunk
+			if end > tab.N {
+				end = tab.N
+			}
+			live := false
+			for i := base; i < end; i++ {
+				if !alive[i] {
+					continue
+				}
+				v := col[i]
+				if ranged {
+					if v < lo || v > hi {
+						alive[i] = false
+						continue
+					}
+				} else if !st.Match(v) {
+					alive[i] = false
+					continue
+				}
+				live = true
+				if last {
+					matches++
+				}
+			}
+			if live {
+				liveChunks++
+			}
+		}
+		prof.Survival[s] = float64(liveChunks) / float64(chunks)
+	}
+	prof.Sel = float64(matches) / float64(tab.N)
+	return prof
+}
+
+// stageRange reduces a stage's bound list to one [lo, hi] range when
+// possible (GE/GT/LE/LT/EQ bounds AND together into a range; NE does
+// not).
+func stageRange(st query.Stage) (lo, hi int32, ok bool) {
+	lo, hi = math.MinInt32, math.MaxInt32
+	for _, b := range st.Bounds {
+		switch b.Kind {
+		case isa.CmpGE:
+			lo = max32(lo, b.Imm)
+		case isa.CmpGT:
+			if b.Imm == math.MaxInt32 {
+				return 0, 0, false
+			}
+			lo = max32(lo, b.Imm+1)
+		case isa.CmpLE:
+			hi = min32(hi, b.Imm)
+		case isa.CmpLT:
+			if b.Imm == math.MinInt32 {
+				return 0, 0, false
+			}
+			hi = min32(hi, b.Imm-1)
+		case isa.CmpEQ:
+			lo, hi = max32(lo, b.Imm), min32(hi, b.Imm)
+		default:
+			return 0, 0, false
+		}
+	}
+	return lo, hi, true
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// profileCache shares profiles across candidates within one routing
+// decision: candidates over the same predicate differ only in chunk
+// granularity, so a four-backend pick needs two profiles, not four.
+type profileCache struct {
+	tab   *db.Table
+	profs map[profileKey]Profile
+}
+
+type profileKey struct {
+	strat query.Strategy
+	op    uint32
+	kind  query.QueryKind
+	q     db.Q06
+	q1    db.Q01
+}
+
+func newProfileCache(tab *db.Table) *profileCache {
+	return &profileCache{tab: tab, profs: make(map[profileKey]Profile)}
+}
+
+func (pc *profileCache) get(p query.Plan) Profile {
+	key := profileKey{strat: p.Strategy, op: p.OpSize, kind: p.Kind, q: p.Q, q1: p.Q1}
+	if prof, ok := pc.profs[key]; ok {
+		return prof
+	}
+	prof := ProfileFor(pc.tab, p)
+	pc.profs[key] = prof
+	return prof
+}

@@ -1,0 +1,131 @@
+// The routing decision: rank candidate plans by estimated cycles and
+// pick the predicted-fastest. The decision object carries every
+// candidate's estimate so routing is auditable — serve reports and
+// sweep exports record it column for column.
+package cost
+
+import (
+	"fmt"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// Decision is one routing outcome: the profiled selectivity, every
+// candidate's estimate (in candidate order), and the chosen plan.
+type Decision struct {
+	// Selectivity is the full-predicate selectivity the candidates were
+	// profiled at (taken from the first candidate's profile; candidates
+	// share a predicate, so chunk granularity is the only difference).
+	Selectivity float64
+	// Estimates holds one estimate per candidate, in input order.
+	Estimates []Estimate
+	// Chosen is the predicted-fastest candidate's plan.
+	Chosen query.Plan
+	// ChosenIndex is its position in Estimates.
+	ChosenIndex int
+}
+
+// EstimateFor returns the decision's estimate for an architecture (nil
+// when the architecture was not a candidate).
+func (d *Decision) EstimateFor(a query.Arch) *Estimate {
+	for i := range d.Estimates {
+		if d.Estimates[i].Plan.Arch == a {
+			return &d.Estimates[i]
+		}
+	}
+	return nil
+}
+
+// Pick profiles tab for each candidate plan, estimates them all, and
+// returns the decision for the lowest predicted cycle count. Ties break
+// toward the earlier candidate, so the decision is deterministic for a
+// fixed candidate order. Candidates whose envelope rejects the workload
+// (e.g. Q01 accumulator-overflow bounds) are skipped; an error is
+// returned only when no candidate survives.
+func Pick(pr Params, tab *db.Table, candidates []query.Plan) (*Decision, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("cost: no candidate plans")
+	}
+	d := &Decision{ChosenIndex: -1}
+	profs := newProfileCache(tab)
+	for _, p := range candidates {
+		prof := profs.get(p)
+		est, err := EstimatePlan(pr, p, prof)
+		if err != nil {
+			continue
+		}
+		if d.Estimates == nil {
+			d.Selectivity = prof.Sel
+		}
+		d.Estimates = append(d.Estimates, est)
+		if d.ChosenIndex < 0 || est.Cycles < d.Estimates[d.ChosenIndex].Cycles {
+			d.ChosenIndex = len(d.Estimates) - 1
+		}
+	}
+	if d.ChosenIndex < 0 {
+		return nil, fmt.Errorf("cost: no candidate plan fits the workload (%d candidates rejected)", len(candidates))
+	}
+	d.Chosen = d.Estimates[d.ChosenIndex].Plan
+	return d, nil
+}
+
+// PickSharded ranks candidates over a horizontally partitioned table —
+// the serving cluster's shape. A request's service time is its
+// scatter-gather critical path, so each candidate's cost is its
+// predicted cycles on the SLOWEST shard; this matters on clustered
+// layouts, where contiguous shards cover different date ranges and a
+// predicate's chunk survival concentrates in a few shards. The
+// decision's estimate carries the max-shard cycles and the summed DRAM
+// traffic/energy; its selectivity is the whole-table (row-weighted)
+// fraction.
+func PickSharded(pr Params, shards []*db.Table, candidates []query.Plan) (*Decision, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cost: no shards")
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("cost: no candidate plans")
+	}
+	d := &Decision{ChosenIndex: -1}
+	totalRows := 0
+	caches := make([]*profileCache, len(shards))
+	for i, s := range shards {
+		totalRows += s.N
+		caches[i] = newProfileCache(s)
+	}
+	for _, p := range candidates {
+		var agg Estimate
+		var matchRows float64
+		valid := true
+		for si, s := range shards {
+			prof := caches[si].get(p)
+			est, err := EstimatePlan(pr, p, prof)
+			if err != nil {
+				valid = false
+				break
+			}
+			if est.Cycles > agg.Cycles {
+				agg.Cycles = est.Cycles
+			}
+			agg.DRAMBytes += est.DRAMBytes
+			agg.EnergyPJ += est.EnergyPJ
+			matchRows += prof.Sel * float64(s.N)
+		}
+		if !valid {
+			continue
+		}
+		agg.Plan = p
+		if d.Estimates == nil && totalRows > 0 {
+			d.Selectivity = matchRows / float64(totalRows)
+		}
+		d.Estimates = append(d.Estimates, agg)
+		if d.ChosenIndex < 0 || agg.Cycles < d.Estimates[d.ChosenIndex].Cycles {
+			d.ChosenIndex = len(d.Estimates) - 1
+		}
+	}
+	if d.ChosenIndex < 0 {
+		return nil, fmt.Errorf("cost: no candidate plan fits the sharded workload (%d candidates rejected)", len(candidates))
+	}
+	d.Chosen = d.Estimates[d.ChosenIndex].Plan
+	return d, nil
+}

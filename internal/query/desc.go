@@ -137,6 +137,14 @@ func match1(b Bound, v int32) bool {
 	}
 }
 
+// Match evaluates the stage (the AND of its bounds) against one value —
+// the primitive the cost model's selectivity profiler shares with the
+// reference mask builders.
+func (st Stage) Match(v int32) bool { return stageMatch(st, v) }
+
+// Column maps a field index to the table column backing it.
+func Column(t *db.Table, col int) []int32 { return columnSlice(t, col) }
+
 // stageMatch evaluates a stage (the AND of its bounds) against a value.
 func stageMatch(st Stage, v int32) bool {
 	for _, b := range st.Bounds {

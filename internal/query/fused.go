@@ -38,19 +38,14 @@ func (w *Workload) hiveFusedColumn() *chunkedStream {
 		if block >= blocks {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x6800)
-		first := block * p.Unroll
-		last := first + p.Unroll
-		if last > chunks {
-			last = chunks
-		}
+		e := newEmitter(0x6800)
+		first, last := blockBounds(block, p.Unroll, chunks)
 		hive := func(inst isa.OffloadInst) *isa.OffloadInst {
 			inst.Target = isa.TargetHIVE
 			return &inst
 		}
 
-		oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.Lock}))
+		oc.emit(e, hive(isa.OffloadInst{Op: isa.Lock}))
 		for ws := first; ws < last; ws += hipeWave {
 			we := ws + hipeWave
 			if we > last {
@@ -60,168 +55,54 @@ func (w *Workload) hiveFusedColumn() *chunkedStream {
 			regM := func(k int) uint8 { return uint8(hipeWave + k - ws) }
 			// Phase A: hoisted shipdate loads.
 			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
 					Addr: w.DSM.ColBase[db.FieldShipDate] + mem.Addr(k*S), Size: p.OpSize}))
 			}
 			// Phase B+C: shipdate range into the chunk's mask register,
 			// then immediately reuse the data register for the discount
 			// load — the unpredicated plan is free to hoist it here.
 			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
 					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.ShipLo}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
 					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.ShipHi}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 					Dst: regM(k), Src1: tmpA, Src2: tmpB}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
 					Addr: w.DSM.ColBase[db.FieldDiscount] + mem.Addr(k*S), Size: p.OpSize}))
 			}
 			// Phase D+E: discount range refined into the running mask,
 			// quantity load hoisted behind it.
 			for k := ws; k < we; k++ {
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpGE,
 					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.DiscLo}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLE,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLE,
 					Dst: tmpB, Src1: regX(k), UseImm: true, Imm: q.DiscHi}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 					Dst: tmpA, Src1: tmpA, Src2: tmpB}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 					Dst: regM(k), Src1: tmpA, Src2: regM(k)}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
 					Addr: w.DSM.ColBase[db.FieldQuantity] + mem.Addr(k*S), Size: p.OpSize}))
 			}
 			// Phase F: quantity compare, final AND, bitmask store.
 			for k := ws; k < we; k++ {
 				t0 := k * tuplesPerChunk
 				want := packBits(w.prefix[2], t0, t0+tuplesPerChunk)
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpLT,
 					Dst: tmpA, Src1: regX(k), UseImm: true, Imm: q.QtyHi}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 					Dst: regM(k), Src1: tmpA, Src2: regM(k)}))
-				oc.emit(&ops, &pc, hive(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
+				oc.emit(e, hive(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
 					Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
 					OnResult: func(r []byte) { w.check(r, want) }}))
 			}
 		}
-		oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		oc.emitUnlock(e, isa.TargetHIVE)
+		e.emit(isa.MicroOp{Class: isa.Branch, Taken: block != blocks-1})
 		block++
-		return ops
+		return e.ops
 	}}
-}
-
-// Q01 register-bank allocation shared by the engine aggregation plans.
-// Every (group, aggregate) pair keeps a live accumulator register, so
-// the wave depth collapses to one chunk — the register-pressure cost of
-// grouped aggregation, the same trade the paper discusses for
-// predication (§III): more live state per chunk, less software
-// pipelining.
-const (
-	q1RegFilter = 0 // filter mask (HIPE: compare result; HIVE: mask reload)
-	q1RegRf     = 1 // returnflag chunk
-	q1RegLs     = 2 // linestatus chunk
-	q1RegQty    = 3 // quantity chunk
-	q1RegPrice  = 4 // extendedprice chunk
-	q1RegDisc   = 5 // discount chunk
-	q1RegRev    = 6 // per-lane discounted revenue (price × discount)
-	q1RegTmpA   = 7
-	q1RegTmpB   = 8
-	q1RegGroup  = 9  // current group-membership mask
-	q1RegShip   = 10 // shipdate chunk (HIPE one-pass only)
-	q1RegValid  = 11 // lane-validity mask (HIPE one-pass only)
-	q1RegAcc    = 12 // accumulators: q1RegAcc + g*NumAggs + agg
-)
-
-// q1AccReg names the (group, aggregate) accumulator register.
-func q1AccReg(g, agg int) uint8 { return uint8(q1RegAcc + g*NumAggs + agg) }
-
-// q1EmitGroups emits the per-group masked accumulation for one chunk:
-// the two key compares AND the filter mask into the membership mask,
-// COUNT accumulates by lane-subtracting the all-ones mask, and the
-// three sums AND their measure vector with the mask before adding. On
-// HIPE every mask-building and masking instruction is predicated — on
-// the filter flag first, then on the group mask's own zero flag, so a
-// group absent from a chunk squashes its accumulation inside the
-// memory. The running Adds/Subs stay unpredicated: a squash zeroes its
-// temp operand (zeroing-mask semantics), never the accumulator.
-func (w *Workload) q1EmitGroups(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
-	predicated := target == isa.TargetHIPE
-	eng := func(inst isa.OffloadInst) *isa.OffloadInst {
-		inst.Target = target
-		return &inst
-	}
-	nzF := isa.Predicate{}
-	if predicated {
-		nzF = isa.Predicate{Valid: true, Reg: q1RegFilter, WhenZero: false}
-	}
-	for g := 0; g < w.Desc.Groups; g++ {
-		rf, ls := groupKey(g)
-		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpEQ,
-			Dst: q1RegTmpA, Src1: q1RegRf, UseImm: true, Imm: rf, Pred: nzF}))
-		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.CmpEQ,
-			Dst: q1RegTmpB, Src1: q1RegLs, UseImm: true, Imm: ls, Pred: nzF}))
-		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-			Dst: q1RegTmpA, Src1: q1RegTmpA, Src2: q1RegTmpB, Pred: nzF}))
-		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-			Dst: q1RegGroup, Src1: q1RegTmpA, Src2: q1RegFilter, Pred: nzF}))
-		nzG := isa.Predicate{}
-		if predicated {
-			nzG = isa.Predicate{Valid: true, Reg: q1RegGroup, WhenZero: false}
-		}
-		// COUNT: the mask lanes are -1 per member, so subtracting the
-		// mask adds one per member.
-		oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.Sub,
-			Dst: q1AccReg(g, AggCount), Src1: q1AccReg(g, AggCount), Src2: q1RegGroup}))
-		for _, ma := range [...]struct {
-			agg int
-			src uint8
-		}{
-			{AggQty, q1RegQty}, {AggPrice, q1RegPrice}, {AggRevenue, q1RegRev},
-		} {
-			oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
-				Dst: q1RegTmpB, Src1: ma.src, Src2: q1RegGroup, Pred: nzG}))
-			oc.emit(ops, pc, eng(isa.OffloadInst{Op: isa.VALU, ALU: isa.Add,
-				Dst: q1AccReg(g, ma.agg), Src1: q1AccReg(g, ma.agg), Src2: q1RegTmpB}))
-		}
-	}
-}
-
-// q1Columns is the key/measure column load order of the engine plans.
-var q1Columns = [...]struct {
-	reg uint8
-	col int
-}{
-	{q1RegRf, db.FieldReturnFlag},
-	{q1RegLs, db.FieldLineStatus},
-	{q1RegQty, db.FieldQuantity},
-	{q1RegPrice, db.FieldExtendedPrice},
-	{q1RegDisc, db.FieldDiscount},
-}
-
-// q1ClearAccs emits the accumulator initialisation: every (group,
-// aggregate) register XORs with itself to zero. The filter pass (HIVE)
-// reuses the high registers for chunk data, so the aggregation pass
-// cannot assume a pristine bank.
-func (w *Workload) q1ClearAccs(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
-	for g := 0; g < w.Desc.Groups; g++ {
-		for agg := 0; agg < NumAggs; agg++ {
-			r := q1AccReg(g, agg)
-			oc.emit(ops, pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
-				ALU: isa.Xor, Dst: r, Src1: r, Src2: r})
-		}
-	}
-}
-
-// q1SpillAccs emits the final accumulator spill: every (group,
-// aggregate) register stores its per-lane partial sums to the AccRegion
-// so the processor — and verification — can read them.
-func (w *Workload) q1SpillAccs(ops *[]isa.MicroOp, pc *uint64, oc *offloadChain, target isa.Target) {
-	for g := 0; g < w.Desc.Groups; g++ {
-		for agg := 0; agg < NumAggs; agg++ {
-			oc.emit(ops, pc, &isa.OffloadInst{Target: target, Op: isa.VStore,
-				Src1: q1AccReg(g, agg), Addr: w.accAddr(g, agg), Size: isa.RegisterBytes})
-		}
-	}
 }
 
 // q1hiveColumn generates HIVE's two-phase Q01 aggregation. Phase one is
@@ -254,7 +135,6 @@ func (w *Workload) q1hiveColumn() *chunkedStream {
 	var selected []int
 
 	return &chunkedStream{next: func() []isa.MicroOp {
-		var ops []isa.MicroOp
 		if phase == 0 && pos >= chunks {
 			// Filter pass complete: select the chunks with matches, and
 			// zero the accumulator registers the filter pass clobbered.
@@ -264,11 +144,11 @@ func (w *Workload) q1hiveColumn() *chunkedStream {
 					selected = append(selected, c)
 				}
 			}
-			pc := uint64(0xB200)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
-			w.q1ClearAccs(&ops, &pc, oc, isa.TargetHIVE)
-			oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
-			return ops
+			e := newEmitter(0xB200)
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			w.q1ClearAccs(e, oc, isa.TargetHIVE)
+			oc.emitUnlock(e, isa.TargetHIVE)
+			return e.ops
 		}
 		if phase == 1 && pos >= len(selected) {
 			if spilled {
@@ -276,25 +156,21 @@ func (w *Workload) q1hiveColumn() *chunkedStream {
 			}
 			// One final block spills the accumulators.
 			spilled = true
-			pc := uint64(0xB800)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
-			w.q1SpillAccs(&ops, &pc, oc, isa.TargetHIVE)
-			oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
-			return ops
+			e := newEmitter(0xB800)
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			w.q1SpillAccs(e, oc, isa.TargetHIVE)
+			oc.emitUnlock(e, isa.TargetHIVE)
+			return e.ops
 		}
 		if phase == 0 {
 			// Filter pass: software-pipelined lock blocks, one register
 			// per chunk, bitmasks stored for the processor's decision.
-			pc := uint64(0xB000)
-			first := pos
-			last := pos + wave
-			if last > chunks {
-				last = chunks
-			}
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+			e := newEmitter(0xB000)
+			first, last := blockBounds(pos/wave, wave, chunks)
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
 			for c := first; c < last; c++ {
 				rD := uint8(c - first)
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
 					Dst: rD, Addr: w.DSM.ColBase[st.Col] + mem.Addr(c*S), Size: p.OpSize})
 			}
 			for c := first; c < last; c++ {
@@ -303,62 +179,59 @@ func (w *Workload) q1hiveColumn() *chunkedStream {
 				want := packBits(w.prefix[0], t0, t0+tuplesPerChunk)
 				dst := [2]uint8{tmpA, tmpB}
 				for i, b := range st.Bounds {
-					oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 						ALU: b.Kind, Dst: dst[i], Src1: rD, UseImm: true, Imm: b.Imm})
 				}
 				if len(st.Bounds) == 2 {
-					oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+					oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 						ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
 				}
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
 					Src1: tmpA, Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
 					OnResult: func(r []byte) { w.check(r, want) }})
 			}
-			unlockAck := oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+			unlockAck := oc.emitUnlock(e, isa.TargetHIVE)
 			// Processor decision round trip: fetch each bitmask, branch
 			// on whether the aggregation pass needs this chunk.
 			for c := first; c < last; c++ {
 				lm := vr.fresh()
-				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
 					Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
-				pc += 4
 				tv := vr.fresh()
-				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
-				pc += 4
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
 				empty := !bitRange(w.prefix[0], c*tuplesPerChunk, (c+1)*tuplesPerChunk)
-				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: empty})
-				pc += 4
+				e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: empty})
 			}
-			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != chunks})
+			e.emit(isa.MicroOp{Class: isa.Branch, Taken: last != chunks})
 			pos = last
-			return ops
+			return e.ops
 		}
 		// Aggregation pass: one lock block per group of surviving
 		// chunks, each chunk folded sequentially into the live
 		// accumulators.
-		pc := uint64(0xB400)
+		e := newEmitter(0xB400)
 		first := pos
-		last := pos + p.Unroll
+		last := first + p.Unroll
 		if last > len(selected) {
 			last = len(selected)
 		}
-		oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+		oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
 		for k := first; k < last; k++ {
 			c := selected[k]
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
 				Dst: q1RegFilter, Addr: w.MaskBase[st.Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
 			for _, ld := range q1Columns {
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
 					Dst: ld.reg, Addr: w.DSM.ColBase[ld.col] + mem.Addr(c*S), Size: p.OpSize})
 			}
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 				ALU: isa.Mul, Dst: q1RegRev, Src1: q1RegPrice, Src2: q1RegDisc})
-			w.q1EmitGroups(&ops, &pc, oc, isa.TargetHIVE)
+			w.q1EmitGroups(e, oc, isa.TargetHIVE)
 		}
-		oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != len(selected)})
+		oc.emitUnlock(e, isa.TargetHIVE)
+		e.emit(isa.MicroOp{Class: isa.Branch, Taken: last != len(selected)})
 		pos = last
-		return ops
+		return e.ops
 	}}
 }
 
@@ -393,63 +266,58 @@ func (w *Workload) q1hipeColumn() *chunkedStream {
 	}
 
 	return &chunkedStream{next: func() []isa.MicroOp {
-		var ops []isa.MicroOp
-		pc := uint64(0xC000)
 		if !setupDone {
 			setupDone = true
 			// One-time block: load the lane-validity row (sub-register
 			// chunks would otherwise leak tail-lane mask bits into the
 			// accumulators) and zero the accumulator registers.
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad,
+			e := newEmitter(0xC000)
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.Lock}))
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.VLoad,
 				Dst: q1RegValid, Addr: w.ValidRow, Size: 256}))
-			w.q1ClearAccs(&ops, &pc, oc, isa.TargetHIPE)
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Unlock}))
-			return ops
+			w.q1ClearAccs(e, oc, isa.TargetHIPE)
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.Unlock}))
+			return e.ops
 		}
 		if block >= blocks {
 			return nil
 		}
-		pc = uint64(0xC100)
-		first := block * p.Unroll
-		last := first + p.Unroll
-		if last > chunks {
-			last = chunks
-		}
-		oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
+		e := newEmitter(0xC100)
+		first, last := blockBounds(block, p.Unroll, chunks)
+		oc.emit(e, hipe(isa.OffloadInst{Op: isa.Lock}))
 		for c := first; c < last; c++ {
 			// Filter stage: unpredicated shipdate load and compare,
 			// confined to the chunk's real lanes.
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: q1RegShip,
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: q1RegShip,
 				Addr: w.DSM.ColBase[st.Col] + mem.Addr(c*S), Size: p.OpSize}))
 			dst := [2]uint8{q1RegTmpA, q1RegTmpB}
 			for i, b := range st.Bounds {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
+				oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
 					Dst: dst[i], Src1: q1RegShip, UseImm: true, Imm: b.Imm}))
 			}
 			if len(st.Bounds) == 2 {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+				oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 					Dst: q1RegTmpA, Src1: q1RegTmpA, Src2: q1RegTmpB}))
 			}
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 				Dst: q1RegFilter, Src1: q1RegTmpA, Src2: q1RegValid}))
 			// Key and measure loads, predicated on the filter flag:
 			// chunks wholly past the cutoff never touch DRAM.
 			for _, ld := range q1Columns {
-				oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: ld.reg,
+				oc.emit(e, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: ld.reg,
 					Addr: w.DSM.ColBase[ld.col] + mem.Addr(c*S), Size: p.OpSize,
 					Pred: nz(q1RegFilter)}))
 			}
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
 				Dst: q1RegRev, Src1: q1RegPrice, Src2: q1RegDisc, Pred: nz(q1RegFilter)}))
-			w.q1EmitGroups(&ops, &pc, oc, isa.TargetHIPE)
+			w.q1EmitGroups(e, oc, isa.TargetHIPE)
 		}
 		if block == blocks-1 {
-			w.q1SpillAccs(&ops, &pc, oc, isa.TargetHIPE)
+			w.q1SpillAccs(e, oc, isa.TargetHIPE)
 		}
-		oc.emitUnlock(&ops, &pc, isa.TargetHIPE)
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		oc.emitUnlock(e, isa.TargetHIPE)
+		e.emit(isa.MicroOp{Class: isa.Branch, Taken: block != blocks-1})
 		block++
-		return ops
+		return e.ops
 	}}
 }

@@ -33,57 +33,47 @@ func (w *Workload) hmcTuple() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x3000)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(0x3000)
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			firstTuple := c * tuplesPerChunk
 			addr := w.NSM.Base + mem.Addr(c*stride)
 			wantGE, wantLE := w.expectPatternMasks(firstTuple, S)
 
 			g, l := vr.fresh(), vr.fresh()
-			emit(isa.MicroOp{Class: isa.Offload, Dst: g, Offload: &isa.OffloadInst{
+			e.emit(isa.MicroOp{Class: isa.Offload, Dst: g, Offload: &isa.OffloadInst{
 				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpGE,
 				Addr: addr, Size: p.OpSize, Pattern: lanePattern,
 				OnResult: func(r []byte) { w.check(r, wantGE) },
 			}})
-			emit(isa.MicroOp{Class: isa.Offload, Dst: l, Offload: &isa.OffloadInst{
+			e.emit(isa.MicroOp{Class: isa.Offload, Dst: l, Offload: &isa.OffloadInst{
 				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpLE,
 				Addr: addr, Size: p.OpSize, Pattern: w.patternLanesLE(),
 				OnResult: func(r []byte) { w.check(r, wantLE) },
 			}})
 			m := vr.fresh()
-			emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: g, Src2: l})
+			e.emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: g, Src2: l})
 			for t := 0; t < tuplesPerChunk; t++ {
 				i := firstTuple + t
 				tv := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
 				match := w.tupleMatch(i)
-				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
 				if match {
-					emit(isa.MicroOp{Class: isa.Store,
+					e.emit(isa.MicroOp{Class: isa.Store,
 						Addr: w.Materialize + mem.Addr(matched*db.TupleBytes),
 						Size: db.TupleBytes})
 					matched++
 				}
 			}
 			// Store the chunk's bitmask with cache assistance.
-			emit(isa.MicroOp{Class: isa.Store, Src1: m,
+			e.emit(isa.MicroOp{Class: isa.Store, Src1: m,
 				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(isa.MaskBytes(p.OpSize)),
 				Size: isa.MaskBytes(p.OpSize)})
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -166,24 +156,15 @@ func (w *Workload) q1hmcTuple() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x9000)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(0x9000)
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			firstTuple := c * tuplesPerChunk
 			addr := w.NSM.Base + mem.Addr(c*stride)
 			_, wantLE := w.expectPatternMasks(firstTuple, S)
 
 			m := vr.fresh()
-			emit(isa.MicroOp{Class: isa.Offload, Dst: m, Offload: &isa.OffloadInst{
+			e.emit(isa.MicroOp{Class: isa.Offload, Dst: m, Offload: &isa.OffloadInst{
 				Target: isa.TargetHMC, Op: isa.CmpRead, ALU: isa.CmpLE,
 				Addr: addr, Size: p.OpSize, Pattern: lanePattern,
 				OnResult: func(r []byte) { w.check(r, wantLE) },
@@ -191,24 +172,23 @@ func (w *Workload) q1hmcTuple() *chunkedStream {
 			for t := 0; t < tuplesPerChunk; t++ {
 				i := firstTuple + t
 				tv := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: m})
 				match := w.tupleMatch(i)
-				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
 				if !match {
 					continue
 				}
 				// Cache-path reload of the matching tuple, then the
 				// shared group-dispatch-and-accumulate block.
 				tup := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: tup,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: tup,
 					Addr: w.NSM.TupleAddr(i), Size: db.TupleBytes})
-				w.emitTupleAccumulate(emit, acc, i, tup)
+				w.emitTupleAccumulate(e.emit, acc, i, tup)
 			}
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -234,23 +214,14 @@ func (w *Workload) q1hmcColumn() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x9800)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(0x9800)
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			t0 := c * tuplesPerChunk
 			cmpRead := func(col int, kind isa.ALUKind, imm int32) isa.Reg {
 				want := w.expectColCmp(col, kind, imm, t0, tuplesPerChunk)
 				r := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
+				e.emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
 					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: kind,
 					Addr: w.DSM.ColBase[col] + mem.Addr(c*S), Size: p.OpSize, Imm: imm,
 					OnResult: func(r []byte) { w.check(r, want) },
@@ -265,7 +236,7 @@ func (w *Workload) q1hmcColumn() *chunkedStream {
 					m = r
 				} else {
 					nm := vr.fresh()
-					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
+					e.emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
 					m = nm
 				}
 			}
@@ -289,7 +260,7 @@ func (w *Workload) q1hmcColumn() *chunkedStream {
 						piece = 64
 					}
 					d = vr.fresh()
-					emit(isa.MicroOp{Class: isa.Load, Dst: d,
+					e.emit(isa.MicroOp{Class: isa.Load, Dst: d,
 						Addr: base + mem.Addr(off), Size: uint32(piece)})
 				}
 				return d
@@ -298,28 +269,27 @@ func (w *Workload) q1hmcColumn() *chunkedStream {
 			price := load(db.FieldExtendedPrice)
 			disc := load(db.FieldDiscount)
 			rev := vr.fresh()
-			emit(isa.MicroOp{Class: isa.IntMul, Dst: rev, Src1: price, Src2: disc})
+			e.emit(isa.MicroOp{Class: isa.IntMul, Dst: rev, Src1: price, Src2: disc})
 			for g := 0; g < w.Desc.Groups; g++ {
 				rf, ls := groupKey(g)
 				km := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: rfMask[rf], Src2: lsMask[ls]})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: rfMask[rf], Src2: lsMask[ls]})
 				gm := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
 				masked := func(src isa.Reg) isa.Reg {
 					t := vr.fresh()
-					emit(isa.MicroOp{Class: isa.IntALU, Dst: t, Src1: src, Src2: gm})
+					e.emit(isa.MicroOp{Class: isa.IntALU, Dst: t, Src1: src, Src2: gm})
 					return t
 				}
-				acc.add(emit, isa.IntALU, g, AggCount, gm)
-				acc.add(emit, isa.IntALU, g, AggQty, masked(qty))
-				acc.add(emit, isa.IntALU, g, AggPrice, masked(price))
-				acc.add(emit, isa.IntALU, g, AggRevenue, masked(rev))
+				acc.add(e.emit, isa.IntALU, g, AggCount, gm)
+				acc.add(e.emit, isa.IntALU, g, AggQty, masked(qty))
+				acc.add(e.emit, isa.IntALU, g, AggPrice, masked(price))
+				acc.add(e.emit, isa.IntALU, g, AggRevenue, masked(rev))
 			}
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -345,18 +315,9 @@ func (w *Workload) hmcColumn() *chunkedStream {
 		}
 		st := stages[stage]
 		col := st.Col
-		var ops []isa.MicroOp
-		pc := uint64(0x4000 + 0x400*stage)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(uint64(0x4000 + 0x400*stage))
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			t0 := c * tuplesPerChunk
 			dataAddr := w.DSM.ColBase[col] + mem.Addr(c*S)
 			var results []isa.Reg
@@ -367,7 +328,7 @@ func (w *Workload) hmcColumn() *chunkedStream {
 				want := w.expectColCmp(col, cm.Kind, cm.Imm, t0, tuplesPerChunk)
 				r := vr.fresh()
 				results = append(results, r)
-				emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
+				e.emit(isa.MicroOp{Class: isa.Offload, Dst: r, Offload: &isa.OffloadInst{
 					Target: isa.TargetHMC, Op: isa.CmpRead, ALU: cm.Kind,
 					Addr: dataAddr, Size: p.OpSize, Imm: cm.Imm,
 					OnResult: func(r []byte) { w.check(r, want) },
@@ -376,28 +337,27 @@ func (w *Workload) hmcColumn() *chunkedStream {
 			m := results[0]
 			for _, r := range results[1:] {
 				nm := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: r})
 				m = nm
 			}
 			if stage > 0 {
 				prev := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: prev,
 					Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes),
 					Size: maskBytes})
 				nm := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: prev})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: prev})
 				m = nm
 			}
-			emit(isa.MicroOp{Class: isa.Store, Src1: m,
+			e.emit(isa.MicroOp{Class: isa.Store, Src1: m,
 				Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
 		if group >= groups {
 			group = 0
 			stage++
 		}
-		return ops
+		return e.ops
 	}}
 }

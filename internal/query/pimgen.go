@@ -26,39 +26,6 @@ const hiveWave = 30
 // temporaries r30..r32.
 const hipeWave = 15
 
-// offloadChain forces the processor to issue an engine's instructions in
-// program order: each offload µop depends on its predecessor, modelling
-// the in-order instruction stream a real host controller maintains.
-type offloadChain struct {
-	vr    *vregs
-	chain isa.Reg
-}
-
-func (oc *offloadChain) emit(pcOps *[]isa.MicroOp, pc *uint64, inst *isa.OffloadInst) isa.Reg {
-	dst := oc.vr.fresh()
-	*pcOps = append(*pcOps, isa.MicroOp{
-		PC: *pc, Class: isa.Offload, Dst: dst, Src1: oc.chain, Offload: inst,
-	})
-	*pc += 4
-	oc.chain = dst
-	return dst
-}
-
-// emitUnlock emits the block-ending unlock WITHOUT advancing the chain:
-// the next block streams toward the engine while this block drains (the
-// engine's in-order queue still serialises execution), and only the
-// processor-side consumers of the block's results (bitmask fetches) wait
-// on the returned ack register. Issue order of the unlock versus the
-// next block's first instruction is preserved because both depend on the
-// same predecessor and the core's ready queue and single load port keep
-// FIFO order.
-func (oc *offloadChain) emitUnlock(pcOps *[]isa.MicroOp, pc *uint64, target isa.Target) isa.Reg {
-	pre := oc.chain
-	ack := oc.emit(pcOps, pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
-	oc.chain = pre
-	return ack
-}
-
 // pimTuple generates the HIVE tuple-at-a-time scan: per wave, a lock
 // block hoists the tuple-data loads, pattern-compares each chunk against
 // the bound registers, and stores the lane bitmasks; the processor then
@@ -91,34 +58,29 @@ func (w *Workload) pimTuple(target isa.Target) *chunkedStream {
 	matched := 0
 
 	return &chunkedStream{next: func() []isa.MicroOp {
-		var ops []isa.MicroOp
-		pc := uint64(0x5000)
 		if !setupDone {
 			setupDone = true
 			// One-time block: load the GE/LE pattern rows into the two
 			// reserved bound registers.
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+			e := newEmitter(0x5000)
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Lock})
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VLoad,
 				Dst: regGE, Addr: w.PatternGE, Size: 256})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VLoad,
 				Dst: regLE, Addr: w.PatternLE, Size: 256})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
-			return ops
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Unlock})
+			return e.ops
 		}
 		if group >= groups {
 			return nil
 		}
-		pc = uint64(0x5100)
-		first := group * wave
-		last := first + wave
-		if last > chunks {
-			last = chunks
-		}
-		oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+		e := newEmitter(0x5100)
+		first, last := blockBounds(group, wave, chunks)
+		oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Lock})
 		// Phase A: hoisted data loads, one register per chunk.
 		for c := first; c < last; c++ {
 			rD := uint8(c - first)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VLoad,
 				Dst: rD, Addr: w.NSM.Base + mem.Addr(c*stride), Size: p.OpSize})
 		}
 		// Phase B: per-chunk pattern compares into shared temporaries,
@@ -131,46 +93,40 @@ func (w *Workload) pimTuple(target isa.Target) *chunkedStream {
 			for i := range want {
 				want[i] = wantGE[i] & wantLE[i]
 			}
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VALU,
 				ALU: isa.CmpGE, Dst: tmpA, Src1: rD, Src2: regGE})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VALU,
 				ALU: isa.CmpLE, Dst: tmpB, Src1: rD, Src2: regLE})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VALU,
 				ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
 				Src1: tmpA, Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
 				OnResult: func(r []byte) { w.check(r, want) }})
 		}
-		unlockAck := oc.emitUnlock(&ops, &pc, target)
+		unlockAck := oc.emitUnlock(e, target)
 
 		// Processor control flow: fetch each chunk's bitmask, test per
 		// tuple, materialise matches.
 		for c := first; c < last; c++ {
 			lm := vr.fresh()
-			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+			e.emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
 				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
-			pc += 4
 			for t := 0; t < tuplesPerChunk; t++ {
 				i := c*tuplesPerChunk + t
 				tv := vr.fresh()
-				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
-				pc += 4
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
 				match := w.tupleMatch(i)
-				ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: match})
-				pc += 4
+				e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
 				if match {
-					ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Store,
+					e.emit(isa.MicroOp{Class: isa.Store,
 						Addr: w.Materialize + mem.Addr(matched*db.TupleBytes), Size: db.TupleBytes})
-					pc += 4
 					matched++
 				}
 			}
 		}
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: vr.fresh()})
-		pc += 4
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -206,32 +162,27 @@ func (w *Workload) q1pimTuple(target isa.Target) *chunkedStream {
 	group := 0
 
 	return &chunkedStream{next: func() []isa.MicroOp {
-		var ops []isa.MicroOp
-		pc := uint64(0xA000)
 		if !setupDone {
 			setupDone = true
 			// One-time block: load the LE pattern row into the bound
 			// register (Q01's filter is a single upper bound).
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+			e := newEmitter(0xA000)
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Lock})
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VLoad,
 				Dst: regLE, Addr: w.PatternLE, Size: 256})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Unlock})
-			return ops
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Unlock})
+			return e.ops
 		}
 		if group >= groups {
 			return nil
 		}
-		pc = uint64(0xA100)
-		first := group * wave
-		last := first + wave
-		if last > chunks {
-			last = chunks
-		}
-		oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.Lock})
+		e := newEmitter(0xA100)
+		first, last := blockBounds(group, wave, chunks)
+		oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.Lock})
 		// Phase A: hoisted data loads, one register per chunk.
 		for c := first; c < last; c++ {
 			rD := uint8(c - first)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VLoad,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VLoad,
 				Dst: rD, Addr: w.NSM.Base + mem.Addr(c*stride), Size: p.OpSize})
 		}
 		// Phase B: per-chunk filter compare, bitmask stored from the temp.
@@ -239,44 +190,38 @@ func (w *Workload) q1pimTuple(target isa.Target) *chunkedStream {
 			rD := uint8(c - first)
 			firstTuple := c * tuplesPerChunk
 			_, wantLE := w.expectPatternMasks(firstTuple, S)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VALU,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VALU,
 				ALU: isa.CmpLE, Dst: tmpA, Src1: rD, Src2: regLE})
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
+			oc.emit(e, &isa.OffloadInst{Target: target, Op: isa.VMaskStore,
 				Src1: tmpA, Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
 				OnResult: func(r []byte) { w.check(r, wantLE) }})
 		}
-		unlockAck := oc.emitUnlock(&ops, &pc, target)
+		unlockAck := oc.emitUnlock(e, target)
 
 		// Processor control flow: fetch each chunk's bitmask, branch per
 		// tuple, accumulate matching tuples' groups.
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
 		for c := first; c < last; c++ {
 			lm := vr.fresh()
-			emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
+			e.emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
 				Addr: w.FinalMask + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
 			for t := 0; t < tuplesPerChunk; t++ {
 				i := c*tuplesPerChunk + t
 				tv := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
 				match := w.tupleMatch(i)
-				emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
+				e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: match})
 				if !match {
 					continue
 				}
 				tup := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: tup,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: tup,
 					Addr: w.NSM.TupleAddr(i), Size: db.TupleBytes})
-				w.emitTupleAccumulate(emit, acc, i, tup)
+				w.emitTupleAccumulate(e.emit, acc, i, tup)
 			}
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -330,20 +275,19 @@ func (w *Workload) hiveColumn() *chunkedStream {
 		}
 		st := stages[stage]
 		col := st.Col
-		var ops []isa.MicroOp
-		pc := uint64(0x6000 + 0x400*stage)
+		e := newEmitter(uint64(0x6000 + 0x400*stage))
 
 		first := pos
-		last := pos + wave
+		last := first + wave
 		if last > len(selected) {
 			last = len(selected)
 		}
-		oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
+		oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.Lock})
 		// Phase A: hoisted column-data loads.
 		for k := first; k < last; k++ {
 			c := selected[k]
 			rD := uint8(k - first)
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VLoad,
 				Dst: rD, Addr: w.DSM.ColBase[col] + mem.Addr(c*S), Size: p.OpSize})
 		}
 		// Phase B: per-chunk compares, previous-column mask AND, store —
@@ -354,27 +298,27 @@ func (w *Workload) hiveColumn() *chunkedStream {
 			t0 := c * tuplesPerChunk
 			want := packBits(w.prefix[stage], t0, t0+tuplesPerChunk)
 			if stage > 0 {
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskLoad,
 					Dst: tmpP, Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize})
 			}
 			dst := [2]uint8{tmpA, tmpB}
 			for i, b := range st.Bounds {
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 					ALU: b.Kind, Dst: dst[i], Src1: rD, UseImm: true, Imm: b.Imm})
 			}
 			if len(st.Bounds) == 2 {
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpB})
 			}
 			if stage > 0 {
-				oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
+				oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VALU,
 					ALU: isa.And, Dst: tmpA, Src1: tmpA, Src2: tmpP})
 			}
-			oc.emit(&ops, &pc, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
+			oc.emit(e, &isa.OffloadInst{Target: isa.TargetHIVE, Op: isa.VMaskStore,
 				Src1: tmpA, Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: p.OpSize,
 				OnResult: func(r []byte) { w.check(r, want) }})
 		}
-		unlockAck := oc.emitUnlock(&ops, &pc, isa.TargetHIVE)
+		unlockAck := oc.emitUnlock(e, isa.TargetHIVE)
 
 		// Processor decision round trip: fetch each fresh bitmask from
 		// memory (first touch per line goes to DRAM) and branch on
@@ -382,19 +326,16 @@ func (w *Workload) hiveColumn() *chunkedStream {
 		for k := first; k < last; k++ {
 			c := selected[k]
 			lm := vr.fresh()
-			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Load, Dst: lm, Src1: unlockAck,
+			e.emit(isa.MicroOp{Class: isa.Load, Dst: lm, Src1: unlockAck,
 				Addr: w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
-			pc += 4
 			tv := vr.fresh()
-			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.IntALU, Dst: tv, Src1: lm})
-			pc += 4
+			e.emit(isa.MicroOp{Class: isa.IntALU, Dst: tv, Src1: lm})
 			empty := !bitRange(w.prefix[stage], c*tuplesPerChunk, (c+1)*tuplesPerChunk)
-			ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Src1: tv, Taken: empty})
-			pc += 4
+			e.emit(isa.MicroOp{Class: isa.Branch, Src1: tv, Taken: empty})
 		}
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: last != len(selected)})
+		e.emit(isa.MicroOp{Class: isa.Branch, Taken: last != len(selected)})
 		pos = last
-		return ops
+		return e.ops
 	}}
 }
 
@@ -436,13 +377,8 @@ func (w *Workload) hipeColumn() *chunkedStream {
 		if block >= blocks {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x7000)
-		first := block * p.Unroll
-		last := first + p.Unroll
-		if last > chunks {
-			last = chunks
-		}
+		e := newEmitter(0x7000)
+		first, last := blockBounds(block, p.Unroll, chunks)
 		nz := func(reg uint8) isa.Predicate {
 			return isa.Predicate{Valid: true, Reg: reg, WhenZero: false}
 		}
@@ -451,7 +387,7 @@ func (w *Workload) hipeColumn() *chunkedStream {
 			return &inst
 		}
 
-		oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.Lock}))
+		oc.emit(e, hipe(isa.OffloadInst{Op: isa.Lock}))
 		for ws := first; ws < last; ws += wave {
 			we := ws + wave
 			if we > last {
@@ -477,7 +413,7 @@ func (w *Workload) hipeColumn() *chunkedStream {
 					if s > 0 {
 						ld.Pred = nz(regM(k))
 					}
-					oc.emit(&ops, &pc, hipe(ld))
+					oc.emit(e, hipe(ld))
 				}
 				last := s == len(stages)-1
 				for k := ws; k < we; k++ {
@@ -491,26 +427,26 @@ func (w *Workload) hipeColumn() *chunkedStream {
 						if s == 0 && len(st.Bounds) == 1 {
 							d = regM(k) // single first-stage bound is the mask
 						}
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: b.Kind,
 							Dst: d, Src1: dataReg(k), UseImm: true, Imm: b.Imm, Pred: pred}))
 					}
 					switch {
 					case s == 0 && len(st.Bounds) == 2:
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 							Dst: regM(k), Src1: tmpA, Src2: tmpB}))
 					case s > 0 && len(st.Bounds) == 2:
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 							Dst: tmpC, Src1: tmpA, Src2: tmpB, Pred: pred}))
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 							Dst: regM(k), Src1: tmpC, Src2: regM(k), Pred: pred}))
 					case s > 0 && len(st.Bounds) == 1:
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 							Dst: regM(k), Src1: tmpA, Src2: regM(k), Pred: pred}))
 					}
 					if last {
 						t0 := k * tuplesPerChunk
 						want := packBits(w.prefix[len(stages)-1], t0, t0+tuplesPerChunk)
-						oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
+						oc.emit(e, hipe(isa.OffloadInst{Op: isa.VMaskStore, Src1: regM(k),
 							Addr: w.FinalMask + mem.Addr(k)*mem.Addr(maskBytes), Size: p.OpSize,
 							Pred:     nz(regM(k)),
 							OnResult: func(r []byte) { w.check(r, want) }}))
@@ -524,14 +460,14 @@ func (w *Workload) hipeColumn() *chunkedStream {
 				// Add itself is unpredicated so a squash (which zeroes
 				// its tmp operand) cannot zero the accumulator.
 				for k := ws; k < we; k++ {
-					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
+					oc.emit(e, hipe(isa.OffloadInst{Op: isa.VLoad, Dst: regX(k),
 						Addr: w.DSM.ColBase[db.FieldExtendedPrice] + mem.Addr(k*S), Size: p.OpSize,
 						Pred: nz(regM(k))}))
-					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
+					oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Mul,
 						Dst: tmpA, Src1: regX(k), Src2: regC(k), Pred: nz(regM(k))}))
-					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
+					oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.And,
 						Dst: tmpA, Src1: tmpA, Src2: regM(k), Pred: nz(regM(k))}))
-					oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Add,
+					oc.emit(e, hipe(isa.OffloadInst{Op: isa.VALU, ALU: isa.Add,
 						Dst: regAcc, Src1: regAcc, Src2: tmpA}))
 				}
 			}
@@ -539,12 +475,12 @@ func (w *Workload) hipeColumn() *chunkedStream {
 		if p.Aggregate && block == blocks-1 {
 			// Spill the accumulator so the processor (and verification)
 			// can read the per-lane partial sums.
-			oc.emit(&ops, &pc, hipe(isa.OffloadInst{Op: isa.VStore, Src1: regAcc,
+			oc.emit(e, hipe(isa.OffloadInst{Op: isa.VStore, Src1: regAcc,
 				Addr: w.AccRegion, Size: isa.RegisterBytes}))
 		}
-		oc.emitUnlock(&ops, &pc, isa.TargetHIPE)
-		ops = append(ops, isa.MicroOp{PC: pc, Class: isa.Branch, Taken: block != blocks-1})
+		oc.emitUnlock(e, isa.TargetHIPE)
+		e.emit(isa.MicroOp{Class: isa.Branch, Taken: block != blocks-1})
 		block++
-		return ops
+		return e.ops
 	}}
 }

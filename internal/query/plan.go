@@ -41,6 +41,9 @@ var archNames = [...]string{"x86", "hmc", "hive", "hipe"}
 
 // String implements fmt.Stringer.
 func (a Arch) String() string {
+	if a == ArchAuto {
+		return "auto"
+	}
 	if int(a) < len(archNames) {
 		return archNames[a]
 	}
@@ -103,7 +106,14 @@ type Plan struct {
 
 var validOpSizes = map[uint32]bool{16: true, 32: true, 64: true, 128: true, 256: true}
 
+// Auto reports whether the plan awaits backend resolution by the
+// adaptive planner.
+func (p Plan) Auto() bool { return p.Arch == ArchAuto }
+
 // Validate rejects configurations outside the paper's evaluated space.
+// Per-backend constraints come from the registry's capability reports;
+// an auto plan validates when at least one registered backend could
+// resolve it.
 func (p Plan) Validate() error {
 	if !validOpSizes[p.OpSize] {
 		return fmt.Errorf("query: op size %d not in {16,32,64,128,256}", p.OpSize)
@@ -114,12 +124,6 @@ func (p Plan) Validate() error {
 	if p.Kind != Q6Select && p.Kind != Q1Agg {
 		return fmt.Errorf("query: unknown query kind %d", p.Kind)
 	}
-	if p.Fused && !(p.Arch == HIVE && p.Strategy == ColumnAtATime) {
-		return fmt.Errorf("query: fused plans only exist for HIVE column-at-a-time")
-	}
-	if p.Aggregate && p.Arch != HIPE {
-		return fmt.Errorf("query: in-memory aggregation is the HIPE extension plan")
-	}
 	if p.Kind == Q1Agg {
 		if p.Fused {
 			return fmt.Errorf("query: the fused variant is a Q06 plan; Q01 aggregation is already one pass")
@@ -128,24 +132,40 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("query: Aggregate is the Q06 revenue extension; Q01 plans always aggregate")
 		}
 	}
-	switch p.Arch {
-	case X86:
-		if p.OpSize > 64 {
-			return fmt.Errorf("query: x86 op size %d exceeds AVX-512's 64 B", p.OpSize)
+	if p.Auto() {
+		for _, b := range Backends() {
+			q := p
+			q.Arch = b.Arch()
+			if q.Validate() == nil {
+				return nil
+			}
 		}
-		if p.Unroll > 8 {
-			return fmt.Errorf("query: x86 unroll %d exceeds the compiler's 8", p.Unroll)
-		}
-	case HMC:
-		// all combinations valid
-	case HIVE:
-		// all combinations valid
-	case HIPE:
-		if p.Strategy != ColumnAtATime {
-			return fmt.Errorf("query: the HIPE predicated plan is defined for column-at-a-time scans")
-		}
-	default:
+		return fmt.Errorf("query: auto plan %s fits no registered backend's envelope", p)
+	}
+	be, ok := BackendFor(p.Arch)
+	if !ok {
 		return fmt.Errorf("query: unknown architecture %d", p.Arch)
+	}
+	caps := be.Caps()
+	if p.Fused && !(caps.Fused && p.Strategy == ColumnAtATime) {
+		return fmt.Errorf("query: fused plans only exist for HIVE column-at-a-time")
+	}
+	if p.Aggregate && !caps.Aggregate {
+		return fmt.Errorf("query: in-memory aggregation is the HIPE extension plan")
+	}
+	if !caps.Supports(p.Strategy) {
+		other := TupleAtATime
+		if p.Strategy == TupleAtATime {
+			other = ColumnAtATime
+		}
+		return fmt.Errorf("query: the %s backend defines no %s plan (%s only)",
+			be.Name(), p.Strategy, other)
+	}
+	if p.OpSize > caps.MaxOpSize {
+		return fmt.Errorf("query: %s op size %d exceeds the backend's %d B envelope", be.Name(), p.OpSize, caps.MaxOpSize)
+	}
+	if p.Unroll > caps.MaxUnroll {
+		return fmt.Errorf("query: %s unroll %d exceeds the backend's %d", be.Name(), p.Unroll, caps.MaxUnroll)
 	}
 	return nil
 }

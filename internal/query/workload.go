@@ -83,6 +83,18 @@ func (p Plan) ValidateFor(tuples int) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if p.Auto() {
+		// Validate accepted the shape; the table-dependent envelope
+		// holds when at least one backend substitution survives it.
+		for _, b := range Backends() {
+			q := p
+			q.Arch = b.Arch()
+			if q.ValidateFor(tuples) == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("query: auto plan %s fits no registered backend for %d tuples", p, tuples)
+	}
 	if p.Kind == Q1Agg && p.Strategy == ColumnAtATime &&
 		(p.Arch == HIVE || p.Arch == HIPE) {
 		if chunks := tuples / (int(p.OpSize) / db.ColumnWidth); chunks > maxGroupChunks {
@@ -95,6 +107,9 @@ func (p Plan) ValidateFor(tuples int) error {
 
 // Prepare lays the table into m's image and builds all bookkeeping.
 func Prepare(m *machine.Machine, t *db.Table, p Plan) (*Workload, error) {
+	if p.Auto() {
+		return nil, fmt.Errorf("query: auto plan %s must be resolved to a registered backend before preparing", p)
+	}
 	if err := p.ValidateFor(t.N); err != nil {
 		return nil, err
 	}
@@ -309,55 +324,6 @@ func (w *Workload) GroupResults() []db.GroupAgg {
 	return out
 }
 
-// Stream builds the µop stream for the plan.
-func (w *Workload) Stream() *chunkedStream {
-	if w.Desc.Kind == Q1Agg {
-		switch w.Plan.Arch {
-		case X86:
-			if w.Plan.Strategy == TupleAtATime {
-				return w.q1x86Tuple()
-			}
-			return w.q1x86Column()
-		case HMC:
-			if w.Plan.Strategy == TupleAtATime {
-				return w.q1hmcTuple()
-			}
-			return w.q1hmcColumn()
-		case HIVE:
-			if w.Plan.Strategy == TupleAtATime {
-				return w.q1pimTuple(isa.TargetHIVE)
-			}
-			return w.q1hiveColumn()
-		case HIPE:
-			return w.q1hipeColumn()
-		}
-		panic("query: unreachable")
-	}
-	switch w.Plan.Arch {
-	case X86:
-		if w.Plan.Strategy == TupleAtATime {
-			return w.x86Tuple()
-		}
-		return w.x86Column()
-	case HMC:
-		if w.Plan.Strategy == TupleAtATime {
-			return w.hmcTuple()
-		}
-		return w.hmcColumn()
-	case HIVE:
-		if w.Plan.Strategy == TupleAtATime {
-			return w.pimTuple(isa.TargetHIVE)
-		}
-		if w.Plan.Fused {
-			return w.hiveFusedColumn()
-		}
-		return w.hiveColumn()
-	case HIPE:
-		return w.hipeColumn()
-	}
-	panic("query: unreachable")
-}
-
 // Verify checks the functional outcome of a completed run against the
 // reference evaluator. Which artifacts exist depends on the plan:
 // engine-written bitmask regions and group accumulators for HIVE/HIPE,
@@ -387,11 +353,7 @@ func (w *Workload) Verify() error {
 	if w.Plan.Aggregate {
 		// The engine's accumulator vector must sum to the reference
 		// revenue.
-		var got int64
-		acc := w.M.Image[w.AccRegion : uint64(w.AccRegion)+isa.RegisterBytes]
-		for i := 0; i < isa.LanesPerReg; i++ {
-			got += int64(isa.LaneAt(acc, i))
-		}
+		got := laneSum(w.M.Image, w.AccRegion)
 		if got != w.Ref.Revenue {
 			return fmt.Errorf("query %s: in-memory revenue %d, reference %d", w.Plan, got, w.Ref.Revenue)
 		}
@@ -433,12 +395,7 @@ func (w *Workload) verifyQ1() error {
 			ref := w.Ref1.Groups[g]
 			want := [NumAggs]int64{ref.Count, ref.SumQty, ref.SumPrice, ref.SumRevenue}
 			for agg := 0; agg < NumAggs; agg++ {
-				base := uint64(w.accAddr(g, agg))
-				acc := w.M.Image[base : base+isa.RegisterBytes]
-				var got int64
-				for i := 0; i < isa.LanesPerReg; i++ {
-					got += int64(isa.LaneAt(acc, i))
-				}
+				got := laneSum(w.M.Image, w.accAddr(g, agg))
 				if got != want[agg] {
 					return fmt.Errorf("query %s: group %d %s: in-memory %d, reference %d",
 						w.Plan, g, AggName(agg), got, want[agg])

@@ -27,18 +27,9 @@ func (w *Workload) x86Tuple() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(pcBase)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			i := group*p.Unroll + u
-			if i >= w.Table.N {
-				break
-			}
+		e := newEmitter(pcBase)
+		first, last := blockBounds(group, p.Unroll, w.Table.N)
+		for i := first; i < last; i++ {
 			// Load the entire tuple: the row-store wastes bandwidth on
 			// unused fields — the cache-pollution effect of §II-B.
 			var firstChunk isa.Reg
@@ -47,7 +38,7 @@ func (w *Workload) x86Tuple() *chunkedStream {
 				if k == 0 {
 					firstChunk = dst
 				}
-				emit(isa.MicroOp{Class: isa.Load, Dst: dst,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: dst,
 					Addr: w.NSM.TupleAddr(i) + mem.Addr(k)*mem.Addr(S), Size: S})
 			}
 			// Predicates live in the first 16 bytes: two pattern
@@ -55,24 +46,23 @@ func (w *Workload) x86Tuple() *chunkedStream {
 			ge := vr.fresh()
 			le := vr.fresh()
 			m := vr.fresh()
-			emit(isa.MicroOp{Class: isa.VecCmp, Dst: ge, Src1: firstChunk, Size: S})
-			emit(isa.MicroOp{Class: isa.VecCmp, Dst: le, Src1: firstChunk, Size: S})
-			emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: ge, Src2: le})
+			e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: ge, Src1: firstChunk, Size: S})
+			e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: le, Src1: firstChunk, Size: S})
+			e.emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: ge, Src2: le})
 			// Data-dependent branch: materialise on match.
 			match := w.tupleMatch(i)
-			emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
+			e.emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
 			if match {
-				emit(isa.MicroOp{Class: isa.Store,
+				e.emit(isa.MicroOp{Class: isa.Store,
 					Addr: w.Materialize + mem.Addr(matched*db.TupleBytes),
 					Size: db.TupleBytes})
 				matched++
 			}
 		}
 		// Loop overhead once per unrolled group.
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -100,53 +90,43 @@ func (w *Workload) q1x86Tuple() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(pcBase)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			i := group*p.Unroll + u
-			if i >= w.Table.N {
-				break
-			}
+		e := newEmitter(pcBase)
+		first, last := blockBounds(group, p.Unroll, w.Table.N)
+		for i := first; i < last; i++ {
 			var firstChunk isa.Reg
 			for k := 0; k < chunksPerTuple; k++ {
 				dst := vr.fresh()
 				if k == 0 {
 					firstChunk = dst
 				}
-				emit(isa.MicroOp{Class: isa.Load, Dst: dst,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: dst,
 					Addr: w.NSM.TupleAddr(i) + mem.Addr(k)*mem.Addr(S), Size: S})
 			}
 			// Filter compare(s) over the predicate lanes.
 			m := firstChunk
 			for range st.Bounds {
 				c := vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: c, Src1: firstChunk, Size: S})
+				e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: c, Src1: firstChunk, Size: S})
 				if m != firstChunk {
 					nm := vr.fresh()
-					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: c})
+					e.emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: c})
 					m = nm
 				} else {
 					m = c
 				}
 			}
 			match := w.tupleMatch(i)
-			emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
+			e.emit(isa.MicroOp{Class: isa.Branch, Src1: m, Taken: match})
 			if !match {
 				continue
 			}
 			// Group dispatch and accumulates over the already-loaded
 			// tuple registers.
-			w.emitTupleAccumulate(emit, acc, i, firstChunk)
+			w.emitTupleAccumulate(e.emit, acc, i, firstChunk)
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -171,21 +151,12 @@ func (w *Workload) q1x86Column() *chunkedStream {
 		if group >= groups {
 			return nil
 		}
-		var ops []isa.MicroOp
-		pc := uint64(0x8800)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(0x8800)
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			load := func(col int) isa.Reg {
 				d := vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: d,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: d,
 					Addr: w.DSM.ColBase[col] + mem.Addr(c)*mem.Addr(S), Size: S})
 				return d
 			}
@@ -193,10 +164,10 @@ func (w *Workload) q1x86Column() *chunkedStream {
 			m := ship
 			for range st.Bounds {
 				cr := vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: cr, Src1: ship, Size: S})
+				e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: cr, Src1: ship, Size: S})
 				if m != ship {
 					nm := vr.fresh()
-					emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: cr})
+					e.emit(isa.MicroOp{Class: isa.IntALU, Dst: nm, Src1: m, Src2: cr})
 					m = nm
 				} else {
 					m = cr
@@ -208,30 +179,29 @@ func (w *Workload) q1x86Column() *chunkedStream {
 			price := load(db.FieldExtendedPrice)
 			disc := load(db.FieldDiscount)
 			rev := vr.fresh()
-			emit(isa.MicroOp{Class: isa.VecALU, Dst: rev, Src1: price, Src2: disc, Size: S})
+			e.emit(isa.MicroOp{Class: isa.VecALU, Dst: rev, Src1: price, Src2: disc, Size: S})
 			for g := 0; g < w.Desc.Groups; g++ {
 				ka, kb := vr.fresh(), vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: ka, Src1: rfv, Size: S})
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: kb, Src1: lsv, Size: S})
+				e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: ka, Src1: rfv, Size: S})
+				e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: kb, Src1: lsv, Size: S})
 				km := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: ka, Src2: kb})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: km, Src1: ka, Src2: kb})
 				gm := vr.fresh()
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: gm, Src1: km, Src2: m})
 				masked := func(src isa.Reg) isa.Reg {
 					t := vr.fresh()
-					emit(isa.MicroOp{Class: isa.VecALU, Dst: t, Src1: src, Src2: gm, Size: S})
+					e.emit(isa.MicroOp{Class: isa.VecALU, Dst: t, Src1: src, Src2: gm, Size: S})
 					return t
 				}
-				acc.add(emit, isa.IntALU, g, AggCount, gm)
-				acc.add(emit, isa.IntALU, g, AggQty, masked(qty))
-				acc.add(emit, isa.IntALU, g, AggPrice, masked(price))
-				acc.add(emit, isa.IntALU, g, AggRevenue, masked(rev))
+				acc.add(e.emit, isa.IntALU, g, AggCount, gm)
+				acc.add(e.emit, isa.IntALU, g, AggQty, masked(qty))
+				acc.add(e.emit, isa.IntALU, g, AggPrice, masked(price))
+				acc.add(e.emit, isa.IntALU, g, AggRevenue, masked(rev))
 			}
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
-		return ops
+		return e.ops
 	}}
 }
 
@@ -256,35 +226,26 @@ func (w *Workload) x86Column() *chunkedStream {
 		}
 		st := stages[stage]
 		col := st.Col
-		var ops []isa.MicroOp
-		pc := uint64(0x2000 + 0x400*stage)
-		emit := func(u isa.MicroOp) {
-			u.PC = pc
-			pc += 4
-			ops = append(ops, u)
-		}
-		for u := 0; u < p.Unroll; u++ {
-			c := group*p.Unroll + u
-			if c >= chunks {
-				break
-			}
+		e := newEmitter(uint64(0x2000 + 0x400*stage))
+		first, last := blockBounds(group, p.Unroll, chunks)
+		for c := first; c < last; c++ {
 			dataAddr := w.DSM.ColBase[col] + mem.Addr(c)*mem.Addr(S)
 			maskAddr := w.MaskBase[col] + mem.Addr(c)*mem.Addr(maskBytes)
 			d := vr.fresh()
-			emit(isa.MicroOp{Class: isa.Load, Dst: d, Addr: dataAddr, Size: S})
+			e.emit(isa.MicroOp{Class: isa.Load, Dst: d, Addr: dataAddr, Size: S})
 			m := vr.fresh()
 			// Refinement stages reload the previous column's bitmask.
 			var prev isa.Reg
 			if stage > 0 {
 				prev = vr.fresh()
-				emit(isa.MicroOp{Class: isa.Load, Dst: prev,
+				e.emit(isa.MicroOp{Class: isa.Load, Dst: prev,
 					Addr: w.MaskBase[stages[stage-1].Col] + mem.Addr(c)*mem.Addr(maskBytes), Size: maskBytes})
 			}
 			// One vector compare per stage bound, then mask combines.
 			regs := make([]isa.Reg, len(st.Bounds))
 			for i := range st.Bounds {
 				regs[i] = vr.fresh()
-				emit(isa.MicroOp{Class: isa.VecCmp, Dst: regs[i], Src1: d, Size: S})
+				e.emit(isa.MicroOp{Class: isa.VecCmp, Dst: regs[i], Src1: d, Size: S})
 			}
 			cur := regs[0]
 			for _, r := range regs[1:] {
@@ -292,24 +253,23 @@ func (w *Workload) x86Column() *chunkedStream {
 				if stage > 0 {
 					dst = vr.fresh() // intermediate: the prev-mask AND still follows
 				}
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: dst, Src1: cur, Src2: r})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: dst, Src1: cur, Src2: r})
 				cur = dst
 			}
 			switch {
 			case stage > 0:
-				emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: cur, Src2: prev})
+				e.emit(isa.MicroOp{Class: isa.IntALU, Dst: m, Src1: cur, Src2: prev})
 			case len(regs) == 1:
 				m = cur // single unrefined bound: the compare is the mask
 			}
-			emit(isa.MicroOp{Class: isa.Store, Addr: maskAddr, Size: maskBytes, Src1: m})
+			e.emit(isa.MicroOp{Class: isa.Store, Addr: maskAddr, Size: maskBytes, Src1: m})
 		}
-		emit(isa.MicroOp{Class: isa.IntALU, Dst: vr.fresh()})
-		emit(isa.MicroOp{Class: isa.Branch, Taken: group != groups-1})
+		e.loopTail(vr, group != groups-1)
 		group++
 		if group >= groups {
 			group = 0
 			stage++
 		}
-		return ops
+		return e.ops
 	}}
 }

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/query"
 )
@@ -24,7 +25,14 @@ type RequestTrace struct {
 	Index int
 	// Client is the issuing closed-loop client, -1 under open loop.
 	Client int
-	Plan   query.Plan
+	// Plan is the executed plan — for routed (ArchAuto) requests, the
+	// backend the planner chose.
+	Plan query.Plan
+	// Routing is the planner's decision for an ArchAuto request:
+	// profiled selectivity and every candidate backend's estimate. Nil
+	// for fixed-architecture requests (and JSON-omitted, so fixed-arch
+	// reports are unchanged).
+	Routing *cost.Decision `json:",omitempty"`
 	// Arrival is when the request entered the system.
 	Arrival uint64
 	// Completion is when the slowest shard task finished.
@@ -82,6 +90,9 @@ type Report struct {
 }
 
 // CSVHeader is the column layout of WriteCSV: one row per request.
+// Reports containing routed (ArchAuto) requests append the
+// routing-decision columns of RoutingCSVHeader, so fixed-architecture
+// exports stay byte-identical to their pre-planner form.
 var CSVHeader = []string{
 	"index", "client", "arch", "strategy", "opsize_b", "unroll", "fused", "aggregate",
 	"ship_lo", "ship_hi", "disc_lo", "disc_hi", "qty_hi",
@@ -89,11 +100,41 @@ var CSVHeader = []string{
 	"service_cycles", "work_cycles", "matches", "revenue",
 }
 
+// RoutingCSVHeader returns the routing-decision columns appended for
+// reports with routed requests: the routed flag, the profiled
+// selectivity, and one estimated-cycles column per registered backend
+// — the full audit trail of each pick.
+func RoutingCSVHeader() []string {
+	cols := []string{"routed", "est_selectivity"}
+	for _, name := range query.BackendNames() {
+		cols = append(cols, "est_"+name+"_cycles")
+	}
+	return cols
+}
+
+// HasRouting reports whether any request in the report was routed by
+// the adaptive planner.
+func (r *Report) HasRouting() bool {
+	for _, tr := range r.Requests {
+		if tr.Routing != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteCSV writes the per-request traces as CSV with CSVHeader's
-// columns, in request-index order.
+// columns (plus RoutingCSVHeader when the report contains routed
+// requests), in request-index order.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(CSVHeader); err != nil {
+	routed := r.HasRouting()
+	header := CSVHeader
+	backends := query.Backends()
+	if routed {
+		header = append(append([]string{}, CSVHeader...), RoutingCSVHeader()...)
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, tr := range r.Requests {
@@ -127,12 +168,38 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(tr.Matches),
 			strconv.FormatInt(tr.Revenue, 10),
 		}
+		if routed {
+			rec = append(rec, routingColumns(tr.Routing, backends)...)
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// routingColumns renders one trace's routing-decision cells: empty
+// estimates for fixed-architecture rows in a mixed stream, whole-cycle
+// estimates (deterministic integer formatting) for routed rows.
+func routingColumns(d *cost.Decision, backends []query.Backend) []string {
+	cols := make([]string, 0, 2+len(backends))
+	if d == nil {
+		cols = append(cols, "false", "")
+		for range backends {
+			cols = append(cols, "")
+		}
+		return cols
+	}
+	cols = append(cols, "true", strconv.FormatFloat(d.Selectivity, 'g', -1, 64))
+	for _, b := range backends {
+		if est := d.EstimateFor(b.Arch()); est != nil {
+			cols = append(cols, strconv.FormatFloat(est.Cycles, 'f', 0, 64))
+		} else {
+			cols = append(cols, "")
+		}
+	}
+	return cols
 }
 
 // WriteJSON writes the whole report as one indented JSON document.

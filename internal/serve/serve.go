@@ -27,7 +27,9 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/energy"
 	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/sweep"
@@ -41,16 +43,26 @@ const NominalHz = 2e9
 
 // Request is one admitted query: a full plan (architecture, strategy,
 // op size, unroll, fused/aggregate variants and the Q06 predicate)
-// executed over every shard of the cluster.
+// executed over every shard of the cluster. A request whose plan
+// carries query.ArchAuto names no backend: the cluster's adaptive
+// planner resolves it at admission to the predicted-fastest backend's
+// best serving shape, given the predicate's selectivity profile on the
+// served table (internal/cost).
 type Request struct {
 	Plan query.Plan
 }
 
+// ArchAuto re-exports the planner sentinel for serving callers.
+const ArchAuto = query.ArchAuto
+
 // DefaultPlan returns the per-architecture best configuration (the
 // Figure 3d shapes) over predicate q — the natural plan for a serving
-// request that only picks an architecture.
+// request that only picks an architecture. ArchAuto returns the
+// unresolved auto request plan; the cluster routes it at admission.
 func DefaultPlan(arch query.Arch, q db.Q06) query.Plan {
 	switch arch {
+	case query.ArchAuto:
+		return query.Plan{Arch: query.ArchAuto, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: q}
 	case query.X86:
 		return query.Plan{Arch: arch, Strategy: query.ColumnAtATime, OpSize: 64, Unroll: 8, Q: q}
 	case query.HIVE:
@@ -110,6 +122,12 @@ type Response struct {
 	WorkCycles uint64
 	// Shards are the per-shard partials, in shard order.
 	Shards []ShardPartial
+	// Routing records the adaptive planner's decision for an ArchAuto
+	// request — the profiled selectivity, every candidate backend's
+	// cost estimate, and the chosen plan (which Request now carries).
+	// Nil for fixed-architecture requests, so fixed-arch exports are
+	// unchanged.
+	Routing *cost.Decision `json:",omitempty"`
 }
 
 // Options tune cluster execution.
@@ -141,9 +159,19 @@ type Cluster struct {
 	whole  *db.Table
 	shards []*db.Table
 
+	// params is the adaptive planner's cost model, derived from the
+	// cluster's machine and energy configuration at New.
+	params cost.Params
+
 	mu    sync.Mutex
 	refs  map[db.Q06]*db.ReferenceResult
 	refs1 map[db.Q01]*db.Q1Result
+	// routes caches routing decisions per distinct (kind, predicate):
+	// profiling the table is O(rows), so repeated predicates — the
+	// common case in serving streams — route from the cache. Decisions
+	// are pure functions of (table, predicate, candidates), hence
+	// deterministic at any worker count.
+	routes map[routeKey]*cost.Decision
 
 	// mpool recycles simulated machines across shard replays: a Reset
 	// machine is bit-identical to a fresh one, so reuse never changes
@@ -170,13 +198,27 @@ func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
 	} else {
 		mc.ImageBytes = shardImageBytes(shards[0].N)
 	}
+	em := energy.Default()
+	if cfg.Energy != nil {
+		em = *cfg.Energy
+	}
 	return &Cluster{
 		mc:     mc,
 		whole:  tab,
 		shards: shards,
+		params: cost.ParamsFor(mc, em),
 		refs:   make(map[db.Q06]*db.ReferenceResult),
 		refs1:  make(map[db.Q01]*db.Q1Result),
+		routes: make(map[routeKey]*cost.Decision),
 	}, nil
+}
+
+// routeKey identifies one distinct routable query.
+type routeKey struct {
+	kind query.QueryKind
+	q    db.Q06
+	q1   db.Q01
+	agg  bool
 }
 
 // shardImageBytes sizes a machine image for an n-row shard (see
@@ -201,18 +243,71 @@ func (c *Cluster) Rows() int { return c.whole.N }
 // Admit validates a request against the cluster: the plan must be
 // inside the evaluated envelope — including the table-dependent
 // bounds, checked against the largest shard — and executable on every
-// shard.
+// shard. ArchAuto requests are validated through their resolution.
 func (c *Cluster) Admit(req Request) error {
+	if req.Plan.Auto() {
+		_, _, err := c.resolve(req)
+		return err
+	}
+	if err := req.Plan.ValidateFor(c.maxShardRows()); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func (c *Cluster) maxShardRows() int {
 	maxRows := 0
 	for _, s := range c.shards {
 		if s.N > maxRows {
 			maxRows = s.N
 		}
 	}
-	if err := req.Plan.ValidateFor(maxRows); err != nil {
-		return fmt.Errorf("serve: %w", err)
+	return maxRows
+}
+
+// resolve routes an ArchAuto request to the predicted-fastest backend:
+// the candidates are every registered backend's best serving shape over
+// the request's predicate, trimmed to the plans every shard can
+// execute, ranked by the cost model against the served table's
+// selectivity profile. Fixed-architecture requests pass through
+// untouched. Decisions are cached per distinct predicate and are pure
+// functions of the cluster's table, so routing is deterministic and
+// auditable (the decision lands in Response.Routing and the report's
+// routing columns).
+func (c *Cluster) resolve(req Request) (Request, *cost.Decision, error) {
+	if !req.Plan.Auto() {
+		return req, nil, nil
 	}
-	return nil
+	key := routeKey{kind: req.Plan.Kind, q: req.Plan.Q, q1: req.Plan.Q1, agg: req.Plan.Aggregate}
+	c.mu.Lock()
+	d, ok := c.routes[key]
+	c.mu.Unlock()
+	if !ok {
+		maxRows := c.maxShardRows()
+		var candidates []query.Plan
+		for _, b := range query.Backends() {
+			var p query.Plan
+			if req.Plan.Kind == query.Q1Agg {
+				p = DefaultQ1Plan(b.Arch(), req.Plan.Q1)
+			} else {
+				p = DefaultPlan(b.Arch(), req.Plan.Q)
+				p.Aggregate = req.Plan.Aggregate && b.Caps().Aggregate
+			}
+			if p.ValidateFor(maxRows) != nil {
+				continue
+			}
+			candidates = append(candidates, p)
+		}
+		var err error
+		d, err = cost.PickSharded(c.params, c.shards, candidates)
+		if err != nil {
+			return req, nil, fmt.Errorf("serve: routing %s: %w", req.Plan, err)
+		}
+		c.mu.Lock()
+		c.routes[key] = d
+		c.mu.Unlock()
+	}
+	return Request{Plan: d.Chosen}, d, nil
 }
 
 // reference returns the whole-table oracle for predicate q, computed
@@ -361,11 +456,17 @@ func (c *Cluster) mergeQ1(req Request, resp *Response, parts []ShardPartial) (*R
 	return resp, nil
 }
 
-// Query admits one request, scatters it across every shard (shard
-// simulations run concurrently, bounded by opt's executor pool),
-// gathers the partials, and returns the merged answer verified against
-// the unsharded reference evaluator. Safe for concurrent callers.
+// Query admits one request — routing ArchAuto requests to the
+// predicted-fastest backend first — scatters it across every shard
+// (shard simulations run concurrently, bounded by opt's executor
+// pool), gathers the partials, and returns the merged answer verified
+// against the unsharded reference evaluator. Safe for concurrent
+// callers.
 func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
+	req, routing, err := c.resolve(req)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.Admit(req); err != nil {
 		return nil, err
 	}
@@ -404,5 +505,10 @@ func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
 			return nil, fmt.Errorf("serve: shard %d: %w", s, err)
 		}
 	}
-	return c.merge(req, parts)
+	resp, err := c.merge(req, parts)
+	if err != nil {
+		return nil, err
+	}
+	resp.Routing = routing
+	return resp, nil
 }

@@ -14,6 +14,7 @@ import (
 	"math"
 	"sync"
 
+	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/stats"
@@ -34,8 +35,9 @@ type StreamSpec struct {
 	// QtyHi are the Q06 quantity bounds drawn per request (uniformly).
 	// Default: {10, 24, 50} — roughly 1%, 2% and 4% selectivity.
 	QtyHi []int32
-	// Aggregate upgrades HIPE requests to the in-memory aggregation
-	// plan (whole Q06 in memory), exercising the revenue merge path.
+	// Aggregate upgrades HIPE requests (and, through routing, auto
+	// requests that resolve to HIPE) to the in-memory aggregation plan
+	// (whole Q06 in memory), exercising the revenue merge path.
 	Aggregate bool
 	// Q1Every, when positive, turns every Q1Every-th request into a
 	// TPC-H Q01-style grouped aggregation over Q1Query — a mixed
@@ -82,7 +84,7 @@ func (s StreamSpec) Requests() ([]Request, error) {
 			continue
 		}
 		p := DefaultPlan(arch, q)
-		if s.Aggregate && p.Arch == query.HIPE {
+		if s.Aggregate && (p.Arch == query.HIPE || p.Auto()) {
 			p.Aggregate = true
 		}
 		reqs[i] = Request{Plan: p}
@@ -186,24 +188,34 @@ func (s LoadSpec) arrivals() []uint64 {
 }
 
 // LoadTest runs the load spec against the cluster: it admits the
-// stream, computes every (request, shard) service time on the bounded
-// executor pool, verifies every merged answer against the unsharded
-// reference evaluator, replays the serving timeline in virtual time,
-// and returns the report. Deterministic at any worker count.
+// stream — routing ArchAuto requests to their predicted-fastest
+// backend first — computes every (request, shard) service time on the
+// bounded executor pool, verifies every merged answer against the
+// unsharded reference evaluator, replays the serving timeline in
+// virtual time, and returns the report. Deterministic at any worker
+// count (routing happens once, single-threaded, before any worker
+// runs, and decisions are pure functions of the served table).
 func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
+	resolved := make([]Request, len(spec.Requests))
+	routings := make([]*cost.Decision, len(spec.Requests))
 	for i, req := range spec.Requests {
-		if err := c.Admit(req); err != nil {
+		r, d, err := c.resolve(req)
+		if err != nil {
 			return nil, fmt.Errorf("serve: request %d: %w", i, err)
 		}
+		if err := c.Admit(r); err != nil {
+			return nil, fmt.Errorf("serve: request %d: %w", i, err)
+		}
+		resolved[i], routings[i] = r, d
 	}
 
 	// Open loop fixes the issued set (and arrival times) up front;
 	// closed loop issues every request.
 	var arrivalTimes []uint64
-	reqs := spec.Requests
+	reqs := resolved
 	offered := len(reqs)
 	if spec.Mode == Open {
 		arrivalTimes = spec.arrivals()
@@ -223,6 +235,7 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: request %d: %w", i, err)
 		}
+		resp.Routing = routings[i]
 		responses[i] = resp
 	}
 
@@ -376,6 +389,7 @@ func (c *Cluster) dispatch(resp *Response, index, client int, arrival uint64,
 		Index:      index,
 		Client:     client,
 		Plan:       resp.Request.Plan,
+		Routing:    resp.Routing,
 		Arrival:    arrival,
 		Completion: completion,
 		Latency:    completion - arrival,

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// TestAutoArchAxis: a grid naming query.ArchAuto runs planner-routed
+// cells — each cell's Result carries the concrete backend the planner
+// chose, the Cell keeps the auto marker for audit, and the decision is
+// recorded.
+func TestAutoArchAxis(t *testing.T) {
+	cfg := Default()
+	cfg.Tuples = 1024
+	g := Grid{
+		Archs:     []query.Arch{query.ArchAuto, query.HIPE},
+		OpSizes:   []uint32{256},
+		Unrolls:   []int{32},
+		Queries:   []db.Q06{db.DefaultQ06()},
+		Q1Queries: []db.Q01{db.DefaultQ01()},
+	}
+	rs, err := Run(cfg, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.HasRouting() {
+		t.Fatal("auto-axis sweep recorded no routing decisions")
+	}
+	var autoCells, fixedCells int
+	for _, c := range rs.Cells {
+		if c.Cell.Plan.Auto() {
+			autoCells++
+			if c.Routing == nil {
+				t.Errorf("cell %s: auto cell without routing decision", c.Cell)
+				continue
+			}
+			if c.Result.Plan.Auto() {
+				t.Errorf("cell %s: result plan still auto", c.Cell)
+			}
+			if c.Result.Plan != c.Routing.Chosen {
+				t.Errorf("cell %s: ran %s, decision says %s", c.Cell, c.Result.Plan, c.Routing.Chosen)
+			}
+			if _, ok := query.BackendFor(c.Result.Plan.Arch); !ok {
+				t.Errorf("cell %s: routed to unregistered arch %s", c.Cell, c.Result.Plan.Arch)
+			}
+		} else {
+			fixedCells++
+			if c.Routing != nil {
+				t.Errorf("cell %s: fixed cell carries a routing decision", c.Cell)
+			}
+		}
+	}
+	if autoCells != 2 || fixedCells != 2 {
+		t.Fatalf("got %d auto and %d fixed cells, want 2 and 2", autoCells, fixedCells)
+	}
+
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, col := range RoutingCSVHeader() {
+		if !strings.Contains(header, col) {
+			t.Errorf("auto sweep CSV header missing %q: %q", col, header)
+		}
+	}
+	if !strings.Contains(buf.String(), "auto,") {
+		t.Error("auto cells should keep \"auto\" in the arch column for audit")
+	}
+}
+
+// TestAutoArchDeterministicAcrossWorkers: routed sweeps export
+// byte-identically at any worker count — resolution happens inside
+// workers but is a pure function of (table, plan).
+func TestAutoArchDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Default()
+	cfg.Tuples = 1024
+	g := Grid{
+		Archs:     []query.Arch{query.ArchAuto},
+		OpSizes:   []uint32{64, 256},
+		Unrolls:   []int{8},
+		Queries:   []db.Q06{db.DefaultQ06()},
+		Q1Queries: []db.Q01{{ShipCut: 800}},
+	}
+	render := func(workers int) string {
+		rs, err := Run(cfg, g, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rs.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if one, many := render(1), render(8); one != many {
+		t.Fatal("auto sweep CSV differs between 1 and 8 workers")
+	}
+}
+
+// TestFixedSweepSchemaUnchanged: a sweep without auto cells must not
+// grow routing columns.
+func TestFixedSweepSchemaUnchanged(t *testing.T) {
+	cfg := Default()
+	cfg.Tuples = 1024
+	rs, err := Run(cfg, Grid{Archs: []query.Arch{query.HIPE}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if strings.Contains(header, "routed_arch") {
+		t.Errorf("fixed sweep header gained routing columns: %q", header)
+	}
+}

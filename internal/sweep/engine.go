@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/query"
@@ -50,6 +51,12 @@ type CellResult struct {
 	// baseline: the best x86 cycles over the same table and predicate,
 	// or the group's best cycles when the group has no x86 cell.
 	Speedup float64
+	// Routing records the adaptive planner's decision for an auto-arch
+	// cell: the candidates were the cell's shape with each registered
+	// backend's architecture substituted (trimmed to fitting
+	// envelopes), and Result.Plan is the chosen backend's plan. Nil —
+	// and JSON-omitted — for fixed-architecture cells.
+	Routing *cost.Decision `json:",omitempty"`
 }
 
 // ResultSet is the aggregate outcome of a sweep, ordered by cell index.
@@ -186,6 +193,12 @@ func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
 	}
 	cfg.Machine = &mc
 
+	// The planner parameters for auto-arch cells, derived once from the
+	// sweep's machine and energy models. Resolution happens per cell
+	// inside the workers, but a decision is a pure function of (table,
+	// plan), so the outcome is independent of worker scheduling.
+	params := cost.ParamsFor(cfg.machineConfig(), cfg.energyModel())
+
 	indices := make(chan int)
 	var done sync.WaitGroup
 	var progressMu sync.Mutex
@@ -206,13 +219,27 @@ func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
 				cr := CellResult{Index: i, Cell: cell, Selectivity: sel}
 				var res Result
 				var err error
-				if m == nil {
-					m, err = machine.New(cfg.machineConfig())
-				} else {
-					m.Reset()
+				plan := cell.Plan
+				if plan.Auto() {
+					// Resolve the auto cell: substitute each registered
+					// backend into the cell's shape and run the
+					// predicted-fastest.
+					var d *cost.Decision
+					d, err = cost.Pick(params, tab, plan.Candidates(cell.Tuples))
+					if err == nil {
+						plan = d.Chosen
+						cr.Routing = d
+					}
 				}
 				if err == nil {
-					res, err = cfg.runOn(m, tab, cell.Plan)
+					if m == nil {
+						m, err = machine.New(cfg.machineConfig())
+					} else {
+						m.Reset()
+					}
+				}
+				if err == nil {
+					res, err = cfg.runOn(m, tab, plan)
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("sweep: cell %d (%s): %w", i, cell, err)

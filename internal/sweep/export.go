@@ -15,7 +15,9 @@ import (
 )
 
 // CSVHeader is the column layout of WriteCSV, one column per cell axis
-// and per reported metric.
+// and per reported metric. Result sets containing auto-arch cells
+// append RoutingCSVHeader's routing-decision columns, so fixed-arch
+// exports stay byte-identical to their pre-planner form.
 var CSVHeader = []string{
 	"index", "arch", "strategy", "opsize_b", "unroll", "fused", "aggregate",
 	"tuples", "seed", "clustered", "noise_days",
@@ -24,14 +26,37 @@ var CSVHeader = []string{
 	"dram_pj", "total_pj", "squashed", "squashed_dram_bytes", "checked",
 }
 
+// RoutingCSVHeader returns the columns appended for sweeps with
+// auto-arch cells: the backend the planner chose and its estimated
+// cycles (the arch column keeps "auto", so the routing is auditable
+// against the estimate and the measured cycles side by side).
+func RoutingCSVHeader() []string { return []string{"routed_arch", "est_cycles"} }
+
+// HasRouting reports whether any cell in the set was routed by the
+// adaptive planner.
+func (rs *ResultSet) HasRouting() bool {
+	for i := range rs.Cells {
+		if rs.Cells[i].Routing != nil {
+			return true
+		}
+	}
+	return false
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteCSV writes the set as CSV with CSVHeader's columns.
+// WriteCSV writes the set as CSV with CSVHeader's columns (plus
+// RoutingCSVHeader when the set contains auto-arch cells).
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(CSVHeader); err != nil {
+	routed := rs.HasRouting()
+	header := CSVHeader
+	if routed {
+		header = append(append([]string{}, CSVHeader...), RoutingCSVHeader()...)
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, c := range rs.Cells {
@@ -69,6 +94,14 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(r.Squashed, 10),
 			strconv.FormatUint(r.SquashedDRAMBytes, 10),
 			strconv.Itoa(r.Checked),
+		}
+		if routed {
+			if d := c.Routing; d != nil {
+				rec = append(rec, d.Chosen.Arch.String(),
+					strconv.FormatFloat(d.Estimates[d.ChosenIndex].Cycles, 'f', 0, 64))
+			} else {
+				rec = append(rec, "", "")
+			}
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

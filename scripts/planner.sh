@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Planner gate: adaptive (-archs auto) routing must be deterministic —
+# the same backend picks, the same estimates, byte for byte — at any
+# worker count. This renders an auto-routed serve report and an
+# auto-axis sweep at 1 worker and at all cores, compares the full
+# exports, and then diffs the routing-decision columns in isolation so
+# a routing nondeterminism cannot hide behind an unrelated export
+# difference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+many=$(nproc)
+if [ "$many" -lt 4 ]; then
+  many=4
+fi
+
+echo "== auto-routed serve report: -workers 1 vs -workers $many =="
+serve() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -archs auto -clustered \
+    -q1-every 3 -quiet \
+    -csv "$out/serve.$1.csv" -json "$out/serve.$1.json" >/dev/null
+}
+serve 1
+serve "$many"
+cmp "$out/serve.1.csv" "$out/serve.$many.csv"
+cmp "$out/serve.1.json" "$out/serve.$many.json"
+
+# The routing-decision columns in isolation: arch (the pick) plus the
+# trailing routed/est_selectivity/est_* audit columns.
+routing_cols() {
+  awk -F, 'NR==1{for(i=1;i<=NF;i++) if($i=="arch"||$i=="routed"||index($i,"est_")==1) keep[i]=1}
+           {line=""; for(i=1;i<=NF;i++) if(keep[i]) line=line $i ","; print line}' "$1"
+}
+routing_cols "$out/serve.1.csv" >"$out/route.1"
+routing_cols "$out/serve.$many.csv" >"$out/route.N"
+cmp "$out/route.1" "$out/route.N"
+grep -q "true" "$out/route.1" || { echo "no routed request in the auto report"; exit 1; }
+
+echo "== auto-axis sweep: -workers 1 vs -workers $many =="
+sweep() {
+  go run ./cmd/hipe-sweep -workers "$1" \
+    -archs auto,x86,hmc,hive,hipe -opsizes 64,256 -unrolls 8 \
+    -tuples 4096 -q1cuts 800 -quiet \
+    -csv "$out/sweep.$1.csv" -json "$out/sweep.$1.json" >/dev/null
+}
+sweep 1
+sweep "$many"
+cmp "$out/sweep.1.csv" "$out/sweep.$many.csv"
+cmp "$out/sweep.1.json" "$out/sweep.$many.json"
+grep -q "^.*,auto," "$out/sweep.1.csv" || { echo "no auto cell in the sweep export"; exit 1; }
+
+echo "planner gate passed: routing decisions byte-identical at 1 and $many workers"
