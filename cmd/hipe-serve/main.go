@@ -12,8 +12,25 @@
 //	           [-archs x86,hmc,hive,hipe|auto] [-aggregate] \
 //	           [-q1-every 4] [-q1-cut 2436] [-clustered] [-noise 10] \
 //	           [-duration-ms 0] [-concurrency 4] \
+//	           [-pools hipe,hipe,x86] [-classes "batch:400:100,rt:200:0"] [-shed] \
+//	           [-trace] [-trace-period-us 2000] [-trace-amp 0.5] \
+//	           [-burst 4] [-burst-on-us 200] [-burst-off-us 600] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
 //	           [-workers N] [-csv out.csv] [-json out.json]
+//
+// -pools engages the replicated fleet: each entry is one complete
+// replica of all shards pinned to that backend family, and every
+// request is routed to the (replica, backend) pair with the lowest
+// predicted critical path plus current queue depth. -classes declares
+// admission classes as name:slo_µs:patience_µs triples (patience 0 =
+// never shed); with -shed, overload refuses work whose class patience
+// even the least-loaded replica exceeds — lowest patience sheds first.
+// Fleet reports add per-pool and per-class (SLO-attainment) rows.
+//
+// -trace swaps the open loop's Poisson process for a trace-driven
+// non-homogeneous one: -trace-period-us/-trace-amp add a diurnal
+// sinusoid, -burst/-burst-on-us/-burst-off-us an on/off burst process.
+// Still seeded and exactly replayable.
 //
 // -q1-every N mixes TPC-H Q01-style grouped aggregations into the
 // stream (every Nth request): shards answer with per-group partial
@@ -41,6 +58,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +78,15 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "upgrade HIPE requests to in-memory Q06 aggregation")
 	clustered := flag.Bool("clustered", false, "serve a date-clustered (append-ordered) table — the layout where selectivity-adaptive routing pays off")
 	noise := flag.Int("noise", 10, "clustering noise in days (with -clustered)")
+	pools := flag.String("pools", "", "comma list of replica-pool architectures (e.g. hipe,hipe,x86): serve through a replicated fleet with queue-aware routing")
+	classesFlag := flag.String("classes", "", "admission classes as name:slo_µs:patience_µs triples (needs -pools; patience 0 = never shed)")
+	shed := flag.Bool("shed", false, "enable admission control: shed low-patience classes under overload (needs -classes, open mode)")
+	traceMode := flag.Bool("trace", false, "open loop: trace-driven non-homogeneous arrivals instead of Poisson")
+	tracePeriodUS := flag.Float64("trace-period-us", 0, "diurnal modulation period in simulated µs (needs -trace)")
+	traceAmp := flag.Float64("trace-amp", 0, "diurnal amplitude in [0,1) (needs -trace and -trace-period-us)")
+	burst := flag.Float64("burst", 0, "burst rate multiplier >= 1 (needs -trace; 0 disables bursts)")
+	burstOnUS := flag.Float64("burst-on-us", 0, "mean burst duration in simulated µs (needs -burst)")
+	burstOffUS := flag.Float64("burst-off-us", 0, "mean quiet duration in simulated µs (needs -burst)")
 	q1every := flag.Int("q1-every", 0, "turn every Nth request into a Q01 grouped aggregation (0 = pure Q06 stream)")
 	q1cut := flag.Int("q1-cut", 0, "Q01 shipdate cutoff in days (0 = the TPC-H 90-day default; needs -q1-every)")
 	tuples := flag.Int("tuples", 16384, "lineitem row count (multiple of 64)")
@@ -143,6 +170,76 @@ func main() {
 	if len(mix) == 0 {
 		fail("-archs selects no architecture")
 	}
+	// Fleet flags: replica pools, admission classes, trace arrivals.
+	var poolArchs []hipe.Arch
+	for _, s := range strings.Split(*pools, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		a, ok := hipe.ParseArch(s)
+		if !ok {
+			fail("unknown pool arch %q (have %s)", s, hipe.ArchChoices())
+		}
+		if a == hipe.ArchAuto {
+			fail("-pools entries must pin a concrete backend, not auto")
+		}
+		poolArchs = append(poolArchs, a)
+	}
+	if len(poolArchs) > 0 {
+		// Every fixed architecture in the stream needs a pool to land on.
+		for _, a := range mix {
+			if a == hipe.ArchAuto {
+				continue
+			}
+			found := false
+			for _, p := range poolArchs {
+				found = found || p == a
+			}
+			if !found {
+				fail("-archs includes %s but no -pools entry pins it", a)
+			}
+		}
+	}
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(classes) > 0 && len(poolArchs) == 0 {
+		fail("-classes needs -pools (admission control is a fleet feature)")
+	}
+	if *shed && len(classes) == 0 {
+		fail("-shed needs -classes")
+	}
+	if *shed && *mode != "open" {
+		fail("-shed needs -mode open")
+	}
+	if *traceMode && *mode != "open" {
+		fail("-trace needs -mode open")
+	}
+	if !*traceMode && (*tracePeriodUS != 0 || *traceAmp != 0 || *burst != 0 || *burstOnUS != 0 || *burstOffUS != 0) {
+		fail("trace knobs (-trace-period-us, -trace-amp, -burst, -burst-on-us, -burst-off-us) need -trace")
+	}
+	if *traceAmp < 0 || *traceAmp >= 1 || math.IsNaN(*traceAmp) {
+		fail("-trace-amp %g must be in [0, 1)", *traceAmp)
+	}
+	if *traceAmp > 0 && !(*tracePeriodUS > 0) {
+		fail("-trace-amp needs a positive -trace-period-us")
+	}
+	if *burst != 0 && (!(*burst >= 1) || math.IsInf(*burst, 1)) {
+		fail("-burst %g must be a finite multiplier >= 1 (or 0 to disable)", *burst)
+	}
+	if *burst > 1 && (!(*burstOnUS > 0) || !(*burstOffUS > 0)) {
+		fail("-burst needs positive -burst-on-us and -burst-off-us")
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"-trace-period-us", *tracePeriodUS}, {"-burst-on-us", *burstOnUS}, {"-burst-off-us", *burstOffUS}} {
+		if !(v.val >= 0) || math.IsInf(v.val, 1) {
+			fail("%s %g must be a non-negative finite duration", v.name, v.val)
+		}
+	}
 
 	cfg := hipe.Default()
 	cfg.Tuples, cfg.Seed = *tuples, *seed
@@ -152,7 +249,16 @@ func main() {
 	} else {
 		tab = hipe.Generate(cfg.Tuples, cfg.Seed)
 	}
-	cluster, err := hipe.Serve(cfg, tab, *shards)
+	var cluster *hipe.Cluster
+	var fleet *hipe.Fleet
+	if len(poolArchs) > 0 {
+		fleet, err = hipe.ServeFleet(cfg, tab, *shards, poolArchs)
+		if err == nil {
+			cluster = fleet.Cluster
+		}
+	} else {
+		cluster, err = hipe.Serve(cfg, tab, *shards)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -162,7 +268,7 @@ func main() {
 	}
 	reqs, err := hipe.StreamSpec{
 		N: *requests, Seed: *streamSeed, Archs: mix, Aggregate: *aggregate,
-		Q1Every: *q1every, Q1Query: q1,
+		Q1Every: *q1every, Q1Query: q1, Classes: len(classes),
 	}.Requests()
 	if err != nil {
 		log.Fatal(err)
@@ -178,10 +284,24 @@ func main() {
 		// Decorrelate the arrival process from the request stream: both
 		// draw one RNG value per request, so sharing the seed would tie
 		// each request's selectivity to its interarrival gap.
-		spec = hipe.OpenLoop(reqs, mean, duration, *streamSeed^0xA5A5_5A5A_0F0F_F0F0)
+		arrivalSeed := *streamSeed ^ 0xA5A5_5A5A_0F0F_F0F0
+		if *traceMode {
+			spec = hipe.TraceLoop(reqs, hipe.TraceSpec{
+				Mean:          mean,
+				DiurnalPeriod: usToCycles(*tracePeriodUS),
+				DiurnalAmp:    *traceAmp,
+				BurstFactor:   *burst,
+				BurstOn:       usToCycles(*burstOnUS),
+				BurstOff:      usToCycles(*burstOffUS),
+			}, duration, arrivalSeed)
+		} else {
+			spec = hipe.OpenLoop(reqs, mean, duration, arrivalSeed)
+		}
 	} else {
 		spec = hipe.ClosedLoop(reqs, *concurrency)
 	}
+	spec.Classes = classes
+	spec.Shed = *shed
 
 	opt := hipe.ServeOptions{Workers: *workers}
 	if !*quiet {
@@ -194,7 +314,12 @@ func main() {
 	}
 
 	start := time.Now()
-	report, err := hipe.LoadTest(cluster, spec, opt)
+	var report *hipe.LoadReport
+	if fleet != nil {
+		report, err = fleet.LoadTest(spec, opt)
+	} else {
+		report, err = hipe.LoadTest(cluster, spec, opt)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -213,6 +338,44 @@ func main() {
 	if *jsonPath != "" {
 		writeExport(*jsonPath, report.WriteJSON)
 	}
+}
+
+// usToCycles converts simulated microseconds to cycles at the nominal
+// 2 GHz clock.
+func usToCycles(us float64) uint64 {
+	return uint64(us / 1e6 * hipe.NominalHz)
+}
+
+// parseClasses parses the -classes grammar: comma-separated
+// name:slo_µs:patience_µs triples, durations at the nominal clock.
+func parseClasses(s string) ([]hipe.ClassSpec, error) {
+	var out []hipe.ClassSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("-classes entry %q is not name:slo_µs:patience_µs", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			return nil, fmt.Errorf("-classes entry %q has no name", part)
+		}
+		slo, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil || !(slo >= 0) || math.IsInf(slo, 1) {
+			return nil, fmt.Errorf("-classes entry %q: bad SLO %q (µs, non-negative)", part, fields[1])
+		}
+		pat, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil || !(pat >= 0) || math.IsInf(pat, 1) {
+			return nil, fmt.Errorf("-classes entry %q: bad patience %q (µs, non-negative)", part, fields[2])
+		}
+		out = append(out, hipe.ClassSpec{
+			Name: name, SLOCycles: usToCycles(slo), PatienceCycles: usToCycles(pat),
+		})
+	}
+	return out, nil
 }
 
 func writeExport(path string, write func(w io.Writer) error) {

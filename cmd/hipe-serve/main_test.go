@@ -102,3 +102,67 @@ func TestAutoServeRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestFleetFlagValidation: the fleet/admission/trace flag grammar
+// fails fast with usage, before any simulation runs.
+func TestFleetFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"auto pool", []string{"-pools", "hipe,auto"}, "must pin a concrete backend"},
+		{"unknown pool", []string{"-pools", "riscv"}, `unknown pool arch "riscv"`},
+		{"fixed arch without pool", []string{"-pools", "hipe", "-archs", "x86"}, "no -pools entry pins it"},
+		{"classes without pools", []string{"-classes", "a:10:5"}, "needs -pools"},
+		{"bad class triple", []string{"-pools", "hipe", "-archs", "auto", "-classes", "a:10"}, "not name:slo"},
+		{"bad class slo", []string{"-pools", "hipe", "-archs", "auto", "-classes", "a:x:5"}, "bad SLO"},
+		{"negative patience", []string{"-pools", "hipe", "-archs", "auto", "-classes", "a:10:-5"}, "bad patience"},
+		{"shed without classes", []string{"-pools", "hipe", "-archs", "auto", "-shed", "-mode", "open"}, "-shed needs -classes"},
+		{"shed closed", []string{"-pools", "hipe", "-archs", "auto", "-classes", "a:10:5", "-shed", "-mode", "closed"}, "-shed needs -mode open"},
+		{"trace closed", []string{"-trace", "-mode", "closed"}, "-trace needs -mode open"},
+		{"burst without trace", []string{"-mode", "open", "-burst", "4"}, "need -trace"},
+		{"amp without period", []string{"-mode", "open", "-trace", "-trace-amp", "0.5"}, "positive -trace-period-us"},
+		{"amp at one", []string{"-mode", "open", "-trace", "-trace-period-us", "10", "-trace-amp", "1"}, "must be in [0, 1)"},
+		{"burst below one", []string{"-mode", "open", "-trace", "-burst", "0.5"}, "multiplier >= 1"},
+		{"burst without durations", []string{"-mode", "open", "-trace", "-burst", "4"}, "-burst-on-us"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestFleetLoadTestRuns drives a small replicated fleet with classes,
+// shedding and trace arrivals end to end.
+func TestFleetLoadTestRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	code, out := runBinary(t,
+		"-shards", "2", "-requests", "12", "-tuples", "1024",
+		"-mode", "open", "-qps", "400000",
+		"-pools", "hipe,x86", "-archs", "auto",
+		"-classes", "batch:400:50,rt:200:0", "-shed",
+		"-trace", "-trace-period-us", "40", "-trace-amp", "0.5",
+		"-burst", "4", "-burst-on-us", "5", "-burst-off-us", "15",
+		"-quiet")
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out)
+	}
+	for _, want := range []string{"pool 0", "pool 1", "class 0 batch", "class 1 rt", "SLO"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -100,6 +100,27 @@ type (
 	// quantiles, per-shard utilisation and per-request traces, with
 	// CSV/JSON exporters that are byte-identical at any worker count.
 	LoadReport = serve.Report
+	// Fleet is a replicated serving fleet: R replica pools over one
+	// sharded table, each pool pinned to a backend family, routed
+	// jointly by predicted critical path and queue depth.
+	Fleet = serve.Fleet
+	// TraceSpec declares a trace-driven, non-homogeneous open-loop
+	// arrival process (diurnal modulation plus bursts), seeded and
+	// exactly replayable.
+	TraceSpec = serve.TraceSpec
+	// ClassSpec declares one admission class: its latency SLO and the
+	// queueing patience admission control sheds it past.
+	ClassSpec = serve.ClassSpec
+	// ClassStats is one class's report row: counts, latency quantiles
+	// and exact SLO attainment.
+	ClassStats = serve.ClassStats
+	// PoolStats is one replica pool's report row.
+	PoolStats = serve.PoolStats
+	// PoolPick records the fleet router's (replica, backend) choice for
+	// one request.
+	PoolPick = serve.PoolPick
+	// ShedTrace records one request admission control refused.
+	ShedTrace = serve.ShedTrace
 )
 
 // Architectures. ArchAuto is the adaptive planner's sentinel: a plan
@@ -293,6 +314,22 @@ func OpenLoop(reqs []ServeRequest, meanInterarrival, duration uint64, seed uint6
 // time.
 func ClosedLoop(reqs []ServeRequest, concurrency int) LoadSpec {
 	return serve.ClosedLoop(reqs, concurrency)
+}
+
+// TraceLoop declares a trace-driven open-loop load test: reqs arrive
+// on the seeded non-homogeneous process trace describes; duration
+// (0 = unlimited) truncates the admitted stream.
+func TraceLoop(reqs []ServeRequest, trace TraceSpec, duration uint64, seed uint64) LoadSpec {
+	return serve.TraceLoop(reqs, trace, duration, seed)
+}
+
+// ServeFleet builds a replicated fleet over tab cut into nShards
+// shards, one complete replica per entry of pools, each pinned to that
+// backend family. Fleet.LoadTest honours admission classes and
+// shedding; its reports carry per-pool and per-class (SLO-attainment)
+// accounting and stay byte-identical at any worker count.
+func ServeFleet(cfg Config, tab *Lineitem, nShards int, pools []Arch) (*Fleet, error) {
+	return serve.NewFleet(cfg, tab, nShards, pools)
 }
 
 // LoadTest runs spec against the cluster and returns the report:

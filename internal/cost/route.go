@@ -20,6 +20,10 @@ type Decision struct {
 	Selectivity float64
 	// Estimates holds one estimate per candidate, in input order.
 	Estimates []Estimate
+	// QueueCycles holds the per-candidate queue-depth penalty a loaded
+	// pick (RankLoaded) added to each estimate, in candidate order. Nil
+	// for unloaded decisions, so pre-fleet exports are unchanged.
+	QueueCycles []float64 `json:",omitempty"`
 	// Chosen is the predicted-fastest candidate's plan.
 	Chosen query.Plan
 	// ChosenIndex is its position in Estimates.
@@ -87,36 +91,17 @@ func PickSharded(pr Params, shards []*db.Table, candidates []query.Plan) (*Decis
 		return nil, fmt.Errorf("cost: no candidate plans")
 	}
 	d := &Decision{ChosenIndex: -1}
-	totalRows := 0
 	caches := make([]*profileCache, len(shards))
 	for i, s := range shards {
-		totalRows += s.N
 		caches[i] = newProfileCache(s)
 	}
 	for _, p := range candidates {
-		var agg Estimate
-		var matchRows float64
-		valid := true
-		for si, s := range shards {
-			prof := caches[si].get(p)
-			est, err := EstimatePlan(pr, p, prof)
-			if err != nil {
-				valid = false
-				break
-			}
-			if est.Cycles > agg.Cycles {
-				agg.Cycles = est.Cycles
-			}
-			agg.DRAMBytes += est.DRAMBytes
-			agg.EnergyPJ += est.EnergyPJ
-			matchRows += prof.Sel * float64(s.N)
-		}
-		if !valid {
+		agg, sel, err := estimateShardedWith(pr, shards, caches, p)
+		if err != nil {
 			continue
 		}
-		agg.Plan = p
-		if d.Estimates == nil && totalRows > 0 {
-			d.Selectivity = matchRows / float64(totalRows)
+		if d.Estimates == nil {
+			d.Selectivity = sel
 		}
 		d.Estimates = append(d.Estimates, agg)
 		if d.ChosenIndex < 0 || agg.Cycles < d.Estimates[d.ChosenIndex].Cycles {
@@ -125,6 +110,84 @@ func PickSharded(pr Params, shards []*db.Table, candidates []query.Plan) (*Decis
 	}
 	if d.ChosenIndex < 0 {
 		return nil, fmt.Errorf("cost: no candidate plan fits the sharded workload (%d candidates rejected)", len(candidates))
+	}
+	d.Chosen = d.Estimates[d.ChosenIndex].Plan
+	return d, nil
+}
+
+// EstimateSharded aggregates one plan's estimate over a horizontally
+// partitioned table — max-shard (critical path) cycles, summed DRAM
+// traffic and energy — and the whole-table row-weighted selectivity.
+// This is the fleet router's cacheable per-(pool, plan) input: it is a
+// pure function of (shards, plan), so the serving layer computes it
+// once per distinct plan and re-ranks per request as queues move.
+func EstimateSharded(pr Params, shards []*db.Table, p query.Plan) (Estimate, float64, error) {
+	if len(shards) == 0 {
+		return Estimate{}, 0, fmt.Errorf("cost: no shards")
+	}
+	caches := make([]*profileCache, len(shards))
+	for i, s := range shards {
+		caches[i] = newProfileCache(s)
+	}
+	return estimateShardedWith(pr, shards, caches, p)
+}
+
+// estimateShardedWith is EstimateSharded over caller-owned profile
+// caches, so PickSharded shares profiles across candidates that differ
+// only in chunk granularity.
+func estimateShardedWith(pr Params, shards []*db.Table, caches []*profileCache, p query.Plan) (Estimate, float64, error) {
+	var agg Estimate
+	var matchRows float64
+	totalRows := 0
+	for si, s := range shards {
+		totalRows += s.N
+		prof := caches[si].get(p)
+		est, err := EstimatePlan(pr, p, prof)
+		if err != nil {
+			return Estimate{}, 0, err
+		}
+		if est.Cycles > agg.Cycles {
+			agg.Cycles = est.Cycles
+		}
+		agg.DRAMBytes += est.DRAMBytes
+		agg.EnergyPJ += est.EnergyPJ
+		matchRows += prof.Sel * float64(s.N)
+	}
+	agg.Plan = p
+	sel := 0.0
+	if totalRows > 0 {
+		sel = matchRows / float64(totalRows)
+	}
+	return agg, sel, nil
+}
+
+// RankLoaded is the fleet router's joint (replica, backend) pick: it
+// ranks pre-computed candidate estimates by predicted critical path
+// PLUS the candidate replica's current virtual-time queue depth, so an
+// idle slower pool can beat a backed-up faster one. Estimates keep the
+// pure model predictions; the queue penalties are recorded on the
+// decision (QueueCycles) so every pick stays auditable. Ties break
+// toward the earlier candidate — deterministic for a fixed candidate
+// order at any worker count.
+func RankLoaded(sel float64, ests []Estimate, queue []float64) (*Decision, error) {
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("cost: no candidate estimates")
+	}
+	if len(queue) != len(ests) {
+		return nil, fmt.Errorf("cost: %d queue penalties for %d candidates", len(queue), len(ests))
+	}
+	d := &Decision{
+		Selectivity: sel,
+		Estimates:   append([]Estimate(nil), ests...),
+		QueueCycles: append([]float64(nil), queue...),
+		ChosenIndex: 0,
+	}
+	best := ests[0].Cycles + queue[0]
+	for i := 1; i < len(ests); i++ {
+		if score := ests[i].Cycles + queue[i]; score < best {
+			best = score
+			d.ChosenIndex = i
+		}
 	}
 	d.Chosen = d.Estimates[d.ChosenIndex].Plan
 	return d, nil

@@ -1,0 +1,98 @@
+package cost_test
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/cost"
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+func bestPlan(a query.Arch) query.Plan {
+	p := query.Plan{Arch: a, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 32, Q: db.DefaultQ06()}
+	if a == query.X86 {
+		p.OpSize, p.Unroll = 64, 8
+	}
+	return p
+}
+
+// TestEstimateShardedMatchesPickSharded pins the refactor: a
+// single-candidate PickSharded and EstimateSharded must agree exactly
+// on cycles, traffic, energy and selectivity.
+func TestEstimateShardedMatchesPickSharded(t *testing.T) {
+	pr := cost.DefaultParams()
+	tab := db.GenerateMemo(1024, 42)
+	shards, err := db.Partition(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE} {
+		p := bestPlan(a)
+		d, err := cost.PickSharded(pr, shards, []query.Plan{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, sel, err := cost.EstimateSharded(pr, shards, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != d.Estimates[0] || sel != d.Selectivity {
+			t.Fatalf("%s: EstimateSharded %+v sel %g, PickSharded %+v sel %g",
+				a, est, sel, d.Estimates[0], d.Selectivity)
+		}
+	}
+	if _, _, err := cost.EstimateSharded(pr, nil, bestPlan(query.HIPE)); err == nil {
+		t.Fatal("no shards accepted")
+	}
+	if _, _, err := cost.EstimateSharded(pr, shards, query.Plan{Arch: query.X86, Strategy: query.ColumnAtATime, OpSize: 256, Unroll: 8}); err == nil {
+		t.Fatal("invalid plan estimated")
+	}
+}
+
+// TestRankLoadedQueueAwareness: with equal queue depths the fastest
+// estimate wins; a big enough backlog on the fast candidate flips the
+// pick to the idle slower one; ties break toward the earlier candidate.
+func TestRankLoadedQueueAwareness(t *testing.T) {
+	ests := []cost.Estimate{
+		{Plan: bestPlan(query.HIPE), Cycles: 1000},
+		{Plan: bestPlan(query.X86), Cycles: 3000},
+	}
+	d, err := cost.RankLoaded(0.02, ests, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 0 || d.Chosen.Arch != query.HIPE {
+		t.Fatalf("idle pick %d (%s), want the fast candidate", d.ChosenIndex, d.Chosen.Arch)
+	}
+	d, err = cost.RankLoaded(0.02, ests, []float64{5000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 || d.Chosen.Arch != query.X86 {
+		t.Fatalf("loaded pick %d (%s), want the idle candidate", d.ChosenIndex, d.Chosen.Arch)
+	}
+	if d.QueueCycles[0] != 5000 || d.QueueCycles[1] != 0 {
+		t.Fatalf("queue penalties not recorded: %v", d.QueueCycles)
+	}
+	if d.Estimates[0].Cycles != 1000 {
+		t.Fatal("estimates must stay the pure model predictions")
+	}
+	// Exact tie: earlier candidate wins.
+	d, err = cost.RankLoaded(0.02, ests, []float64{2000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 0 {
+		t.Fatalf("tie broke to %d, want 0", d.ChosenIndex)
+	}
+}
+
+func TestRankLoadedRejectsMalformedInput(t *testing.T) {
+	if _, err := cost.RankLoaded(0, nil, nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+	ests := []cost.Estimate{{Plan: bestPlan(query.HIPE), Cycles: 1}}
+	if _, err := cost.RankLoaded(0, ests, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched queue slice accepted")
+	}
+}

@@ -1,0 +1,105 @@
+// Admission control: request classes, per-class latency SLOs, and the
+// shed policy a replicated fleet applies under overload. Classes are
+// declared on the load spec; requests carry an index into that table.
+// Shedding is a pure function of the virtual-time queue state, so it is
+// exactly as deterministic — and as worker-count-independent — as the
+// rest of the timeline replay.
+package serve
+
+import "github.com/hipe-sim/hipe/internal/stats"
+
+// ClassSpec declares one admission class.
+type ClassSpec struct {
+	// Name labels the class in reports ("batch", "interactive", ...).
+	Name string
+	// SLOCycles is the class's latency objective in simulated cycles
+	// (inclusive). Zero means the class has no SLO; its attainment
+	// column reports blank.
+	SLOCycles uint64
+	// PatienceCycles bounds the queueing delay the class tolerates when
+	// shedding is enabled: a request is shed when even the least-loaded
+	// candidate replica's backlog exceeds this. Zero means the class is
+	// never shed — give the highest class zero patience bound and
+	// overload sheds lowest-patience (typically lowest-value) work
+	// first.
+	PatienceCycles uint64
+}
+
+// ClassStats is one class's row in a fleet report: offered/shed/done
+// counts, latency quantiles, and exact SLO attainment.
+type ClassStats struct {
+	// Class is the index into the load spec's class table.
+	Class int
+	// Name echoes the class spec.
+	Name string
+	// SLOCycles echoes the class's latency objective (0 = none).
+	SLOCycles uint64 `json:",omitempty"`
+	// PatienceCycles echoes the class's shed bound (0 = never shed).
+	PatienceCycles uint64 `json:",omitempty"`
+	// Offered counts the class's arrivals; Shed the requests admission
+	// control refused; Completed the requests served.
+	Offered   int
+	Shed      int `json:",omitempty"`
+	Completed int
+	// Attained counts completed requests inside the SLO; Attainment is
+	// the exact fraction Attained/Completed (0 when no SLO or empty).
+	Attained   int     `json:",omitempty"`
+	Attainment float64 `json:",omitempty"`
+	// Latency quantiles over the class's completed requests, in cycles.
+	LatencyP50 uint64
+	LatencyP95 uint64
+	LatencyP99 uint64
+}
+
+// ShedTrace records one shed request for auditability.
+type ShedTrace struct {
+	// Index is the request's position in the admitted stream.
+	Index int
+	// Class is its admission class.
+	Class int
+	// Arrival is the virtual cycle it arrived (and was refused) at.
+	Arrival uint64
+	// QueueCycles is the backlog on the least-loaded candidate replica
+	// at arrival — the delay bound the class's patience lost to.
+	QueueCycles uint64
+}
+
+// classAccum accumulates one class's report row during the replay.
+type classAccum struct {
+	hist stats.LogHist
+	slo  stats.Attainment
+	row  ClassStats
+}
+
+func newClassAccums(classes []ClassSpec) []classAccum {
+	out := make([]classAccum, len(classes))
+	for i, cs := range classes {
+		out[i].slo.Bound = cs.SLOCycles
+		out[i].row = ClassStats{
+			Class: i, Name: cs.Name,
+			SLOCycles: cs.SLOCycles, PatienceCycles: cs.PatienceCycles,
+		}
+	}
+	return out
+}
+
+// observe folds one completed request into the class's row.
+func (a *classAccum) observe(latency uint64, hasSLO bool) {
+	a.row.Completed++
+	a.hist.Observe(latency)
+	if hasSLO {
+		a.slo.Observe(latency)
+	}
+}
+
+// finish freezes the row.
+func (a *classAccum) finish() ClassStats {
+	a.row.LatencyP50 = a.hist.Quantile(0.50)
+	a.row.LatencyP95 = a.hist.Quantile(0.95)
+	a.row.LatencyP99 = a.hist.Quantile(0.99)
+	if a.row.SLOCycles > 0 {
+		a.row.Attained = int(a.slo.Met)
+		a.row.Attainment = a.slo.Fraction()
+	}
+	return a.row
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/db"
+)
+
+// randomLoadSpec draws one arrival-process spec — Poisson or
+// trace-driven, uniformly — with bounded parameters so virtual time
+// can never overflow.
+func randomLoadSpec(r *db.RNG) LoadSpec {
+	n := int(r.Intn(200)) + 1
+	spec := LoadSpec{
+		Requests:    make([]Request, n),
+		Mode:        Open,
+		ArrivalSeed: uint64(r.Intn(1 << 30)),
+	}
+	if r.Intn(2) == 1 {
+		spec.DurationCycles = uint64(r.Intn(50_000_000)) + 1
+	}
+	mean := uint64(r.Intn(1_000_000)) + 1
+	if r.Intn(2) == 0 {
+		spec.MeanInterarrival = mean
+		return spec
+	}
+	trace := &TraceSpec{Mean: mean}
+	if r.Intn(2) == 1 {
+		trace.DiurnalPeriod = uint64(r.Intn(10_000_000)) + 1
+		trace.DiurnalAmp = 0.99 * float64(r.Intn(100)) / 100
+	}
+	if r.Intn(2) == 1 {
+		trace.BurstFactor = 1 + float64(r.Intn(10))
+		trace.BurstOn = uint64(r.Intn(1_000_000)) + 1
+		trace.BurstOff = uint64(r.Intn(1_000_000)) + 1
+	}
+	spec.Trace = trace
+	return spec
+}
+
+// TestArrivalsProperties is the quick-check satellite: for any random
+// spec — Poisson or trace-driven — the arrival timeline is
+// non-decreasing, never exceeds the declared duration, never exceeds
+// the request count, and is byte-identical on repeated materialisation.
+func TestArrivalsProperties(t *testing.T) {
+	r := db.NewRNG(0xA11_1BA1)
+	for trial := 0; trial < 200; trial++ {
+		spec := randomLoadSpec(r)
+		if err := spec.validate(); err != nil {
+			t.Fatalf("trial %d: generator produced an invalid spec: %v", trial, err)
+		}
+		a := spec.arrivals()
+		b := spec.arrivals()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d then %d arrivals from the same spec", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: arrival %d is %d then %d — not replayable", trial, i, a[i], b[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("trial %d: arrivals decrease at %d: %d after %d", trial, i, a[i], a[i-1])
+			}
+			if spec.DurationCycles > 0 && a[i] >= spec.DurationCycles {
+				t.Fatalf("trial %d: arrival %d at %d breaches duration %d",
+					trial, i, a[i], spec.DurationCycles)
+			}
+		}
+		if len(a) > len(spec.Requests) {
+			t.Fatalf("trial %d: %d arrivals for %d requests", trial, len(a), len(spec.Requests))
+		}
+	}
+}
+
+// TestTraceSpecValidation: the trace validator rejects each malformed
+// field and the mode cross-checks hold.
+func TestTraceSpecValidation(t *testing.T) {
+	reqs := make([]Request, 4)
+	cases := []struct {
+		name  string
+		spec  LoadSpec
+		valid bool
+	}{
+		{"plain trace", TraceLoop(reqs, TraceSpec{Mean: 100}, 0, 1), true},
+		{"zero mean", TraceLoop(reqs, TraceSpec{}, 0, 1), false},
+		{"amp without period", TraceLoop(reqs, TraceSpec{Mean: 100, DiurnalAmp: 0.5}, 0, 1), false},
+		{"amp at one", TraceLoop(reqs, TraceSpec{Mean: 100, DiurnalPeriod: 10, DiurnalAmp: 1}, 0, 1), false},
+		{"negative amp", TraceLoop(reqs, TraceSpec{Mean: 100, DiurnalPeriod: 10, DiurnalAmp: -0.1}, 0, 1), false},
+		{"burst below one", TraceLoop(reqs, TraceSpec{Mean: 100, BurstFactor: 0.5, BurstOn: 1, BurstOff: 1}, 0, 1), false},
+		{"burst without durations", TraceLoop(reqs, TraceSpec{Mean: 100, BurstFactor: 2}, 0, 1), false},
+		{"full trace", TraceLoop(reqs, TraceSpec{
+			Mean: 100, DiurnalPeriod: 1000, DiurnalAmp: 0.5,
+			BurstFactor: 4, BurstOn: 50, BurstOff: 500,
+		}, 0, 1), true},
+	}
+	for _, tc := range cases {
+		err := tc.spec.validate()
+		if tc.valid && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.valid && err == nil {
+			t.Errorf("%s: malformed spec accepted", tc.name)
+		}
+	}
+	// Trace and Poisson are mutually exclusive; closed mode takes
+	// neither.
+	both := TraceLoop(reqs, TraceSpec{Mean: 100}, 0, 1)
+	both.MeanInterarrival = 100
+	if both.validate() == nil {
+		t.Error("trace plus mean interarrival accepted")
+	}
+	closed := ClosedLoop(reqs, 2)
+	closed.Trace = &TraceSpec{Mean: 100}
+	if closed.validate() == nil {
+		t.Error("closed-loop trace accepted")
+	}
+}
+
+// TestTraceArrivalsModulate: bursts and diurnal swing must actually
+// change the timeline relative to the plain process — the knobs are
+// load-bearing, not decorative.
+func TestTraceArrivalsModulate(t *testing.T) {
+	reqs := make([]Request, 64)
+	plain := TraceLoop(reqs, TraceSpec{Mean: 10_000}, 0, 21).arrivals()
+	burst := TraceLoop(reqs, TraceSpec{
+		Mean: 10_000, BurstFactor: 8, BurstOn: 100_000, BurstOff: 100_000,
+	}, 0, 21).arrivals()
+	if plain[len(plain)-1] <= burst[len(burst)-1] {
+		t.Fatalf("8x bursts did not compress the timeline: plain ends %d, burst ends %d",
+			plain[len(plain)-1], burst[len(burst)-1])
+	}
+	diurnal := TraceLoop(reqs, TraceSpec{
+		Mean: 10_000, DiurnalPeriod: 200_000, DiurnalAmp: 0.9,
+	}, 0, 21).arrivals()
+	same := true
+	for i := range plain {
+		if diurnal[i] != plain[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("diurnal modulation left the timeline untouched")
+	}
+}

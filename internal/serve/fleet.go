@@ -1,0 +1,437 @@
+// The fleet layer: R replica pools over one sharded table, each pool
+// pinned to a backend family, with a router that picks the (replica,
+// backend) pair jointly from the cost model's predicted critical path
+// plus the replica's current virtual-time backlog — and, under
+// overload, admission control that sheds low-patience classes first.
+//
+// Replicas hold the same data, so a (plan, shard) service time is
+// identical on every pool that can run the plan; the fleet therefore
+// shares the Cluster's executor pool and memoised shard simulations,
+// and only the virtual-time replay — which is single-threaded — knows
+// about pools. Reports stay byte-identical at any worker count.
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/hipe-sim/hipe/internal/cost"
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/sweep"
+)
+
+// Fleet is a replicated serving fleet: the embedded Cluster's shards,
+// replicated across len(pools) complete replicas, each pinned to one
+// backend family. Immutable after NewFleet and safe for concurrent
+// Query calls.
+type Fleet struct {
+	*Cluster
+	pools []query.Arch
+
+	// ests caches the sharded cost estimate per distinct plan — the
+	// router's per-candidate input, a pure function of (shards, plan).
+	estMu sync.Mutex
+	ests  map[query.Plan]poolEstimate
+}
+
+type poolEstimate struct {
+	est cost.Estimate
+	sel float64
+}
+
+// NewFleet builds a fleet over tab cut into nShards shards, with one
+// complete replica per entry of pools, pinned to that architecture.
+// Pools must name registered concrete backends — ArchAuto names no
+// backend family to pin a replica to and is rejected.
+func NewFleet(cfg sweep.Config, tab *db.Table, nShards int, pools []query.Arch) (*Fleet, error) {
+	if len(pools) == 0 {
+		return nil, fmt.Errorf("serve: a fleet needs at least one replica pool")
+	}
+	for i, a := range pools {
+		if a == query.ArchAuto {
+			return nil, fmt.Errorf("serve: pool %d: replica pools must pin a concrete backend, not auto", i)
+		}
+		if _, ok := query.BackendFor(a); !ok {
+			return nil, fmt.Errorf("serve: pool %d: architecture %d is not a registered backend", i, a)
+		}
+	}
+	c, err := New(cfg, tab, nShards)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{
+		Cluster: c,
+		pools:   append([]query.Arch(nil), pools...),
+		ests:    make(map[query.Plan]poolEstimate),
+	}, nil
+}
+
+// Pools reports the replica pools' pinned architectures, in pool order.
+func (f *Fleet) Pools() []query.Arch { return append([]query.Arch(nil), f.pools...) }
+
+// fleetCand is one routable (replica pool, plan) pair with its cached
+// cost estimate.
+type fleetCand struct {
+	pool int
+	plan query.Plan
+	est  cost.Estimate
+	sel  float64
+}
+
+// estimate returns the sharded estimate for one plan, cached.
+func (f *Fleet) estimate(p query.Plan) (cost.Estimate, float64, error) {
+	f.estMu.Lock()
+	e, ok := f.ests[p]
+	f.estMu.Unlock()
+	if ok {
+		return e.est, e.sel, nil
+	}
+	est, sel, err := cost.EstimateSharded(f.params, f.shards, p)
+	if err != nil {
+		return cost.Estimate{}, 0, err
+	}
+	f.estMu.Lock()
+	f.ests[p] = poolEstimate{est: est, sel: sel}
+	f.estMu.Unlock()
+	return est, sel, nil
+}
+
+// candidatesFor expands one request into its routable (pool, plan)
+// candidates, in pool order. An ArchAuto request is a candidate on
+// every pool (each pool's pinned backend's best serving shape over the
+// request's predicate); a fixed-architecture request only on pools
+// pinned to that architecture. Pools whose plan the envelope rejects
+// are skipped; an error is returned only when no pool survives.
+func (f *Fleet) candidatesFor(req Request) ([]fleetCand, error) {
+	maxRows := f.maxShardRows()
+	var cands []fleetCand
+	for pi, arch := range f.pools {
+		var p query.Plan
+		if req.Plan.Auto() {
+			b, _ := query.BackendFor(arch)
+			if req.Plan.Kind == query.Q1Agg {
+				p = DefaultQ1Plan(arch, req.Plan.Q1)
+			} else {
+				p = DefaultPlan(arch, req.Plan.Q)
+				p.Aggregate = req.Plan.Aggregate && b.Caps().Aggregate
+			}
+		} else {
+			if req.Plan.Arch != arch {
+				continue
+			}
+			p = req.Plan
+		}
+		if p.ValidateFor(maxRows) != nil {
+			continue
+		}
+		est, sel, err := f.estimate(p)
+		if err != nil {
+			continue
+		}
+		cands = append(cands, fleetCand{pool: pi, plan: p, est: est, sel: sel})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("serve: no replica pool can serve %s", req.Plan)
+	}
+	return cands, nil
+}
+
+// Admit validates a request against the fleet: its class must be
+// non-negative and at least one replica pool must be able to execute
+// it.
+func (f *Fleet) Admit(req Request) error {
+	if req.Class < 0 {
+		return fmt.Errorf("serve: negative admission class %d", req.Class)
+	}
+	_, err := f.candidatesFor(req)
+	return err
+}
+
+// route ranks one request's candidates under the given queue penalties
+// and returns the decision plus the chosen candidate.
+func (f *Fleet) route(cands []fleetCand, queue []float64) (*cost.Decision, fleetCand, error) {
+	ests := make([]cost.Estimate, len(cands))
+	for i, c := range cands {
+		ests[i] = c.est
+	}
+	d, err := cost.RankLoaded(cands[0].sel, ests, queue)
+	if err != nil {
+		return nil, fleetCand{}, err
+	}
+	return d, cands[d.ChosenIndex], nil
+}
+
+// Query routes one request across the fleet's replica pools — on an
+// idle fleet the queues are zero, so the pick is the predicted-fastest
+// (replica, backend) pair — executes it on the shared shard engines,
+// and returns the verified answer with the routing decision and pool
+// pick attached. Safe for concurrent callers.
+func (f *Fleet) Query(req Request, opt Options) (*Response, error) {
+	if err := f.Admit(req); err != nil {
+		return nil, err
+	}
+	cands, err := f.candidatesFor(req)
+	if err != nil {
+		return nil, err
+	}
+	d, chosen, err := f.route(cands, make([]float64, len(cands)))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.Cluster.Query(Request{Plan: chosen.plan, Class: req.Class}, opt)
+	if err != nil {
+		return nil, err
+	}
+	resp.Routing = d
+	resp.Pool = &PoolPick{
+		Pool: chosen.pool, Arch: f.pools[chosen.pool].String(),
+		EstCycles: chosen.est.Cycles,
+	}
+	return resp, nil
+}
+
+// LoadTest runs the load spec against the fleet. The compute stage is
+// shared with the cluster path: every distinct candidate plan's (plan,
+// shard) service times are computed once on the bounded executor pool
+// and each plan's merged answer is verified against the unsharded
+// reference evaluator. The serving timeline is then replayed
+// single-threaded in virtual time — per arrival, the router ranks the
+// request's (pool, plan) candidates by predicted critical path plus
+// the candidate replica's current backlog; admission control (Shed)
+// refuses requests whose class's patience even the least-loaded
+// candidate exceeds; the pick dispatches FIFO onto the chosen
+// replica's shard queues. Reports are byte-identical at any worker
+// count.
+func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	classes := spec.Classes
+	if len(classes) == 0 {
+		classes = []ClassSpec{{Name: "default"}}
+	}
+	cands := make([][]fleetCand, len(spec.Requests))
+	for i, req := range spec.Requests {
+		if req.Class < 0 || req.Class >= len(classes) {
+			return nil, fmt.Errorf("serve: request %d: class %d outside the %d declared classes",
+				i, req.Class, len(classes))
+		}
+		cs, err := f.candidatesFor(req)
+		if err != nil {
+			return nil, fmt.Errorf("serve: request %d: %w", i, err)
+		}
+		cands[i] = cs
+	}
+
+	// Open loop fixes the issued set (and arrival times) up front;
+	// closed loop issues every request.
+	reqs := spec.Requests
+	offered := len(reqs)
+	var arrivalTimes []uint64
+	if spec.Mode == Open {
+		arrivalTimes = spec.arrivals()
+		reqs = reqs[:len(arrivalTimes)]
+		cands = cands[:len(arrivalTimes)]
+		if len(reqs) == 0 {
+			return nil, fmt.Errorf("serve: no request arrives inside %d cycles", spec.DurationCycles)
+		}
+	}
+
+	// Compute stage: every distinct candidate plan, first-occurrence
+	// order, each (plan, shard) simulated exactly once; merge + verify
+	// once per plan.
+	planIndex := make(map[query.Plan]int)
+	var plans []query.Plan
+	for _, cs := range cands {
+		for _, c := range cs {
+			if _, ok := planIndex[c.plan]; !ok {
+				planIndex[c.plan] = len(plans)
+				plans = append(plans, c.plan)
+			}
+		}
+	}
+	byPlan, err := f.runPlanSet(plans, opt)
+	if err != nil {
+		return nil, err
+	}
+	planResp := make([]*Response, len(plans))
+	for pi, p := range plans {
+		resp, err := f.merge(Request{Plan: p}, byPlan[pi])
+		if err != nil {
+			return nil, fmt.Errorf("serve: plan %s: %w", p, err)
+		}
+		planResp[pi] = resp
+	}
+
+	// Virtual-time replay, single-threaded.
+	r := &Report{
+		Mode:    spec.Mode.String(),
+		Shards:  len(f.shards),
+		Rows:    f.whole.N,
+		Offered: offered,
+		Pools:   make([]PoolStats, len(f.pools)),
+	}
+	for i, a := range f.pools {
+		r.Pools[i] = PoolStats{Pool: i, Arch: a.String()}
+	}
+	rp := &fleetReplay{
+		fleet:     f,
+		report:    r,
+		classes:   classes,
+		accums:    newClassAccums(classes),
+		shed:      spec.Shed,
+		planIndex: planIndex,
+		byPlan:    byPlan,
+		planResp:  planResp,
+		poolFree:  make([][]uint64, len(f.pools)),
+	}
+	for i := range rp.poolFree {
+		rp.poolFree[i] = make([]uint64, len(f.shards))
+	}
+	switch spec.Mode {
+	case Open:
+		for i := range reqs {
+			if _, err := rp.dispatch(i, -1, arrivalTimes[i], reqs[i], cands[i]); err != nil {
+				return nil, err
+			}
+		}
+	case Closed:
+		concurrency := spec.Concurrency
+		if concurrency > len(reqs) {
+			concurrency = len(reqs)
+		}
+		clientFree := make([]uint64, concurrency)
+		for i := range reqs {
+			// The next issue slot is the earliest-free client; ties break
+			// on client index, keeping the replay fully deterministic.
+			client := 0
+			for cl := 1; cl < concurrency; cl++ {
+				if clientFree[cl] < clientFree[client] {
+					client = cl
+				}
+			}
+			tr, err := rp.dispatch(i, client, clientFree[client], reqs[i], cands[i])
+			if err != nil {
+				return nil, err
+			}
+			clientFree[client] = tr.Completion
+		}
+		r.Concurrency = concurrency
+	}
+	r.finish()
+	r.finishFleet(rp.accums)
+	return r, nil
+}
+
+// fleetReplay is the single-threaded virtual-time state of one fleet
+// load test.
+type fleetReplay struct {
+	fleet     *Fleet
+	report    *Report
+	classes   []ClassSpec
+	accums    []classAccum
+	shed      bool
+	planIndex map[query.Plan]int
+	byPlan    [][]ShardPartial
+	planResp  []*Response
+	// poolFree is each replica pool's per-shard free time, in virtual
+	// cycles — the router's queue-depth signal and the FIFO state.
+	poolFree [][]uint64
+}
+
+// dispatch routes and queues one arrival. A shed request produces a
+// zero trace (and false-equivalent Completion) but is fully accounted
+// in the report; a served request's trace lands in report.Requests.
+func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, cands []fleetCand) (RequestTrace, error) {
+	// Each candidate's queue penalty is the critical-path backlog its
+	// replica would impose on this arrival: the worst per-shard excess
+	// of free time over the arrival cycle.
+	queue := make([]float64, len(cands))
+	var minBacklog uint64
+	for ci, c := range cands {
+		var backlog uint64
+		for _, free := range rp.poolFree[c.pool] {
+			if free > arrival && free-arrival > backlog {
+				backlog = free - arrival
+			}
+		}
+		queue[ci] = float64(backlog)
+		if ci == 0 || backlog < minBacklog {
+			minBacklog = backlog
+		}
+	}
+	acc := &rp.accums[req.Class]
+	acc.row.Offered++
+	spec := rp.classes[req.Class]
+	if rp.shed && spec.PatienceCycles > 0 && minBacklog > spec.PatienceCycles {
+		acc.row.Shed++
+		rp.report.Shed++
+		rp.report.ShedRequests = append(rp.report.ShedRequests, ShedTrace{
+			Index: index, Class: req.Class, Arrival: arrival, QueueCycles: minBacklog,
+		})
+		return RequestTrace{}, nil
+	}
+
+	d, chosen, err := rp.fleet.route(cands, queue)
+	if err != nil {
+		return RequestTrace{}, fmt.Errorf("serve: request %d: %w", index, err)
+	}
+	pi := rp.planIndex[chosen.plan]
+	parts := rp.byPlan[pi]
+	free := rp.poolFree[chosen.pool]
+	pool := &rp.report.Pools[chosen.pool]
+	var completion uint64
+	for s, p := range parts {
+		start := arrival
+		if free[s] > start {
+			start = free[s]
+		}
+		end := start + p.Cycles
+		free[s] = end
+		pool.Tasks++
+		pool.BusyCycles += p.Cycles
+		if end > completion {
+			completion = end
+		}
+	}
+	pool.Requests++
+	resp := rp.planResp[pi]
+	latency := completion - arrival
+	acc.observe(latency, spec.SLOCycles > 0)
+	tr := RequestTrace{
+		Index:   index,
+		Client:  client,
+		Plan:    chosen.plan,
+		Routing: d,
+		Class:   req.Class,
+		Pool: &PoolPick{
+			Pool: chosen.pool, Arch: rp.fleet.pools[chosen.pool].String(),
+			QueueCycles: uint64(queue[d.ChosenIndex]), EstCycles: chosen.est.Cycles,
+		},
+		Arrival:    arrival,
+		Completion: completion,
+		Latency:    latency,
+		Service:    resp.Cycles,
+		Work:       resp.WorkCycles,
+		Matches:    resp.Matches,
+		Revenue:    resp.Revenue,
+	}
+	rp.report.Requests = append(rp.report.Requests, tr)
+	return tr, nil
+}
+
+// finishFleet derives the fleet-only aggregates: per-class rows and
+// per-pool utilisation (each pool runs len(shards) engines, so its
+// denominator is makespan x shards).
+func (r *Report) finishFleet(accums []classAccum) {
+	for i := range accums {
+		r.Classes = append(r.Classes, accums[i].finish())
+	}
+	if r.MakespanCycles > 0 && r.Shards > 0 {
+		denom := float64(r.MakespanCycles) * float64(r.Shards)
+		for i := range r.Pools {
+			r.Pools[i].Utilisation = float64(r.Pools[i].BusyCycles) / denom
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+// FuzzStreamSpecRequests is the satellite fuzz target: Requests() must
+// reject any malformed spec with an error — never a panic — and every
+// accepted spec must materialise deterministically with its declared
+// shape. Run with `go test -fuzz FuzzStreamSpecRequests ./internal/serve/`;
+// the committed corpus under testdata/fuzz seeds the interesting
+// regions (and runs as plain tests on every `go test`).
+func FuzzStreamSpecRequests(f *testing.F) {
+	// Seeds: the happy path, each rejection branch, and the boundary
+	// values overflow-prone arithmetic sees.
+	f.Add(8, uint64(7), 255, 2, int32(10), int32(50), true, 3, int32(2400), 2)
+	f.Add(0, uint64(0), 0, 0, int32(0), int32(0), false, 0, int32(0), 0)
+	f.Add(-5, uint64(1), 1, 1, int32(-3), int32(0), false, -1, int32(-9), -2)
+	f.Add(1, uint64(^uint64(0)), 0x42, 1, int32(1<<30), int32(1), true, 1, int32(1<<30), 1)
+	f.Add(64, uint64(42), 3, 2, int32(24), int32(24), false, 2, int32(0), 8)
+
+	f.Fuzz(func(t *testing.T, n int, seed uint64, rawArch int,
+		nQty int, qtyA, qtyB int32, aggregate bool, q1every int, q1cut int32, classes int) {
+		spec := StreamSpec{
+			N:         n,
+			Seed:      seed,
+			Archs:     []query.Arch{query.Arch(rawArch)},
+			Q1Every:   q1every,
+			Q1Query:   db.Q01{ShipCut: q1cut},
+			Classes:   classes,
+			Aggregate: aggregate,
+		}
+		if rawArch < 0 {
+			spec.Archs = nil // default mix
+		}
+		switch {
+		case nQty <= 0:
+			// default quantity bounds
+		case nQty == 1:
+			spec.QtyHi = []int32{qtyA}
+		default:
+			spec.QtyHi = []int32{qtyA, qtyB}
+		}
+		reqs, err := spec.Requests()
+		if err != nil {
+			// Rejection is the contract for malformed specs; the only
+			// failure mode is a panic, which the harness catches.
+			return
+		}
+		if len(reqs) != n {
+			t.Fatalf("accepted spec produced %d requests, want %d", len(reqs), n)
+		}
+		for i, r := range reqs {
+			if r.Class < 0 || (classes > 1 && r.Class >= classes) {
+				t.Fatalf("request %d: class %d outside [0, %d)", i, r.Class, classes)
+			}
+			if classes <= 1 && r.Class != 0 {
+				t.Fatalf("request %d: classless spec drew class %d", i, r.Class)
+			}
+		}
+		again, err := spec.Requests()
+		if err != nil {
+			t.Fatalf("second materialisation failed: %v", err)
+		}
+		for i := range reqs {
+			if reqs[i] != again[i] {
+				t.Fatalf("request %d differs across identical materialisations", i)
+			}
+		}
+	})
+}

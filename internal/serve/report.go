@@ -31,8 +31,15 @@ type RequestTrace struct {
 	// Routing is the planner's decision for an ArchAuto request:
 	// profiled selectivity and every candidate backend's estimate. Nil
 	// for fixed-architecture requests (and JSON-omitted, so fixed-arch
-	// reports are unchanged).
+	// reports are unchanged). Under a fleet it is the router's loaded
+	// decision — every candidate (replica, backend) estimate plus the
+	// queue penalties in effect at arrival.
 	Routing *cost.Decision `json:",omitempty"`
+	// Class is the request's admission class (0 when classes are
+	// unused); Pool records the fleet router's pick. Both are zero /
+	// nil — and JSON-omitted — on single-replica cluster reports.
+	Class int       `json:",omitempty"`
+	Pool  *PoolPick `json:",omitempty"`
 	// Arrival is when the request entered the system.
 	Arrival uint64
 	// Completion is when the slowest shard task finished.
@@ -56,6 +63,36 @@ type ShardStats struct {
 	// BusyCycles is the total simulated service time.
 	BusyCycles uint64
 	// Utilisation is BusyCycles over the test makespan.
+	Utilisation float64
+}
+
+// PoolPick records the fleet router's choice for one request.
+type PoolPick struct {
+	// Pool is the chosen replica pool's index; Arch names its pinned
+	// backend family.
+	Pool int
+	Arch string
+	// QueueCycles is the chosen replica's backlog (critical-path
+	// queueing delay) at arrival.
+	QueueCycles uint64
+	// EstCycles is the cost model's predicted critical path on the
+	// chosen (replica, backend) pair.
+	EstCycles float64
+}
+
+// PoolStats is one replica pool's load accounting over a fleet test.
+type PoolStats struct {
+	// Pool is the pool index; Arch names its pinned backend family.
+	Pool int
+	Arch string
+	// Requests counts the requests routed to the pool; Tasks its shard
+	// tasks; BusyCycles the total simulated service time across its
+	// shards.
+	Requests   int
+	Tasks      int
+	BusyCycles uint64
+	// Utilisation is BusyCycles over (makespan x shards) — the pool's
+	// mean per-shard busy fraction.
 	Utilisation float64
 }
 
@@ -84,7 +121,21 @@ type Report struct {
 	LatencyMean float64
 	LatencyMax  uint64
 	// PerShard is the per-shard utilisation accounting, in shard order.
-	PerShard []ShardStats
+	// Fleet reports leave it nil (per-shard accounting lives under
+	// Pools) — omitted from JSON so either shape stays clean.
+	PerShard []ShardStats `json:",omitempty"`
+	// Fleet-only fields, all empty — and JSON-omitted — on
+	// single-replica cluster reports.
+	// Pools is the per-replica-pool accounting, in pool order.
+	Pools []PoolStats `json:",omitempty"`
+	// Classes is the per-admission-class accounting — offered / shed /
+	// completed counts, latency quantiles and exact SLO attainment — in
+	// class order.
+	Classes []ClassStats `json:",omitempty"`
+	// Shed is the total request count admission control refused;
+	// ShedRequests are their traces, in arrival order.
+	Shed         int         `json:",omitempty"`
+	ShedRequests []ShedTrace `json:",omitempty"`
 	// Requests are the per-request traces, in issue order.
 	Requests []RequestTrace
 }
@@ -112,6 +163,14 @@ func RoutingCSVHeader() []string {
 	return cols
 }
 
+// FleetCSVHeader returns the columns appended for fleet reports: the
+// request's class, the routed (pool, backend) pair, the backlog the
+// pick absorbed, and the class's SLO bound plus whether this request
+// met it.
+func FleetCSVHeader() []string {
+	return []string{"class", "pool", "pool_arch", "queue_cycles", "slo_cycles", "slo_met"}
+}
+
 // HasRouting reports whether any request in the report was routed by
 // the adaptive planner.
 func (r *Report) HasRouting() bool {
@@ -123,16 +182,30 @@ func (r *Report) HasRouting() bool {
 	return false
 }
 
+// HasFleet reports whether the report came from a replicated fleet.
+func (r *Report) HasFleet() bool {
+	return len(r.Pools) > 0
+}
+
 // WriteCSV writes the per-request traces as CSV with CSVHeader's
-// columns (plus RoutingCSVHeader when the report contains routed
-// requests), in request-index order.
+// columns (plus FleetCSVHeader for fleet reports, plus
+// RoutingCSVHeader when the report contains routed requests), in
+// request-index order. Pre-fleet, fixed-architecture exports stay
+// byte-identical to their original form.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := r.HasRouting()
+	fleet := r.HasFleet()
 	header := CSVHeader
 	backends := query.Backends()
-	if routed {
-		header = append(append([]string{}, CSVHeader...), RoutingCSVHeader()...)
+	if fleet || routed {
+		header = append([]string{}, CSVHeader...)
+		if fleet {
+			header = append(header, FleetCSVHeader()...)
+		}
+		if routed {
+			header = append(header, RoutingCSVHeader()...)
+		}
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -168,6 +241,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 			strconv.Itoa(tr.Matches),
 			strconv.FormatInt(tr.Revenue, 10),
 		}
+		if fleet {
+			rec = append(rec, r.fleetColumns(&tr)...)
+		}
 		if routed {
 			rec = append(rec, routingColumns(tr.Routing, backends)...)
 		}
@@ -177,6 +253,25 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// fleetColumns renders one trace's fleet cells. The slo_met cell is
+// blank for classes without an SLO, "true"/"false" otherwise.
+func (r *Report) fleetColumns(tr *RequestTrace) []string {
+	pool, arch, queue := "", "", ""
+	if tr.Pool != nil {
+		pool = strconv.Itoa(tr.Pool.Pool)
+		arch = tr.Pool.Arch
+		queue = strconv.FormatUint(tr.Pool.QueueCycles, 10)
+	}
+	slo, met := "", ""
+	if tr.Class >= 0 && tr.Class < len(r.Classes) {
+		if bound := r.Classes[tr.Class].SLOCycles; bound > 0 {
+			slo = strconv.FormatUint(bound, 10)
+			met = strconv.FormatBool(tr.Latency <= bound)
+		}
+	}
+	return []string{strconv.Itoa(tr.Class), pool, arch, queue, slo, met}
 }
 
 // routingColumns renders one trace's routing-decision cells: empty
@@ -242,9 +337,25 @@ func (r *Report) Summary() string {
 		r.LatencyP50, r.LatencyP95, r.LatencyP99,
 		micros(r.LatencyP50), micros(r.LatencyP95), micros(r.LatencyP99))
 	fmt.Fprintf(&b, "latency mean/max     %.0f / %d cycles\n", r.LatencyMean, r.LatencyMax)
+	if r.Shed > 0 {
+		fmt.Fprintf(&b, "shed                 %d requests refused by admission control\n", r.Shed)
+	}
 	for _, s := range r.PerShard {
 		fmt.Fprintf(&b, "shard %-3d            %4d tasks %12d busy cycles %6.1f%% utilised\n",
 			s.Shard, s.Tasks, s.BusyCycles, 100*s.Utilisation)
+	}
+	for _, p := range r.Pools {
+		fmt.Fprintf(&b, "pool %-2d %-5s        %4d reqs %5d tasks %12d busy cycles %6.1f%% utilised\n",
+			p.Pool, p.Arch, p.Requests, p.Tasks, p.BusyCycles, 100*p.Utilisation)
+	}
+	for _, cs := range r.Classes {
+		att := "    —"
+		if cs.SLOCycles > 0 {
+			att = fmt.Sprintf("%5.1f%%", 100*cs.Attainment)
+		}
+		fmt.Fprintf(&b, "class %d %-12s %4d/%d done, shed %d, p50/p95/p99 %d/%d/%d cycles, SLO %s\n",
+			cs.Class, cs.Name, cs.Completed, cs.Offered, cs.Shed,
+			cs.LatencyP50, cs.LatencyP95, cs.LatencyP99, att)
 	}
 	return b.String()
 }

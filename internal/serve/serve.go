@@ -50,6 +50,11 @@ const NominalHz = 2e9
 // served table (internal/cost).
 type Request struct {
 	Plan query.Plan
+	// Class is the request's admission class: an index into the load
+	// spec's declared ClassSpec table (0, the zero value, when classes
+	// are unused). Under fleet admission control, overload sheds
+	// lower-class work first and SLO attainment is reported per class.
+	Class int `json:",omitempty"`
 }
 
 // ArchAuto re-exports the planner sentinel for serving callers.
@@ -128,6 +133,9 @@ type Response struct {
 	// Nil for fixed-architecture requests, so fixed-arch exports are
 	// unchanged.
 	Routing *cost.Decision `json:",omitempty"`
+	// Pool records the fleet router's (replica, backend) pick for
+	// requests served through a Fleet. Nil on single-replica clusters.
+	Pool *PoolPick `json:",omitempty"`
 }
 
 // Options tune cluster execution.
@@ -307,7 +315,8 @@ func (c *Cluster) resolve(req Request) (Request, *cost.Decision, error) {
 		c.routes[key] = d
 		c.mu.Unlock()
 	}
-	return Request{Plan: d.Chosen}, d, nil
+	req.Plan = d.Chosen
+	return req, d, nil
 }
 
 // reference returns the whole-table oracle for predicate q, computed

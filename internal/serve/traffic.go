@@ -48,9 +48,17 @@ type StreamSpec struct {
 	Q1Every int
 	// Q1Query is the aggregation predicate (zero value: DefaultQ01).
 	Q1Query db.Q01
+	// Classes, when above 1, draws each request's admission class
+	// uniformly from [0, Classes). The draw uses its own seeded
+	// generator, so enabling classes never disturbs which predicates or
+	// architectures the stream contains — streams stay bit-identical to
+	// their classless form in every other field.
+	Classes int
 }
 
-// Requests materialises the stream.
+// Requests materialises the stream. Malformed specs — a non-positive
+// length, a negative cadence or class count, an architecture outside
+// the backend registry — are rejected up front, never panicked on.
 func (s StreamSpec) Requests() ([]Request, error) {
 	if s.N <= 0 {
 		return nil, fmt.Errorf("serve: stream of %d requests", s.N)
@@ -58,9 +66,17 @@ func (s StreamSpec) Requests() ([]Request, error) {
 	if s.Q1Every < 0 {
 		return nil, fmt.Errorf("serve: negative Q1 cadence %d", s.Q1Every)
 	}
+	if s.Classes < 0 {
+		return nil, fmt.Errorf("serve: negative class count %d", s.Classes)
+	}
 	archs := s.Archs
 	if len(archs) == 0 {
 		archs = []query.Arch{query.X86, query.HMC, query.HIVE, query.HIPE}
+	}
+	for _, a := range archs {
+		if _, ok := query.BackendFor(a); !ok && a != query.ArchAuto {
+			return nil, fmt.Errorf("serve: architecture %d is not a registered backend", a)
+		}
 	}
 	qtys := s.QtyHi
 	if len(qtys) == 0 {
@@ -71,6 +87,10 @@ func (s StreamSpec) Requests() ([]Request, error) {
 		q1 = db.DefaultQ01()
 	}
 	r := db.NewRNG(s.Seed)
+	// Classes draw from their own decorrelated stream: the main
+	// generator's sequence — and therefore every predicate and plan in
+	// the stream — is untouched by the class knob.
+	cr := db.NewRNG(s.Seed ^ 0x0C1A_55E5_C1A5_5E50)
 	reqs := make([]Request, s.N)
 	for i := range reqs {
 		// The selectivity draw is consumed for every request — Q01
@@ -78,16 +98,20 @@ func (s StreamSpec) Requests() ([]Request, error) {
 		// changes which predicates the Q06 positions receive.
 		q := db.DefaultQ06()
 		q.QtyHi = qtys[r.Intn(int64(len(qtys)))]
+		class := 0
+		if s.Classes > 1 {
+			class = int(cr.Intn(int64(s.Classes)))
+		}
 		arch := archs[i%len(archs)]
 		if s.Q1Every > 0 && (i+1)%s.Q1Every == 0 {
-			reqs[i] = Request{Plan: DefaultQ1Plan(arch, q1)}
+			reqs[i] = Request{Plan: DefaultQ1Plan(arch, q1), Class: class}
 			continue
 		}
 		p := DefaultPlan(arch, q)
 		if s.Aggregate && (p.Arch == query.HIPE || p.Auto()) {
 			p.Aggregate = true
 		}
-		reqs[i] = Request{Plan: p}
+		reqs[i] = Request{Plan: p, Class: class}
 	}
 	return reqs, nil
 }
@@ -130,9 +154,26 @@ type LoadSpec struct {
 	// arriving inside [0, DurationCycles) of simulated time — the
 	// "duration in simulated work" bound.
 	DurationCycles uint64
+	// Trace, when set, replaces the homogeneous Poisson process with a
+	// trace-driven non-homogeneous one (diurnal rate modulation plus
+	// on/off bursts) — still seeded and exactly replayable. Mutually
+	// exclusive with MeanInterarrival; open mode only.
+	Trace *TraceSpec
 
 	// Closed-loop field: the fixed client count.
 	Concurrency int
+
+	// Fleet admission-control fields. Only Fleet.LoadTest honours them;
+	// Cluster.LoadTest rejects specs that set either.
+	// Classes declares the per-class latency SLOs and shed patience;
+	// request Class values index this table. Empty means one "default"
+	// class with no SLO.
+	Classes []ClassSpec
+	// Shed enables admission control: a request is shed — refused at
+	// arrival, not queued — when every candidate replica's backlog
+	// exceeds its class's patience. Lower-patience (lower-value) classes
+	// shed first under overload. Open mode only.
+	Shed bool
 }
 
 // OpenLoop declares an open-loop test: reqs arrive with exponential
@@ -149,6 +190,132 @@ func ClosedLoop(reqs []Request, concurrency int) LoadSpec {
 	return LoadSpec{Requests: reqs, Mode: Closed, Concurrency: concurrency}
 }
 
+// TraceLoop declares a trace-driven open-loop test: reqs arrive on the
+// non-homogeneous process trace describes, generated from seed;
+// duration (0 = unlimited) truncates the admitted stream.
+func TraceLoop(reqs []Request, trace TraceSpec, duration uint64, seed uint64) LoadSpec {
+	t := trace
+	return LoadSpec{Requests: reqs, Mode: Open, Trace: &t,
+		ArrivalSeed: seed, DurationCycles: duration}
+}
+
+// TraceSpec declares a trace-driven, non-homogeneous open-loop arrival
+// process: a Poisson process whose instantaneous rate is modulated by a
+// diurnal sinusoid and an on/off burst process. Fully seeded — equal
+// specs with equal seeds replay the identical arrival timeline, so
+// trace runs are replayable and their reports byte-comparable.
+type TraceSpec struct {
+	// Mean is the base mean interarrival gap in simulated cycles (the
+	// rate before modulation).
+	Mean uint64
+	// DiurnalPeriod is the period of the sinusoidal rate modulation, in
+	// cycles. Required when DiurnalAmp is set.
+	DiurnalPeriod uint64
+	// DiurnalAmp is the sinusoid's amplitude as a fraction of the base
+	// rate, in [0, 1): at 0.5 the instantaneous rate swings between
+	// 0.5x and 1.5x the base. Zero disables the diurnal component.
+	DiurnalAmp float64
+	// BurstFactor multiplies the rate while a burst is active (>= 1;
+	// zero or one disables bursts).
+	BurstFactor float64
+	// BurstOn and BurstOff are the mean burst / quiet segment durations
+	// in cycles, exponentially distributed. Drawn from a stream
+	// decorrelated from the arrival draws, so toggling bursts never
+	// changes which unit variates the gaps consume.
+	BurstOn  uint64
+	BurstOff uint64
+}
+
+// validate rejects malformed trace specs.
+func (t *TraceSpec) validate() error {
+	if t.Mean == 0 {
+		return fmt.Errorf("serve: trace mean interarrival must be positive")
+	}
+	if t.DiurnalAmp < 0 || t.DiurnalAmp >= 1 {
+		return fmt.Errorf("serve: diurnal amplitude %g outside [0, 1)", t.DiurnalAmp)
+	}
+	if t.DiurnalAmp > 0 && t.DiurnalPeriod == 0 {
+		return fmt.Errorf("serve: diurnal amplitude needs a period")
+	}
+	if t.bursting() {
+		if t.BurstFactor < 1 {
+			return fmt.Errorf("serve: burst factor %g below 1", t.BurstFactor)
+		}
+		if t.BurstOn == 0 || t.BurstOff == 0 {
+			return fmt.Errorf("serve: bursts need positive mean on/off durations")
+		}
+	}
+	return nil
+}
+
+// bursting reports whether the burst component is enabled.
+func (t *TraceSpec) bursting() bool {
+	return t.BurstFactor != 0 && t.BurstFactor != 1
+}
+
+// gap draws the next interarrival gap at virtual time now: an
+// exponential draw whose mean is the base mean divided by the
+// instantaneous rate multiplier (diurnal x burst).
+func (t *TraceSpec) gap(r *db.RNG, burst *burstProcess, now uint64) uint64 {
+	rate := 1.0
+	if t.DiurnalAmp > 0 {
+		phase := float64(now%t.DiurnalPeriod) / float64(t.DiurnalPeriod)
+		rate *= 1 + t.DiurnalAmp*math.Sin(2*math.Pi*phase)
+	}
+	if burst != nil && burst.active(now) {
+		rate *= t.BurstFactor
+	}
+	return expGap(r, float64(t.Mean)/rate)
+}
+
+// burstProcess is a seeded on/off renewal process: alternating quiet
+// and burst segments with exponential lengths, starting quiet.
+type burstProcess struct {
+	spec *TraceSpec
+	r    *db.RNG
+	// next is the virtual time the current segment ends; on is whether
+	// that segment is a burst.
+	next uint64
+	on   bool
+}
+
+func newBurstProcess(t *TraceSpec, seed uint64) *burstProcess {
+	b := &burstProcess{spec: t, r: db.NewRNG(seed ^ 0xB125_7B12_57B1_257B)}
+	b.next = b.segment(t.BurstOff)
+	return b
+}
+
+// segment draws one exponential segment length; the +1 keeps every
+// segment strictly advancing the clock, so active never loops forever.
+func (b *burstProcess) segment(mean uint64) uint64 {
+	return expGap(b.r, float64(mean)) + 1
+}
+
+// active reports whether time now falls inside a burst, advancing
+// segment boundaries as needed. Callers present non-decreasing times.
+func (b *burstProcess) active(now uint64) bool {
+	for now >= b.next {
+		b.on = !b.on
+		if b.on {
+			b.next += b.segment(b.spec.BurstOn)
+		} else {
+			b.next += b.segment(b.spec.BurstOff)
+		}
+	}
+	return b.on
+}
+
+// expGap draws one exponential gap with the given mean, quantised to
+// whole cycles. The unit draw is clamped away from zero so the log can
+// never overflow the cycle counter.
+func expGap(r *db.RNG, mean float64) uint64 {
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return uint64(math.Round(-math.Log(u) * mean))
+}
+
 // validate rejects malformed specs before any simulation runs.
 func (s LoadSpec) validate() error {
 	if len(s.Requests) == 0 {
@@ -156,15 +323,38 @@ func (s LoadSpec) validate() error {
 	}
 	switch s.Mode {
 	case Open:
-		if s.MeanInterarrival == 0 {
+		if s.Trace != nil {
+			if s.MeanInterarrival != 0 {
+				return fmt.Errorf("serve: trace arrivals and a mean interarrival are mutually exclusive")
+			}
+			if err := s.Trace.validate(); err != nil {
+				return err
+			}
+		} else if s.MeanInterarrival == 0 {
 			return fmt.Errorf("serve: open-loop mean interarrival must be positive")
 		}
 	case Closed:
 		if s.Concurrency <= 0 {
 			return fmt.Errorf("serve: closed-loop concurrency %d must be positive", s.Concurrency)
 		}
+		if s.Trace != nil {
+			return fmt.Errorf("serve: trace arrivals need open-loop mode")
+		}
 	default:
 		return fmt.Errorf("serve: unknown load mode %d", s.Mode)
+	}
+	if s.Shed {
+		if s.Mode != Open {
+			return fmt.Errorf("serve: shedding needs open-loop mode")
+		}
+		if len(s.Classes) == 0 {
+			return fmt.Errorf("serve: shedding needs declared admission classes")
+		}
+	}
+	for i, cs := range s.Classes {
+		if cs.Name == "" {
+			return fmt.Errorf("serve: class %d has no name", i)
+		}
 	}
 	return nil
 }
@@ -173,11 +363,20 @@ func (s LoadSpec) validate() error {
 // request count (requests past DurationCycles are dropped).
 func (s LoadSpec) arrivals() []uint64 {
 	r := db.NewRNG(s.ArrivalSeed)
+	var burst *burstProcess
+	if s.Trace != nil && s.Trace.bursting() {
+		burst = newBurstProcess(s.Trace, s.ArrivalSeed)
+	}
 	times := make([]uint64, 0, len(s.Requests))
 	var now uint64
 	for range s.Requests {
-		// Exponential gap, quantised to whole cycles.
-		gap := uint64(math.Round(-math.Log(r.Float64()) * float64(s.MeanInterarrival)))
+		var gap uint64
+		if s.Trace != nil {
+			gap = s.Trace.gap(r, burst, now)
+		} else {
+			// Exponential gap, quantised to whole cycles.
+			gap = expGap(r, float64(s.MeanInterarrival))
+		}
 		now += gap
 		if s.DurationCycles > 0 && now >= s.DurationCycles {
 			break
@@ -198,6 +397,9 @@ func (s LoadSpec) arrivals() []uint64 {
 func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
+	}
+	if len(spec.Classes) > 0 || spec.Shed {
+		return nil, fmt.Errorf("serve: admission classes need a replicated fleet (use Fleet.LoadTest)")
 	}
 	resolved := make([]Request, len(spec.Requests))
 	routings := make([]*cost.Decision, len(spec.Requests))
@@ -267,19 +469,41 @@ type taskKey struct {
 // runAll computes every (request, shard) service time and partial on
 // the executor pool, simulating each distinct (plan, shard) pair
 // exactly once. Task order is first occurrence in the request stream,
-// and results are indexed, so worker scheduling cannot leak into them;
-// the returned error is the first failure in (request, shard) order.
+// and results are indexed, so worker scheduling cannot leak into them.
 func (c *Cluster) runAll(reqs []Request, opt Options) ([][]ShardPartial, error) {
-	nShards := len(c.shards)
-	index := map[taskKey]int{}
-	var keys []taskKey
+	index := map[query.Plan]int{}
+	var plans []query.Plan
 	for _, req := range reqs {
+		if _, ok := index[req.Plan]; !ok {
+			index[req.Plan] = len(plans)
+			plans = append(plans, req.Plan)
+		}
+	}
+	byPlan, err := c.runPlanSet(plans, opt)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]ShardPartial, len(reqs))
+	for ri, req := range reqs {
+		parts[ri] = byPlan[index[req.Plan]]
+	}
+	return parts, nil
+}
+
+// runPlanSet computes the per-shard partials for a set of distinct
+// plans on the bounded executor pool, one task per (plan, shard). The
+// returned slice is indexed [plan][shard], in the caller's plan order;
+// results are slot-indexed so worker scheduling cannot leak into them,
+// and the returned error is the first failure in (plan, shard) order.
+// This is the shared compute stage under both Cluster.LoadTest (one
+// plan per distinct request plan) and Fleet.LoadTest (one plan per
+// distinct routing candidate across every pool).
+func (c *Cluster) runPlanSet(plans []query.Plan, opt Options) ([][]ShardPartial, error) {
+	nShards := len(c.shards)
+	keys := make([]taskKey, 0, len(plans)*nShards)
+	for _, p := range plans {
 		for s := 0; s < nShards; s++ {
-			k := taskKey{req.Plan, s}
-			if _, ok := index[k]; !ok {
-				index[k] = len(keys)
-				keys = append(keys, k)
-			}
+			keys = append(keys, taskKey{p, s})
 		}
 	}
 	results := make([]ShardPartial, len(keys))
@@ -314,18 +538,16 @@ func (c *Cluster) runAll(reqs []Request, opt Options) ([][]ShardPartial, error) 
 	close(indices)
 	done.Wait()
 
-	parts := make([][]ShardPartial, len(reqs))
-	for ri, req := range reqs {
-		parts[ri] = make([]ShardPartial, nShards)
+	out := make([][]ShardPartial, len(plans))
+	for pi := range plans {
 		for s := 0; s < nShards; s++ {
-			t := index[taskKey{req.Plan, s}]
-			if errs[t] != nil {
-				return nil, fmt.Errorf("serve: request %d shard %d: %w", ri, s, errs[t])
+			if err := errs[pi*nShards+s]; err != nil {
+				return nil, fmt.Errorf("serve: plan %d shard %d: %w", pi, s, err)
 			}
-			parts[ri][s] = results[t]
 		}
+		out[pi] = results[pi*nShards : (pi+1)*nShards : (pi+1)*nShards]
 	}
-	return parts, nil
+	return out, nil
 }
 
 // scheduleOpen replays the open-loop timeline: requests fan out to

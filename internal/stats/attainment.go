@@ -1,0 +1,45 @@
+// Attainment is the SLO accounting primitive of the serving layer: an
+// exact, per-sample counter of how many observations meet a fixed
+// latency bound. LogHist answers "what is P99"; Attainment answers
+// "what fraction met the target" — and unlike the bucket-resolved
+// quantiles it is exact for any bound, which is what lets SLO columns
+// sit next to P50/P95/P99 in a byte-stable report.
+package stats
+
+// Attainment counts samples against a fixed upper bound. The zero
+// value (bound 0) is ready to use; like LogHist it is not safe for
+// concurrent use — shard it and Merge.
+type Attainment struct {
+	// Bound is the inclusive target: a sample v attains when v <= Bound.
+	Bound uint64
+	// Total and Met are the exact sample and attaining-sample counts.
+	Total uint64
+	Met   uint64
+}
+
+// Observe records one sample.
+func (a *Attainment) Observe(v uint64) {
+	a.Total++
+	if v <= a.Bound {
+		a.Met++
+	}
+}
+
+// Fraction reports the attained fraction Met/Total (0 if empty).
+func (a *Attainment) Fraction() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Met) / float64(a.Total)
+}
+
+// Merge folds other into a. Both counters must share a bound; merging
+// mismatched bounds would silently change what "met" means, so Merge
+// panics on disagreement (a programming error, not a data condition).
+func (a *Attainment) Merge(other *Attainment) {
+	if a.Bound != other.Bound {
+		panic("stats: merging Attainment counters with different bounds")
+	}
+	a.Total += other.Total
+	a.Met += other.Met
+}

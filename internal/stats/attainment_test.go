@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+func TestAttainmentExactCounts(t *testing.T) {
+	a := Attainment{Bound: 100}
+	for _, v := range []uint64{0, 50, 100, 101, 1000} {
+		a.Observe(v)
+	}
+	if a.Total != 5 || a.Met != 3 {
+		t.Fatalf("total %d met %d, want 5/3", a.Total, a.Met)
+	}
+	if got, want := a.Fraction(), 3.0/5.0; got != want {
+		t.Fatalf("fraction %g, want %g", got, want)
+	}
+}
+
+func TestAttainmentBoundaryIsInclusive(t *testing.T) {
+	a := Attainment{Bound: 7}
+	a.Observe(7)
+	a.Observe(8)
+	if a.Met != 1 {
+		t.Fatalf("bound must be inclusive: met %d", a.Met)
+	}
+}
+
+func TestAttainmentEmptyAndZeroBound(t *testing.T) {
+	var a Attainment
+	if a.Fraction() != 0 {
+		t.Fatal("empty counter must report 0")
+	}
+	// Bound 0: only exact zeros attain.
+	a.Observe(0)
+	a.Observe(1)
+	if a.Met != 1 || a.Total != 2 {
+		t.Fatalf("zero bound counts wrong: %+v", a)
+	}
+}
+
+func TestAttainmentMerge(t *testing.T) {
+	a := Attainment{Bound: 10}
+	b := Attainment{Bound: 10}
+	a.Observe(5)
+	b.Observe(50)
+	b.Observe(10)
+	a.Merge(&b)
+	if a.Total != 3 || a.Met != 2 {
+		t.Fatalf("merged %+v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-bound merge must panic")
+		}
+	}()
+	c := Attainment{Bound: 11}
+	a.Merge(&c)
+}

@@ -46,4 +46,32 @@ serve "$many"
 cmp "$out/serve.1.csv" "$out/serve.$many.csv"
 cmp "$out/serve.1.json" "$out/serve.$many.json"
 
+echo "== fleet report (replicas + classes + shed): -workers 1 vs -workers $many =="
+fleet() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -mode open -qps 250000 \
+    -pools hipe,hipe,x86,hmc -archs auto -q1-every 3 \
+    -classes "batch:400:100,rt:200:0" -shed -quiet \
+    -csv "$out/fleet.$1.csv" -json "$out/fleet.$1.json" >/dev/null
+}
+fleet 1
+fleet "$many"
+cmp "$out/fleet.1.csv" "$out/fleet.$many.csv"
+cmp "$out/fleet.1.json" "$out/fleet.$many.json"
+
+echo "== fleet report (trace-driven arrivals): -workers 1 vs -workers $many =="
+trace() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -mode open -qps 250000 \
+    -pools hipe,x86 -archs auto \
+    -trace -trace-period-us 40 -trace-amp 0.6 \
+    -burst 4 -burst-on-us 5 -burst-off-us 15 \
+    -classes "batch:300:60,rt:150:0" -shed -quiet \
+    -csv "$out/trace.$1.csv" -json "$out/trace.$1.json" >/dev/null
+}
+trace 1
+trace "$many"
+cmp "$out/trace.1.csv" "$out/trace.$many.csv"
+cmp "$out/trace.1.json" "$out/trace.$many.json"
+
 echo "determinism gate passed: all artifacts byte-identical at 1 and $many workers"
