@@ -145,6 +145,76 @@ func BenchmarkAutoRouting(b *testing.B) {
 	b.ReportMetric(float64(res.Cycles), "simcyc:"+chosen.Arch.String())
 }
 
+// BenchmarkFigCounters pairs each figure panel with itself under
+// machine-counter capture: the same cell set through the sweep engine
+// with Counters off (the provably-free default) and on. hipe-benchjson
+// pairs the off/on lanes into BENCH_<n>.json overhead rows; the
+// enabled-mode budget is < 5%.
+func BenchmarkFigCounters(b *testing.B) {
+	cfg := benchConfig()
+	for _, fig := range hipe.Figures() {
+		cells, err := hipe.FigureCells(cfg, fig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, counters := range []bool{false, true} {
+			mode := "off"
+			if counters {
+				mode = "on"
+			}
+			b.Run(fig+"/counters-"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rs, err := hipe.SweepCells(cfg, cells, hipe.SweepOptions{Counters: counters})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if counters != rs.HasCounters() {
+						b.Fatalf("counters=%v but HasCounters=%v", counters, rs.HasCounters())
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFleet load-tests the replicated fleet end to end: two
+// replica pools (HIPE, x86), an auto-routed two-class request stream,
+// admission control shedding under an open-loop overload. The simulated
+// outcome is reported as metrics; ns/op tracks the serving layer's
+// wall-clock cost per load test.
+func BenchmarkFleet(b *testing.B) {
+	cfg := benchConfig()
+	tab := hipe.GenerateClustered(cfg.Tuples, cfg.Seed, 10)
+	fleet, err := hipe.ServeFleet(cfg, tab, 2, []hipe.Arch{hipe.HIPE, hipe.X86})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs, err := hipe.StreamSpec{
+		N: 24, Seed: 7, Archs: []hipe.Arch{hipe.ArchAuto}, Classes: 2,
+	}.Requests()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := hipe.OpenLoop(reqs, 100, 0, 5)
+	spec.Classes = []hipe.ClassSpec{
+		{Name: "batch", SLOCycles: 40_000, PatienceCycles: 5_000},
+		{Name: "rt", SLOCycles: 20_000, PatienceCycles: 0},
+	}
+	spec.Shed = true
+	var r *hipe.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err = fleet.LoadTest(spec, hipe.ServeOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Completed), "completed")
+	b.ReportMetric(float64(r.Shed), "shed")
+	b.ReportMetric(float64(r.LatencyP50), "simcyc:p50")
+	b.ReportMetric(float64(r.LatencyP99), "simcyc:p99")
+}
+
 // BenchmarkTableIConfig exercises machine construction with the full
 // Table I parameter set (the paper's configuration table).
 func BenchmarkTableIConfig(b *testing.B) {

@@ -5,6 +5,10 @@
 // Usage:
 //
 //	hipe-bench [-fig 3a|3b|3c|3d|all] [-tuples N] [-seed S] [-timing=false]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace-out exec.trace]
+//
+// The profiling flags capture pprof CPU/heap profiles and a runtime
+// execution trace of the simulator process over the figure runs.
 //
 // Flag combinations are validated before anything runs — positional
 // arguments, unknown figure names and invalid tuple counts exit with a
@@ -38,6 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tuples := fs.Int("tuples", 16384, "lineitem tuples (multiple of 64)")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	timing := fs.Bool("timing", true, "print the wall-clock time of each figure (disable for byte-stable output)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to this path")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (snapshotted after the figure runs) to this path")
+	traceOut := fs.String("trace-out", "", "write a runtime execution trace of the figure runs to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,11 +73,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Tuples = *tuples
 	cfg.Seed = *seed
 
+	// The profiling hooks cover exactly the figure simulations.
+	prof := &hipe.Profile{CPUPath: *cpuprofile, MemPath: *memprofile, TracePath: *traceOut}
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(stderr, "hipe-bench: %v\n", err)
+		return 1
+	}
+
 	fmt.Fprintf(stdout, "HIPE reproduction — TPC-H Q06 selection scan, %d tuples, seed %d\n\n", *tuples, *seed)
 	for _, name := range figures {
 		start := time.Now()
 		table, err := hipe.Figure(cfg, name)
 		if err != nil {
+			prof.Stop()
 			fmt.Fprintf(stderr, "hipe-bench: figure %s failed: %v\n", name, err)
 			return 1
 		}
@@ -79,6 +94,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "   (simulated in %v wall time)\n", time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Fprintln(stdout)
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(stderr, "hipe-bench: %v\n", err)
+		return 1
 	}
 	return 0
 }

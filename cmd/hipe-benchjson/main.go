@@ -1,7 +1,8 @@
 // Command hipe-benchjson runs the repository's benchmark suite — the
-// Figure 3 benches at the module root and the scheduler microbenches in
-// internal/sim — and emits one machine-readable JSON document per
-// invocation: ns/op, B/op, allocs/op and every custom metric
+// Figure 3, Q01, routing, fleet-serving and counter-overhead benches at
+// the module root and the scheduler microbenches in internal/sim — and
+// emits one machine-readable JSON document per invocation: ns/op, B/op,
+// allocs/op and every custom metric
 // (simulated cycles per plan, DRAM pJ) for each benchmark. The
 // committed BENCH_<n>.json files form the repo's performance
 // trajectory: each perf PR appends one, measured on the PR's HEAD,
@@ -56,14 +57,52 @@ type Comparison struct {
 	Allocs          float64 `json:"allocs_per_op"`
 }
 
+// Overhead pairs a counters-on benchmark lane with its counters-off
+// twin: the measured cost of enabling machine-counter capture on the
+// same workload. The repo-wide budget is overhead_pct < 5.
+type Overhead struct {
+	Name        string  `json:"name"`
+	OffNsPerOp  float64 `json:"off_ns_per_op"`
+	OnNsPerOp   float64 `json:"on_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 // Doc is the emitted document.
 type Doc struct {
-	GoVersion   string        `json:"go_version"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Figures     []BenchResult `json:"figure_benches,omitempty"`
-	Scheduler   []BenchResult `json:"scheduler_benches"`
-	Baseline    []BenchResult `json:"baseline,omitempty"`
-	Comparisons []Comparison  `json:"comparisons,omitempty"`
+	GoVersion       string        `json:"go_version"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	Figures         []BenchResult `json:"figure_benches,omitempty"`
+	Scheduler       []BenchResult `json:"scheduler_benches"`
+	CounterOverhead []Overhead    `json:"counter_overhead,omitempty"`
+	Baseline        []BenchResult `json:"baseline,omitempty"`
+	Comparisons     []Comparison  `json:"comparisons,omitempty"`
+}
+
+// counterOverhead pairs every ".../counters-off" lane with its
+// ".../counters-on" sibling (the BenchmarkFigCounters sub-benchmarks).
+func counterOverhead(rs []BenchResult) []Overhead {
+	byName := map[string]BenchResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	var out []Overhead
+	for _, r := range rs {
+		if !strings.HasSuffix(r.Name, "/counters-off") || r.NsPerOp == 0 {
+			continue
+		}
+		base := strings.TrimSuffix(r.Name, "/counters-off")
+		on, ok := byName[base+"/counters-on"]
+		if !ok {
+			continue
+		}
+		out = append(out, Overhead{
+			Name:        base,
+			OffNsPerOp:  r.NsPerOp,
+			OnNsPerOp:   on.NsPerOp,
+			OverheadPct: 100 * (on.NsPerOp - r.NsPerOp) / r.NsPerOp,
+		})
+	}
+	return out
 }
 
 // benchLine matches one `go test -bench` result line: the name, the
@@ -134,8 +173,22 @@ func main() {
 	checkAllocs := flag.Bool("check-allocs", false, "exit 1 if a scheduler microbench reports allocs/op > 0")
 	skipFigures := flag.Bool("skip-figures", false, "skip the (slow) figure benches; scheduler microbenches only")
 	flag.Parse()
+
+	// fail rejects a bad flag combination up front: message plus usage
+	// on stderr, exit 2 — matching the other CLIs' usage-error convention.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hipe-benchjson: "+format+"\n\nusage of hipe-benchjson:\n", args...)
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
 	if flag.NArg() > 0 {
-		log.Fatalf("unexpected argument %q", flag.Arg(0))
+		fail("unexpected argument %q (all options are flags)", flag.Arg(0))
+	}
+	if *out == "" {
+		fail("-out must name a path (- for stdout)")
+	}
+	if *figureBenchtime == "" || *microBenchtime == "" {
+		fail("-figure-benchtime and -micro-benchtime must not be empty")
 	}
 
 	doc := Doc{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
@@ -143,14 +196,17 @@ func main() {
 	var err error
 	if !*skipFigures {
 		log.Printf("running figure benches (-benchtime %s)...", *figureBenchtime)
-		// The Q01 aggregation and adaptive-routing benches ride with the
-		// figure panels: whole-workload simulations (and, for routing,
-		// the planner's per-request overhead and plannerpct share) on
-		// the paper's configurations.
-		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting)", *figureBenchtime)
+		// The Q01 aggregation, adaptive-routing and fleet-serving benches
+		// ride with the figure panels: whole-workload simulations (and,
+		// for routing, the planner's per-request overhead and plannerpct
+		// share) on the paper's configurations. BenchmarkFigCounters'
+		// counters-off/on lanes are paired into the counter_overhead
+		// section below.
+		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting|BenchmarkFleet)", *figureBenchtime)
 		if err != nil {
 			log.Fatal(err)
 		}
+		doc.CounterOverhead = counterOverhead(doc.Figures)
 	}
 	log.Printf("running scheduler microbenches (-benchtime %s)...", *microBenchtime)
 	doc.Scheduler, err = runBench("./internal/sim/", "^(BenchmarkSchedule|BenchmarkEngine)", *microBenchtime)

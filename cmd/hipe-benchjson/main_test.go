@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// runBinary executes this command via `go run` from the module root —
+// the command resolves its bench packages (./internal/sim/) relative to
+// the working directory, exactly as its documented invocations do.
+func runBinary(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/hipe-benchjson"}, args...)...)
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("go run: %v\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestFlagValidation: malformed invocations die with a usage message
+// and exit status 2, before any `go test -bench` child runs.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"positional arg", []string{"extra"}, "unexpected argument"},
+		{"empty out", []string{"-out", ""}, "-out must name a path"},
+		{"empty benchtime", []string{"-micro-benchtime", ""}, "must not be empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			// `go run` reports the child's failure as its own exit 1 and
+			// appends the child's "exit status 2" line.
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseBench covers the benchmark-line parser without shelling out:
+// names lose their GOMAXPROCS suffix, standard units land in their
+// fields and custom metrics in the Metrics map.
+func TestParseBench(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkScheduleRing-8   	12345678	        95.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig3a-8          	       3	 410000000 ns/op	 1234567 cycles/plan	     890 DRAM-pJ/plan	  200 B/op	       5 allocs/op
+PASS
+`
+	rs := parseBench(out)
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	fig, ring := rs[0], rs[1]
+	if fig.Name != "BenchmarkFig3a" || ring.Name != "BenchmarkScheduleRing" {
+		t.Fatalf("names not sorted/stripped: %q, %q", fig.Name, ring.Name)
+	}
+	if ring.NsPerOp != 95.1 || ring.AllocsPerOp != 0 {
+		t.Fatalf("ring mis-parsed: %+v", ring)
+	}
+	if fig.Metrics["cycles/plan"] != 1234567 || fig.Metrics["DRAM-pJ/plan"] != 890 {
+		t.Fatalf("custom metrics mis-parsed: %+v", fig.Metrics)
+	}
+}
+
+// TestMicrobenchRun drives the scheduler microbenches once through the
+// real `go test -bench` pipeline and checks the emitted document.
+func TestMicrobenchRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go test -bench")
+	}
+	code, out := runBinary(t, "-skip-figures", "-micro-benchtime", "1x", "-out", "-")
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out)
+	}
+	for _, want := range []string{`"go_version"`, `"scheduler_benches"`, "BenchmarkSchedule"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("document missing %q:\n%s", want, out)
+		}
+	}
+}

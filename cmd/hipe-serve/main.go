@@ -16,7 +16,9 @@
 //	           [-trace] [-trace-period-us 2000] [-trace-amp 0.5] \
 //	           [-burst 4] [-burst-on-us 200] [-burst-off-us 600] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
-//	           [-workers N] [-csv out.csv] [-json out.json]
+//	           [-workers N] [-csv out.csv] [-json out.json] \
+//	           [-counters] [-trace-json trace.json] [-spans-csv spans.csv] \
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace-out exec.trace]
 //
 // -pools engages the replicated fleet: each entry is one complete
 // replica of all shards pinned to that backend family, and every
@@ -45,6 +47,18 @@
 // auditable; routing is deterministic at any worker count. Pair with
 // -clustered to serve the date-clustered layout where selectivity
 // actually moves the per-backend costs.
+//
+// Observability is off by default and provably free when off. -counters
+// snapshots the machine counter registry (cache hits, DRAM activates,
+// link packets, squashed predicated ops, event-engine lanes…) into the
+// summary and JSON export; totals sum each distinct shard simulation
+// once. -trace-json/-spans-csv record every request's virtual-time span
+// tree — admission, routing decision, per-shard machine replay,
+// scatter-gather merge — and export it as Chrome trace_event JSON
+// (loadable in Perfetto; 1 simulated cycle renders as 1 µs) or a flat
+// span CSV. Both are byte-identical at any -workers count.
+// -cpuprofile/-memprofile/-trace-out profile the simulator process
+// itself (pprof CPU/heap, runtime execution trace) over the load test.
 //
 // Time is simulated: QPS and milliseconds convert to cycles at the
 // Table I 2 GHz core clock; results are exact in cycles.
@@ -95,6 +109,12 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor pool size (defaults to GOMAXPROCS); never changes results")
 	csvPath := flag.String("csv", "", "write per-request traces as CSV to this path (- for stdout)")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path (- for stdout)")
+	counters := flag.Bool("counters", false, "capture machine counters: the summary gains a counters section and the JSON export Counters fields (totals sum each distinct shard simulation once)")
+	traceJSON := flag.String("trace-json", "", "record the virtual-time request trace and write Chrome trace_event JSON to this path (- for stdout; load in Perfetto)")
+	spansCSV := flag.String("spans-csv", "", "record the virtual-time request trace and write the flat span table as CSV to this path (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the load test to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (snapshotted after the load test) to this path")
+	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the load test to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
 	flag.Parse()
 
@@ -147,8 +167,14 @@ func main() {
 	if !(*durationMS >= 0) || math.IsInf(*durationMS, 1) {
 		fail("-duration-ms %g must be a non-negative finite duration", *durationMS)
 	}
-	if *csvPath == "-" && *jsonPath == "-" {
-		fail("-csv - and -json - both claim stdout; pick one")
+	stdoutClaims := 0
+	for _, p := range []string{*csvPath, *jsonPath, *traceJSON, *spansCSV} {
+		if p == "-" {
+			stdoutClaims++
+		}
+	}
+	if stdoutClaims > 1 {
+		fail("two exports both claim stdout; pick one")
 	}
 	if *noise < 0 {
 		fail("-noise %d must not be negative", *noise)
@@ -303,7 +329,13 @@ func main() {
 	spec.Classes = classes
 	spec.Shed = *shed
 
-	opt := hipe.ServeOptions{Workers: *workers}
+	opt := hipe.ServeOptions{
+		Workers:  *workers,
+		Counters: *counters,
+		// The span exporters are the only consumers of the virtual-time
+		// trace, so asking for either turns the tracer on.
+		Trace: *traceJSON != "" || *spansCSV != "",
+	}
 	if !*quiet {
 		opt.OnTask = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rhipe-serve: %d/%d shard tasks", done, total)
@@ -313,6 +345,12 @@ func main() {
 		}
 	}
 
+	// The profiling hooks cover exactly the load test — setup (table
+	// generation, shard build) stays out of the profiles.
+	prof := &hipe.Profile{CPUPath: *cpuprofile, MemPath: *memprofile, TracePath: *traceOut}
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	var report *hipe.LoadReport
 	if fleet != nil {
@@ -320,14 +358,17 @@ func main() {
 	} else {
 		report, err = hipe.LoadTest(cluster, spec, opt)
 	}
+	elapsed := time.Since(start)
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
 
 	// An export aimed at stdout owns it; the summary would corrupt the
 	// piped CSV/JSON.
-	if *csvPath != "-" && *jsonPath != "-" {
+	if stdoutClaims == 0 {
 		fmt.Print(report.Summary())
 		fmt.Printf("\n%d requests served in %v wall clock (%d workers)\n",
 			report.Completed, elapsed.Round(time.Millisecond), opt.EffectiveWorkers())
@@ -337,6 +378,12 @@ func main() {
 	}
 	if *jsonPath != "" {
 		writeExport(*jsonPath, report.WriteJSON)
+	}
+	if *traceJSON != "" {
+		writeExport(*traceJSON, report.WriteChromeTrace)
+	}
+	if *spansCSV != "" {
+		writeExport(*spansCSV, report.WriteSpanCSV)
 	}
 }
 

@@ -6,15 +6,28 @@
 //
 //	hipe-sim -arch hipe -strategy column -opsize 256 -unroll 32 [-fused]
 //	         [-tuples N] [-seed S] [-clustered] [-print-config]
+//
+// Flag combinations are validated before anything runs — positional
+// arguments, unknown architecture or strategy names and invalid plan
+// shapes exit with a usage message, matching the other CLIs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	hipe "github.com/hipe-sim/hipe"
 )
+
+// fail rejects a bad flag combination up front: message plus usage on
+// stderr, exit 2 — matching the other CLIs' usage-error convention.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hipe-sim: "+format+"\n\nusage of hipe-sim:\n", args...)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +43,9 @@ func main() {
 	printConfig := flag.Bool("print-config", false, "dump the Table I machine configuration and exit")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q (all options are flags)", flag.Arg(0))
+	}
 	if *printConfig {
 		dumpConfig()
 		return
@@ -38,17 +54,20 @@ func main() {
 	archs := map[string]hipe.Arch{"x86": hipe.X86, "hmc": hipe.HMC, "hive": hipe.HIVE, "hipe": hipe.HIPE}
 	a, ok := archs[*arch]
 	if !ok {
-		log.Fatalf("unknown arch %q", *arch)
+		fail("unknown arch %q (have x86, hmc, hive, hipe)", *arch)
 	}
 	strategies := map[string]hipe.Strategy{"tuple": hipe.TupleAtATime, "column": hipe.ColumnAtATime}
 	s, ok := strategies[*strategy]
 	if !ok {
-		log.Fatalf("unknown strategy %q", *strategy)
+		fail("unknown strategy %q (have tuple, column)", *strategy)
+	}
+	if *tuples <= 0 || *tuples%64 != 0 {
+		fail("-tuples %d must be a positive multiple of 64", *tuples)
 	}
 	plan := hipe.Plan{Arch: a, Strategy: s, OpSize: uint32(*opsize),
 		Unroll: *unroll, Fused: *fused, Q: hipe.DefaultQ06()}
 	if err := plan.Validate(); err != nil {
-		log.Fatal(err)
+		fail("%v", err)
 	}
 
 	var tab *hipe.Lineitem

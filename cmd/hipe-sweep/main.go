@@ -10,7 +10,17 @@
 //	           -opsizes 16,32,64,128,256 -unrolls 1,8,32 \
 //	           [-fused both] [-qtyhi 24,50] [-q1cuts 2436] \
 //	           [-tuples 16384] [-seeds 42] \
-//	           [-clustered both] [-workers N] [-csv out.csv] [-json out.json]
+//	           [-clustered both] [-workers N] [-csv out.csv] [-json out.json] \
+//	           [-counters] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
+//	           [-trace-out exec.trace]
+//
+// -counters snapshots each cell's machine counters (cache hits, DRAM
+// activates, link packets, event-engine lanes…) after its run: the CSV
+// export grows one ctr_<key> column per counter and the JSON export a
+// Counters field per cell. Off by default; counter-off exports are
+// byte-identical to their pre-observability schema, counter-on exports
+// byte-identical at any worker count. -cpuprofile/-memprofile/-trace-out
+// profile the simulator process itself over the sweep.
 //
 // -q1cuts adds TPC-H Q01-style grouped-aggregation cells to the query
 // axis (one per shipdate cutoff), swept across the same architecture,
@@ -70,6 +80,10 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (defaults to GOMAXPROCS; must be positive)")
 	csvPath := flag.String("csv", "", "write per-cell results as CSV to this path (- for stdout)")
 	jsonPath := flag.String("json", "", "write per-cell results as JSON to this path (- for stdout)")
+	counters := flag.Bool("counters", false, "capture each cell's machine-counter snapshot; exports gain one ctr_<key> column / Counters field per counter")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (snapshotted after the sweep) to this path")
+	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the sweep to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
 	flag.Parse()
 
@@ -136,7 +150,7 @@ func main() {
 		grid.Q1Queries = append(grid.Q1Queries, hipe.Q01{ShipCut: int32(cut)})
 	}
 
-	opt := hipe.SweepOptions{Workers: *workers}
+	opt := hipe.SweepOptions{Workers: *workers, Counters: *counters}
 	if !*quiet {
 		opt.OnCell = func(done, total int, r hipe.CellResult) {
 			fmt.Fprintf(os.Stderr, "\rhipe-sweep: %d/%d cells", done, total)
@@ -146,12 +160,21 @@ func main() {
 		}
 	}
 
+	// The profiling hooks cover exactly the sweep — grid expansion and
+	// flag parsing stay out of the profiles.
+	prof := &hipe.Profile{CPUPath: *cpuprofile, MemPath: *memprofile, TracePath: *traceOut}
+	if err := prof.Start(); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	rs, err := hipe.SweepWith(hipe.Default(), grid, opt)
+	elapsed := time.Since(start)
+	if perr := prof.Stop(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
 
 	// An export aimed at stdout owns it; the summary table would
 	// corrupt the piped CSV/JSON.

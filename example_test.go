@@ -186,3 +186,69 @@ func ExampleSweep() {
 	// best: hmc/column-at-a-time/256B/1x
 	// best: hipe/column-at-a-time/256B/32x
 }
+
+// ExampleServe_tracing runs a small load test with the observability
+// layer on: the virtual-time tracer records each request's span tree
+// (admission, routing, per-shard machine replay, merge) in simulated
+// cycles, and every shard simulation's machine counters roll up into
+// the report. Both are off by default and cost nothing when off; when
+// on, their exports are byte-identical at any worker count.
+func ExampleServe_tracing() {
+	cfg := hipe.Default()
+	cfg.Tuples = 1024
+	tab := hipe.GenerateClustered(cfg.Tuples, cfg.Seed, 10)
+
+	cluster, err := hipe.Serve(cfg, tab, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := hipe.StreamSpec{N: 4, Seed: 7, Archs: []hipe.Arch{hipe.ArchAuto}}.Requests()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := hipe.LoadTest(cluster, hipe.ClosedLoop(reqs, 2),
+		hipe.ServeOptions{Trace: true, Counters: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The first request's span tree, in record order. The async request
+	// span (pid 0, the router track) brackets the routing instant, one
+	// complete span per shard task (pid 1, tid = shard) and the merge.
+	for _, s := range report.Trace.Spans() {
+		if s.ID != 0 && s.Phase != hipe.TracePhaseComplete {
+			continue
+		}
+		switch s.Phase {
+		case hipe.TracePhaseBegin:
+			fmt.Printf("%s\n", s.Name)
+		case hipe.TracePhaseComplete:
+			if s.Name != "q0 hipe" {
+				continue
+			}
+			fmt.Printf("  shard %d replay\n", s.Tid)
+		case hipe.TracePhaseInstant:
+			fmt.Printf("  %s\n", s.Name)
+		case hipe.TracePhaseEnd:
+			fmt.Printf("%s done\n", s.Name)
+		}
+		if s.Phase == hipe.TracePhaseEnd {
+			break
+		}
+	}
+
+	// The counter snapshot sums every distinct shard simulation once.
+	squashed, _ := report.Counters.Get("hipe.squashed")
+	scheduled, _ := report.Counters.Get("engine.events_scheduled")
+	fmt.Println("predicated ops squashed:", squashed > 0)
+	fmt.Println("engine events scheduled:", scheduled > 0)
+	// Output:
+	// q0 hipe
+	//   route
+	//   shard 0 replay
+	//   shard 1 replay
+	//   merge
+	// q0 hipe done
+	// predicated ops squashed: true
+	// engine events scheduled: true
+}

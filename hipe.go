@@ -30,6 +30,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/energy"
 	"github.com/hipe-sim/hipe/internal/harness"
 	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/serve"
 	"github.com/hipe-sim/hipe/internal/sweep"
@@ -121,6 +122,28 @@ type (
 	PoolPick = serve.PoolPick
 	// ShedTrace records one request admission control refused.
 	ShedTrace = serve.ShedTrace
+	// Counters is a deterministic machine-counter snapshot: sorted
+	// "scope.counter" keys captured from a run's registry (cache hits,
+	// DRAM traffic, predication squashes, scheduler lane accounting).
+	// Captured only when ServeOptions/SweepOptions set Counters — off
+	// by default and free when off.
+	Counters = obs.Counters
+	// CounterEntry is one key/value pair of a Counters snapshot.
+	CounterEntry = obs.Entry
+	// Trace is the virtual-time request tracer: per-request span trees
+	// in simulated cycles, recorded during a load test's
+	// single-threaded replay when ServeOptions.Trace is set, exported
+	// as Chrome trace_event JSON (Perfetto-loadable) or flat CSV.
+	Trace = obs.Trace
+	// TraceSpan is one recorded span; TraceArg one span annotation;
+	// TracePhase its event kind.
+	TraceSpan  = obs.Span
+	TraceArg   = obs.Arg
+	TracePhase = obs.Phase
+	// Profile bundles the CLI profiling hooks (-cpuprofile,
+	// -memprofile, -trace-out): Go pprof CPU/heap profiles and the
+	// runtime execution trace of the simulator process itself.
+	Profile = obs.Profile
 )
 
 // Architectures. ArchAuto is the adaptive planner's sentinel: a plan
@@ -133,6 +156,14 @@ const (
 	HIVE     = query.HIVE
 	HIPE     = query.HIPE
 	ArchAuto = query.ArchAuto
+)
+
+// Trace span phases (see TraceSpan).
+const (
+	TracePhaseComplete = obs.PhaseComplete
+	TracePhaseBegin    = obs.PhaseBegin
+	TracePhaseEnd      = obs.PhaseEnd
+	TracePhaseInstant  = obs.PhaseInstant
 )
 
 // Backend registry and cost-model types (aliases into the
@@ -264,6 +295,12 @@ func Run(cfg Config, tab *Lineitem, p Plan) (Result, error) { return cfg.Run(tab
 
 // Figure regenerates one panel of the paper's Figure 3 ("3a".."3d").
 func Figure(cfg Config, name string) (*FigureTable, error) { return harness.Figure(cfg, name) }
+
+// FigureCells expands one Figure 3 panel's cell set without running it
+// — the exact workload Figure(name) simulates, for driving through
+// SweepCells with explicit options (e.g. Counters for the
+// observability-overhead benches).
+func FigureCells(cfg Config, name string) ([]Cell, error) { return harness.FigureCells(cfg, name) }
 
 // Sweep expands grid and executes every cell through the worker-pool
 // engine on GOMAXPROCS workers. Grid axes left empty take defaults,

@@ -87,7 +87,10 @@ type line struct {
 	tag   uint64
 	valid bool
 	dirty bool
-	lru   uint64
+	// prefetched marks a line installed by a prefetch fill that no demand
+	// access has touched yet; the first demand hit counts it useful.
+	prefetched bool
+	lru        uint64
 }
 
 type waiter struct {
@@ -164,6 +167,7 @@ type Cache struct {
 	evictions   *stats.Counter
 	writebacks  *stats.Counter
 	prefetches  *stats.Counter
+	pfUseful    *stats.Counter
 	pfDropped   *stats.Counter
 	mshrStalls  *stats.Counter
 	coalesced   *stats.Counter
@@ -202,6 +206,7 @@ func New(engine *sim.Engine, cfg Config, next mem.Port, reg *stats.Registry) (*C
 	c.evictions = sc.Counter("evictions")
 	c.writebacks = sc.Counter("writebacks")
 	c.prefetches = sc.Counter("prefetches_issued")
+	c.pfUseful = sc.Counter("prefetches_useful")
 	c.pfDropped = sc.Counter("prefetches_dropped")
 	c.mshrStalls = sc.Counter("mshr_stalls")
 	c.coalesced = sc.Counter("coalesced_misses")
@@ -270,6 +275,11 @@ func (c *Cache) Access(req *mem.Request) bool {
 	if ln := c.lookup(la); ln != nil {
 		c.lruClock++
 		ln.lru = c.lruClock
+		if ln.prefetched {
+			// First demand touch of a prefetched line: the prefetch paid.
+			ln.prefetched = false
+			c.pfUseful.Inc()
+		}
 		if req.Kind == mem.Write {
 			ln.dirty = true
 			c.writeHits.Inc()
@@ -285,6 +295,13 @@ func (c *Cache) Access(req *mem.Request) bool {
 
 	// Miss. Coalesce into an existing MSHR if one is outstanding.
 	if m, ok := c.pending[la]; ok {
+		if m.prefetch {
+			// Demand arrived while the prefetch fill was still in flight:
+			// the prefetch hid part of the miss latency. Count it useful
+			// once and let the fill install a plain demand line.
+			m.prefetch = false
+			c.pfUseful.Inc()
+		}
 		m.waiters = append(m.waiters, waiter{markDirty: req.Kind == mem.Write, done: req.Done})
 		c.coalesced.Inc()
 		if req.Kind == mem.Write {
@@ -357,6 +374,9 @@ func (c *Cache) issueFill(m *mshr) {
 func (c *Cache) fillArrived(m *mshr) {
 	c.install(m.lineAddr, false)
 	ln := c.lookup(m.lineAddr)
+	if ln != nil && m.prefetch {
+		ln.prefetched = true
+	}
 	now := c.engine.Now()
 	for _, w := range m.waiters {
 		if w.markDirty && ln != nil {

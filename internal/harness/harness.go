@@ -90,7 +90,7 @@ func opSizeGrid(c Config, strat query.Strategy) sweep.Grid {
 // Fig3a reproduces "Tuple-at-a-time execution varying operation size":
 // x86 (16..64 B), HMC and HIVE (16..256 B) on the NSM layout, unroll 1.
 func Fig3a(c Config) (*Table, error) {
-	cells, err := opSizeGrid(c, query.TupleAtATime).Expand()
+	cells, err := FigureCells(c, "3a")
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +102,7 @@ func Fig3a(c Config) (*Table, error) {
 // same sweep on the DSM layout, unroll 1 (HIVE with per-column bitmask
 // round trips through the processor).
 func Fig3b(c Config) (*Table, error) {
-	cells, err := opSizeGrid(c, query.ColumnAtATime).Expand()
+	cells, err := FigureCells(c, "3b")
 	if err != nil {
 		return nil, err
 	}
@@ -115,19 +115,7 @@ func Fig3b(c Config) (*Table, error) {
 // by SkipInvalid). Both the per-column HIVE plan and the fused full-scan
 // variant are reported; the fused one is HIVE's best case (Figure 3d).
 func Fig3c(c Config) (*Table, error) {
-	column := []query.Strategy{query.ColumnAtATime}
-	workTuples, workSeeds := []int{c.Tuples}, []uint64{c.Seed}
-	cells, err := sweep.ExpandAll(
-		sweep.Grid{Archs: []query.Arch{query.X86}, Strategies: column,
-			OpSizes: []uint32{64}, Unrolls: unrolls,
-			Tuples: workTuples, Seeds: workSeeds, SkipInvalid: true},
-		sweep.Grid{Archs: []query.Arch{query.HMC}, Strategies: column,
-			OpSizes: []uint32{256}, Unrolls: unrolls,
-			Tuples: workTuples, Seeds: workSeeds},
-		sweep.Grid{Archs: []query.Arch{query.HIVE}, Strategies: column,
-			Fused: []bool{false, true}, OpSizes: []uint32{256}, Unrolls: unrolls,
-			Tuples: workTuples, Seeds: workSeeds},
-	)
+	cells, err := FigureCells(c, "3c")
 	if err != nil {
 		return nil, err
 	}
@@ -150,9 +138,10 @@ func BestPlans(q db.Q06) map[query.Arch]query.Plan {
 // speedup over x86 and DRAM energy of each architecture's best
 // configuration.
 func Fig3d(c Config) (*Table, error) {
-	plans := BestPlans(db.DefaultQ06())
-	cells := sweep.PlanCells(c.Tuples, c.Seed,
-		plans[query.X86], plans[query.HMC], plans[query.HIVE], plans[query.HIPE])
+	cells, err := FigureCells(c, "3d")
+	if err != nil {
+		return nil, err
+	}
 	t, err := runTable(c, "Figure 3d — best case of each architecture", cells)
 	if err != nil {
 		return nil, err
@@ -165,6 +154,39 @@ func Fig3d(c Config) (*Table, error) {
 			100*(1-hipe.Energy.DRAMPJ()/hive.Energy.DRAMPJ()), hipe.Squashed),
 	)
 	return t, nil
+}
+
+// FigureCells expands one panel's cell set without running it — the
+// exact workload Figure(name) simulates, for callers that want to drive
+// it through the sweep engine with their own Options (e.g. the
+// counters-on overhead benches).
+func FigureCells(c Config, name string) ([]sweep.Cell, error) {
+	switch name {
+	case "3a":
+		return opSizeGrid(c, query.TupleAtATime).Expand()
+	case "3b":
+		return opSizeGrid(c, query.ColumnAtATime).Expand()
+	case "3c":
+		column := []query.Strategy{query.ColumnAtATime}
+		workTuples, workSeeds := []int{c.Tuples}, []uint64{c.Seed}
+		return sweep.ExpandAll(
+			sweep.Grid{Archs: []query.Arch{query.X86}, Strategies: column,
+				OpSizes: []uint32{64}, Unrolls: unrolls,
+				Tuples: workTuples, Seeds: workSeeds, SkipInvalid: true},
+			sweep.Grid{Archs: []query.Arch{query.HMC}, Strategies: column,
+				OpSizes: []uint32{256}, Unrolls: unrolls,
+				Tuples: workTuples, Seeds: workSeeds},
+			sweep.Grid{Archs: []query.Arch{query.HIVE}, Strategies: column,
+				Fused: []bool{false, true}, OpSizes: []uint32{256}, Unrolls: unrolls,
+				Tuples: workTuples, Seeds: workSeeds},
+		)
+	case "3d":
+		plans := BestPlans(db.DefaultQ06())
+		return sweep.PlanCells(c.Tuples, c.Seed,
+			plans[query.X86], plans[query.HMC], plans[query.HIVE], plans[query.HIPE]), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown figure %q (have 3a..3d)", name)
+	}
 }
 
 // Figure runs one panel by name ("3a".."3d").

@@ -1,0 +1,110 @@
+// The CLI profiling hooks: Go CPU/heap profiles and the runtime
+// execution trace, bundled so every command wires the same three flags
+// the same way. These profile the simulator process itself (wall-clock
+// performance of the Go code), not simulated time — the virtual-time
+// tracer in trace.go covers that side.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile bundles the -cpuprofile/-memprofile/-trace-out hooks of a
+// command. Empty paths disable the corresponding profile; the zero
+// value is fully disabled and Start/Stop are no-ops on it.
+type Profile struct {
+	// CPUPath receives a pprof CPU profile covering Start..Stop.
+	CPUPath string
+	// MemPath receives a pprof heap profile snapshotted at Stop.
+	MemPath string
+	// TracePath receives a runtime/trace execution trace of Start..Stop.
+	TracePath string
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Enabled reports whether any profile output is requested.
+func (p *Profile) Enabled() bool {
+	return p != nil && (p.CPUPath != "" || p.MemPath != "" || p.TracePath != "")
+}
+
+// Start opens the requested profile outputs and begins profiling. On
+// error, anything already started is stopped again.
+func (p *Profile) Start() error {
+	if p == nil {
+		return nil
+	}
+	if p.CPUPath != "" {
+		f, err := os.Create(p.CPUPath)
+		if err != nil {
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	if p.TracePath != "" {
+		f, err := os.Create(p.TracePath)
+		if err != nil {
+			p.stopCPU()
+			return fmt.Errorf("obs: execution trace: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.stopCPU()
+			return fmt.Errorf("obs: execution trace: %w", err)
+		}
+		p.traceFile = f
+	}
+	return nil
+}
+
+func (p *Profile) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+// Stop ends profiling and writes the heap profile (if requested). It
+// returns the first error encountered but always stops everything.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var first error
+	p.stopCPU()
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("obs: execution trace: %w", err)
+		}
+		p.traceFile = nil
+	}
+	if p.MemPath != "" {
+		f, err := os.Create(p.MemPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("obs: heap profile: %w", err)
+			}
+		} else {
+			// An up-to-date heap profile wants a GC first.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("obs: heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("obs: heap profile: %w", err)
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileDisabled(t *testing.T) {
+	var p Profile
+	if p.Enabled() {
+		t.Fatal("zero Profile reports enabled")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilP *Profile
+	if nilP.Enabled() || nilP.Start() != nil || nilP.Stop() != nil {
+		t.Fatal("nil Profile not inert")
+	}
+}
+
+func TestProfileWritesAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profile{
+		CPUPath:   filepath.Join(dir, "cpu.pprof"),
+		MemPath:   filepath.Join(dir, "mem.pprof"),
+		TracePath: filepath.Join(dir, "exec.trace"),
+	}
+	if !p.Enabled() {
+		t.Fatal("configured Profile reports disabled")
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{p.CPUPath, p.MemPath, p.TracePath} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile output", path)
+		}
+	}
+}
+
+func TestProfileStartErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profile{
+		CPUPath:   filepath.Join(dir, "cpu.pprof"),
+		TracePath: filepath.Join(dir, "no-such-dir", "exec.trace"),
+	}
+	if err := p.Start(); err == nil {
+		p.Stop()
+		t.Fatal("Start succeeded with an unwritable trace path")
+	}
+	// The CPU profile started before the failure must have been stopped:
+	// a fresh Start on a clean Profile must succeed.
+	p2 := &Profile{CPUPath: filepath.Join(dir, "cpu2.pprof")}
+	if err := p2.Start(); err != nil {
+		t.Fatalf("CPU profiling left running after failed Start: %v", err)
+	}
+	if err := p2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// The virtual-time request tracer. A Trace records spans in simulated
+// cycles — never wall-clock time — from the single-threaded virtual-
+// time replay of a load test, so a trace is byte-identical at any
+// executor worker count. The off state is a nil *Trace: every recording
+// method is a nil-safe no-op, and call sites gate argument construction
+// behind On() so a disabled trace costs nothing, not even allocations.
+package obs
+
+// Phase is a span's Chrome trace_event phase.
+type Phase uint8
+
+const (
+	// PhaseComplete is a duration span with an explicit start and
+	// duration (Chrome ph "X") — one shard task on one machine track.
+	PhaseComplete Phase = iota
+	// PhaseBegin / PhaseEnd bracket an async span (Chrome ph "b"/"e"),
+	// matched by (Cat, ID) — one request from arrival to completion,
+	// spanning machine tracks.
+	PhaseBegin
+	PhaseEnd
+	// PhaseInstant is a point event (Chrome ph "i") — an admission,
+	// routing or shed decision.
+	PhaseInstant
+)
+
+// String returns the phase's span-CSV spelling.
+func (p Phase) String() string {
+	switch p {
+	case PhaseComplete:
+		return "complete"
+	case PhaseBegin:
+		return "begin"
+	case PhaseEnd:
+		return "end"
+	default:
+		return "instant"
+	}
+}
+
+// chromePh returns the phase's trace_event code.
+func (p Phase) chromePh() string {
+	switch p {
+	case PhaseComplete:
+		return "X"
+	case PhaseBegin:
+		return "b"
+	case PhaseEnd:
+		return "e"
+	default:
+		return "i"
+	}
+}
+
+// Arg is one span annotation, rendered into the trace_event "args"
+// object. Values are pre-rendered strings so recording never carries
+// type switches into the replay loop.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Span is one recorded trace event. Ts and Dur are simulated cycles;
+// the Chrome exporter maps one cycle to one trace microsecond.
+type Span struct {
+	Phase Phase
+	Name  string
+	Cat   string
+	// Pid/Tid place the span on a track: by convention pid 0 is the
+	// request/router track and pid 1+p is replica pool p (tid = shard).
+	Pid int
+	Tid int
+	// ID matches async begin/end pairs within a category (the request
+	// index).
+	ID   int
+	Ts   uint64
+	Dur  uint64
+	Args []Arg
+}
+
+// trackName is one piece of track metadata (process or thread name).
+type trackName struct {
+	pid, tid int
+	name     string
+	thread   bool
+}
+
+// Trace is an append-only span timeline. The zero value via New is
+// ready to record; a nil *Trace is the disabled tracer — every method
+// no-ops, On reports false.
+type Trace struct {
+	spans  []Span
+	tracks []trackName
+}
+
+// NewTrace returns an empty, enabled trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// On reports whether the tracer is recording. Call sites use it to
+// gate span-argument construction, which keeps the disabled path
+// allocation-free.
+func (t *Trace) On() bool { return t != nil }
+
+// Len reports the recorded span count.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return append([]Span(nil), t.spans...)
+}
+
+// Complete records a duration span: [start, end) on track (pid, tid).
+func (t *Trace) Complete(name, cat string, pid, tid int, start, end uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Phase: PhaseComplete, Name: name, Cat: cat,
+		Pid: pid, Tid: tid, Ts: start, Dur: end - start, Args: args})
+}
+
+// Begin opens an async span matched by (cat, id).
+func (t *Trace) Begin(name, cat string, pid, id int, ts uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Phase: PhaseBegin, Name: name, Cat: cat,
+		Pid: pid, ID: id, Ts: ts, Args: args})
+}
+
+// End closes the async span opened with the same (cat, id).
+func (t *Trace) End(name, cat string, pid, id int, ts uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Phase: PhaseEnd, Name: name, Cat: cat,
+		Pid: pid, ID: id, Ts: ts, Args: args})
+}
+
+// Instant records a point event on track (pid, tid).
+func (t *Trace) Instant(name, cat string, pid, tid int, ts uint64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, Span{Phase: PhaseInstant, Name: name, Cat: cat,
+		Pid: pid, Tid: tid, Ts: ts, Args: args})
+}
+
+// NameProcess labels a pid track in the exported trace.
+func (t *Trace) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.tracks = append(t.tracks, trackName{pid: pid, name: name})
+}
+
+// NameThread labels a (pid, tid) track in the exported trace.
+func (t *Trace) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.tracks = append(t.tracks, trackName{pid: pid, tid: tid, name: name, thread: true})
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTrace records a tiny request: an async request span on the
+// router track, a routing instant, two shard tasks on a pool track,
+// and a merge instant.
+func buildTrace() *Trace {
+	tr := NewTrace()
+	tr.NameProcess(0, "requests")
+	tr.NameProcess(1, "pool 0 (hipe)")
+	tr.NameThread(1, 0, "shard 0")
+	tr.NameThread(1, 1, "shard 1")
+	tr.Begin("q0", "request", 0, 0, 100, Arg{"client", "3"})
+	tr.Instant("route", "routing", 0, 0, 100, Arg{"arch", "hipe"})
+	tr.Complete("q0/shard0", "shard", 1, 0, 100, 300)
+	tr.Complete("q0/shard1", "shard", 1, 1, 100, 350, Arg{"matches", "17"})
+	tr.Instant("merge", "merge", 0, 0, 350)
+	tr.End("q0", "request", 0, 0, 350)
+	return tr
+}
+
+func TestTraceRecording(t *testing.T) {
+	tr := buildTrace()
+	if !tr.On() {
+		t.Fatal("enabled trace reports On() == false")
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len() = %d, want 6", tr.Len())
+	}
+	spans := tr.Spans()
+	if spans[0].Phase != PhaseBegin || spans[5].Phase != PhaseEnd {
+		t.Fatalf("async span not bracketed: %v ... %v", spans[0].Phase, spans[5].Phase)
+	}
+	if spans[3].Dur != 250 {
+		t.Fatalf("shard1 Dur = %d, want 250", spans[3].Dur)
+	}
+	if spans[2].Pid != 1 || spans[2].Tid != 0 {
+		t.Fatalf("shard0 track = (%d, %d), want (1, 0)", spans[2].Pid, spans[2].Tid)
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.On() {
+		t.Fatal("nil trace reports On() == true")
+	}
+	// Every recording method must be a safe no-op on nil.
+	tr.Begin("a", "b", 0, 0, 0)
+	tr.End("a", "b", 0, 0, 1)
+	tr.Complete("a", "b", 0, 0, 0, 1)
+	tr.Instant("a", "b", 0, 0, 0)
+	tr.NameProcess(0, "p")
+	tr.NameThread(0, 0, "t")
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace retained spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil-trace Chrome export invalid JSON: %s", buf.String())
+	}
+	buf.Reset()
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 1 {
+		t.Fatalf("nil-trace CSV has %d lines, want header only", lines)
+	}
+}
+
+func TestChromeExportShape(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", out)
+	}
+	// Structure the viewers depend on.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// 4 metadata events + 6 spans.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("traceEvents count = %d, want 10", len(doc.TraceEvents))
+	}
+	for _, frag := range []string{
+		`"ph":"M"`, `"process_name"`, `"thread_name"`, // track metadata
+		`"ph":"b"`, `"ph":"e"`, `"ph":"X"`, `"ph":"i"`, // phases
+		`"dur":200`,              // shard0 complete span
+		`"s":"t"`,                // instant scope
+		`"args":{"arch":"hipe"}`, // routing annotation
+		`"displayTimeUnit":"ms"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("export missing %s", frag)
+		}
+	}
+	// Async begin/end must share cat and id for the viewer to pair them.
+	var begin, end map[string]any
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begin = ev
+		case "e":
+			end = ev
+		}
+	}
+	if begin == nil || end == nil {
+		t.Fatal("async pair missing")
+	}
+	if begin["cat"] != end["cat"] || begin["id"] != end["id"] {
+		t.Fatalf("async pair mismatched: %v vs %v", begin, end)
+	}
+}
+
+func TestSpanCSV(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("CSV has %d lines, want header + 6 spans", len(lines))
+	}
+	if lines[0] != strings.Join(SpanCSVHeader, ",") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "matches=17") {
+		t.Fatalf("args not flattened: %q", lines[4])
+	}
+}
+
+func TestExportsByteDeterministic(t *testing.T) {
+	var j1, j2, c1, c2 bytes.Buffer
+	a, b := buildTrace(), buildTrace()
+	if err := a.WriteChromeJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChromeJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("Chrome JSON export not byte-deterministic")
+	}
+	if err := a.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("span CSV export not byte-deterministic")
+	}
+}

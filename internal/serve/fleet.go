@@ -13,10 +13,12 @@ package serve
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/sweep"
 )
@@ -275,6 +277,23 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	for i, a := range f.pools {
 		r.Pools[i] = PoolStats{Pool: i, Arch: a.String()}
 	}
+	// Counter totals sum each distinct (plan, shard) simulation once —
+	// replica pools share the memoised runs, so per-request summing
+	// would double-count them.
+	if opt.Counters {
+		r.Counters = sumPlanCounters(byPlan)
+	}
+	var tr *obs.Trace
+	if opt.Trace {
+		tr = obs.NewTrace()
+		tr.NameProcess(0, "requests")
+		for pi, a := range f.pools {
+			tr.NameProcess(1+pi, fmt.Sprintf("pool %d (%s)", pi, a))
+			for s := range f.shards {
+				tr.NameThread(1+pi, s, fmt.Sprintf("shard %d", s))
+			}
+		}
+	}
 	rp := &fleetReplay{
 		fleet:     f,
 		report:    r,
@@ -285,6 +304,7 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		byPlan:    byPlan,
 		planResp:  planResp,
 		poolFree:  make([][]uint64, len(f.pools)),
+		tr:        tr,
 	}
 	for i := range rp.poolFree {
 		rp.poolFree[i] = make([]uint64, len(f.shards))
@@ -319,6 +339,7 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		}
 		r.Concurrency = concurrency
 	}
+	r.Trace = tr
 	r.finish()
 	r.finishFleet(rp.accums)
 	return r, nil
@@ -338,6 +359,10 @@ type fleetReplay struct {
 	// poolFree is each replica pool's per-shard free time, in virtual
 	// cycles — the router's queue-depth signal and the FIFO state.
 	poolFree [][]uint64
+	// tr records the request span tree when tracing is on (nil when
+	// off). The replay is single-threaded, so recording is race-free
+	// and byte-deterministic.
+	tr *obs.Trace
 }
 
 // dispatch routes and queues one arrival. A shed request produces a
@@ -370,6 +395,11 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 		rp.report.ShedRequests = append(rp.report.ShedRequests, ShedTrace{
 			Index: index, Class: req.Class, Arrival: arrival, QueueCycles: minBacklog,
 		})
+		if rp.tr.On() {
+			rp.tr.Instant("shed", "admission", 0, 0, arrival,
+				obs.Arg{Key: "class", Val: spec.Name},
+				obs.Arg{Key: "backlog_cycles", Val: strconv.FormatUint(minBacklog, 10)})
+		}
 		return RequestTrace{}, nil
 	}
 
@@ -381,6 +411,20 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 	parts := rp.byPlan[pi]
 	free := rp.poolFree[chosen.pool]
 	pool := &rp.report.Pools[chosen.pool]
+	// The request's span tree: async span on the router track (pid 0),
+	// a routing instant carrying the pick and candidate count, shard
+	// tasks on the chosen pool's track (pid 1+pool, tid = shard).
+	var reqName string
+	if rp.tr.On() {
+		reqName = fmt.Sprintf("q%d %s", index, chosen.plan.Arch)
+		rp.tr.Begin(reqName, "request", 0, index, arrival,
+			obs.Arg{Key: "class", Val: spec.Name})
+		rp.tr.Instant("route", "routing", 0, 0, arrival,
+			obs.Arg{Key: "pool", Val: strconv.Itoa(chosen.pool)},
+			obs.Arg{Key: "arch", Val: rp.fleet.pools[chosen.pool].String()},
+			obs.Arg{Key: "candidates", Val: strconv.Itoa(len(cands))},
+			obs.Arg{Key: "queue_cycles", Val: strconv.FormatUint(uint64(queue[d.ChosenIndex]), 10)})
+	}
 	var completion uint64
 	for s, p := range parts {
 		start := arrival
@@ -394,8 +438,18 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 		if end > completion {
 			completion = end
 		}
+		if rp.tr.On() {
+			rp.tr.Complete(reqName, "shard", 1+chosen.pool, s, start, end,
+				obs.Arg{Key: "matches", Val: strconv.Itoa(p.Matches)})
+		}
 	}
 	pool.Requests++
+	if rp.tr.On() {
+		rp.tr.Instant("merge", "merge", 0, 0, completion,
+			obs.Arg{Key: "matches", Val: strconv.Itoa(rp.planResp[pi].Matches)})
+		rp.tr.End(reqName, "request", 0, index, completion,
+			obs.Arg{Key: "latency_cycles", Val: strconv.FormatUint(completion-arrival, 10)})
+	}
 	resp := rp.planResp[pi]
 	latency := completion - arrival
 	acc.observe(latency, spec.SLOCycles > 0)

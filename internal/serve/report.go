@@ -15,6 +15,7 @@ import (
 
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 )
 
@@ -136,6 +137,17 @@ type Report struct {
 	// ShedRequests are their traces, in arrival order.
 	Shed         int         `json:",omitempty"`
 	ShedRequests []ShedTrace `json:",omitempty"`
+	// Counters is the machine-counter total over the test — every
+	// distinct (plan, shard) simulation summed exactly once — when
+	// Options.Counters was set; nil (and JSON-omitted) otherwise, so
+	// counter-off reports are byte-identical to their pre-observability
+	// form.
+	Counters *obs.Counters `json:",omitempty"`
+	// Trace is the virtual-time span timeline when Options.Trace was
+	// set; nil otherwise. It exports through WriteChromeTrace and
+	// WriteSpanCSV, not the report JSON (spans repeat everything the
+	// request traces carry).
+	Trace *obs.Trace `json:"-"`
 	// Requests are the per-request traces, in issue order.
 	Requests []RequestTrace
 }
@@ -297,6 +309,19 @@ func routingColumns(d *cost.Decision, backends []query.Backend) []string {
 	return cols
 }
 
+// WriteChromeTrace writes the load test's span timeline in Chrome
+// trace_event JSON (loadable in Perfetto or chrome://tracing); with
+// tracing off it writes a valid empty trace document.
+func (r *Report) WriteChromeTrace(w io.Writer) error {
+	return r.Trace.WriteChromeJSON(w)
+}
+
+// WriteSpanCSV writes the span timeline as a flat CSV
+// (obs.SpanCSVHeader columns); with tracing off, just the header.
+func (r *Report) WriteSpanCSV(w io.Writer) error {
+	return r.Trace.WriteCSV(w)
+}
+
 // WriteJSON writes the whole report as one indented JSON document.
 func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -356,6 +381,10 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "class %d %-12s %4d/%d done, shed %d, p50/p95/p99 %d/%d/%d cycles, SLO %s\n",
 			cs.Class, cs.Name, cs.Completed, cs.Offered, cs.Shed,
 			cs.LatencyP50, cs.LatencyP95, cs.LatencyP99, att)
+	}
+	if r.Counters.Len() > 0 {
+		b.WriteString("-- machine counters (each distinct shard simulation summed once) --\n")
+		b.WriteString(r.Counters.String())
 	}
 	return b.String()
 }

@@ -31,6 +31,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/energy"
 	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/sweep"
 )
@@ -104,6 +105,10 @@ type ShardPartial struct {
 	// in db.GroupID order (nil for selection requests). Contiguous
 	// shards tile the table, so group partials recompose by index.
 	Groups []db.GroupAgg `json:",omitempty"`
+	// Counters is the shard run's machine-counter snapshot, captured
+	// only when Options.Counters is set (nil — and JSON-omitted —
+	// otherwise, so counter-off exports are unchanged).
+	Counters *obs.Counters `json:",omitempty"`
 }
 
 // Response is a merged, verified whole-table answer.
@@ -136,6 +141,10 @@ type Response struct {
 	// Pool records the fleet router's (replica, backend) pick for
 	// requests served through a Fleet. Nil on single-replica clusters.
 	Pool *PoolPick `json:",omitempty"`
+	// Counters is the request's machine-counter snapshot — the shard
+	// snapshots summed — when Options.Counters is set; nil (and
+	// JSON-omitted) otherwise.
+	Counters *obs.Counters `json:",omitempty"`
 }
 
 // Options tune cluster execution.
@@ -148,6 +157,19 @@ type Options struct {
 	// with the number completed so far and the total. Calls are
 	// serialised but arrive in completion order — progress only.
 	OnTask func(completed, total int)
+	// Counters enables machine-counter capture: each shard run
+	// snapshots its machine's counter registry (plus the event engine's
+	// scheduler accounting) into the shard partial before the machine is
+	// recycled, and the snapshots roll up into responses and reports.
+	// Off by default — when off, no capture code runs and exports are
+	// byte-identical to their pre-observability form.
+	Counters bool
+	// Trace enables the virtual-time request tracer in load tests:
+	// per-request spans (arrival, routing/shed decisions, per-shard
+	// machine replay, merge) recorded in simulated cycles during the
+	// single-threaded timeline replay, exported via the report's
+	// WriteChromeTrace/WriteSpanCSV. Off by default and free when off.
+	Trace bool
 }
 
 // EffectiveWorkers resolves the executor-pool size these options
@@ -368,8 +390,10 @@ func (c *Cluster) putMachine(m *machine.Machine) {
 
 // runShard executes req's plan over shard s on a pooled machine
 // instance, verifies the engine-computed result against the shard
-// reference, and returns the shard partial.
-func (c *Cluster) runShard(s int, p query.Plan) (ShardPartial, error) {
+// reference, and returns the shard partial. When counters is set the
+// machine's counter registry is snapshotted into the partial before
+// the machine is recycled (Reset clears the registry).
+func (c *Cluster) runShard(s int, p query.Plan, counters bool) (ShardPartial, error) {
 	m, err := c.getMachine()
 	if err != nil {
 		return ShardPartial{}, err
@@ -385,23 +409,29 @@ func (c *Cluster) runShard(s int, p query.Plan) (ShardPartial, error) {
 	if err := w.Verify(); err != nil {
 		return ShardPartial{}, err
 	}
+	var ctrs *obs.Counters
+	if counters {
+		ctrs = obs.Capture(m.Registry, m.Engine)
+	}
 	// Verify passed: the engine's bitmask (and, for aggregation plans,
 	// its in-memory accumulators) equals the shard reference, so the
 	// reference values ARE the engine-computed partials.
 	if w.Ref1 != nil {
 		return ShardPartial{
-			Shard:   s,
-			Cycles:  cycles,
-			Matches: w.Ref1.Matches,
-			Revenue: w.Ref1.Revenue(),
-			Groups:  w.GroupResults(),
+			Shard:    s,
+			Cycles:   cycles,
+			Matches:  w.Ref1.Matches,
+			Revenue:  w.Ref1.Revenue(),
+			Groups:   w.GroupResults(),
+			Counters: ctrs,
 		}, nil
 	}
 	return ShardPartial{
-		Shard:   s,
-		Cycles:  cycles,
-		Matches: w.Ref.Matches,
-		Revenue: w.Ref.Revenue,
+		Shard:    s,
+		Cycles:   cycles,
+		Matches:  w.Ref.Matches,
+		Revenue:  w.Ref.Revenue,
+		Counters: ctrs,
 	}, nil
 }
 
@@ -414,6 +444,13 @@ func (c *Cluster) merge(req Request, parts []ShardPartial) (*Response, error) {
 		resp.WorkCycles += p.Cycles
 		if p.Cycles > resp.Cycles {
 			resp.Cycles = p.Cycles
+		}
+		if p.Counters != nil {
+			if resp.Counters == nil {
+				resp.Counters = p.Counters.Clone()
+			} else {
+				resp.Counters.Add(p.Counters)
+			}
 		}
 	}
 	if req.Plan.Kind == query.Q1Agg {
@@ -494,7 +531,7 @@ func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
 		go func() {
 			defer done.Done()
 			for s := range indices {
-				parts[s], errs[s] = c.runShard(s, req.Plan)
+				parts[s], errs[s] = c.runShard(s, req.Plan, opt.Counters)
 				if opt.OnTask != nil {
 					progressMu.Lock()
 					completed++

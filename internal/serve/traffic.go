@@ -12,10 +12,12 @@ package serve
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/stats"
 )
@@ -427,7 +429,7 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		}
 	}
 
-	parts, err := c.runAll(reqs, opt)
+	parts, byPlan, err := c.runAll(reqs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -447,14 +449,49 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		Rows:    c.whole.N,
 		Offered: offered,
 	}
+	// The report's counter total sums each distinct (plan, shard)
+	// simulation exactly once — requests sharing a plan share one run,
+	// so summing per-request responses would double-count it.
+	if opt.Counters {
+		r.Counters = sumPlanCounters(byPlan)
+	}
+	var tr *obs.Trace
+	if opt.Trace {
+		tr = obs.NewTrace()
+		nameClusterTracks(tr, len(c.shards))
+	}
 	switch spec.Mode {
 	case Open:
-		c.scheduleOpen(r, responses, arrivalTimes, parts)
+		c.scheduleOpen(r, responses, arrivalTimes, parts, tr)
 	case Closed:
-		c.scheduleClosed(r, responses, parts, spec.Concurrency)
+		c.scheduleClosed(r, responses, parts, spec.Concurrency, tr)
 	}
+	r.Trace = tr
 	r.finish()
 	return r, nil
+}
+
+// sumPlanCounters folds the per-(plan, shard) counter snapshots into
+// one total, each distinct simulation counted once.
+func sumPlanCounters(byPlan [][]ShardPartial) *obs.Counters {
+	total := &obs.Counters{}
+	for _, parts := range byPlan {
+		for _, p := range parts {
+			total.Add(p.Counters)
+		}
+	}
+	return total
+}
+
+// nameClusterTracks labels the trace's tracks: pid 0 is the
+// request/router timeline, pid 1 the (single-replica) cluster with one
+// thread per shard.
+func nameClusterTracks(tr *obs.Trace, shards int) {
+	tr.NameProcess(0, "requests")
+	tr.NameProcess(1, "cluster")
+	for s := 0; s < shards; s++ {
+		tr.NameThread(1, s, fmt.Sprintf("shard %d", s))
+	}
 }
 
 // taskKey identifies one distinct shard simulation. Identical plans
@@ -470,7 +507,10 @@ type taskKey struct {
 // the executor pool, simulating each distinct (plan, shard) pair
 // exactly once. Task order is first occurrence in the request stream,
 // and results are indexed, so worker scheduling cannot leak into them.
-func (c *Cluster) runAll(reqs []Request, opt Options) ([][]ShardPartial, error) {
+// Both views of the results are returned: per request (sharing slices
+// across requests with equal plans) and per distinct plan — the latter
+// is what counter totals must sum over to count each simulation once.
+func (c *Cluster) runAll(reqs []Request, opt Options) (parts, byPlan [][]ShardPartial, err error) {
 	index := map[query.Plan]int{}
 	var plans []query.Plan
 	for _, req := range reqs {
@@ -479,15 +519,15 @@ func (c *Cluster) runAll(reqs []Request, opt Options) ([][]ShardPartial, error) 
 			plans = append(plans, req.Plan)
 		}
 	}
-	byPlan, err := c.runPlanSet(plans, opt)
+	byPlan, err = c.runPlanSet(plans, opt)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	parts := make([][]ShardPartial, len(reqs))
+	parts = make([][]ShardPartial, len(reqs))
 	for ri, req := range reqs {
 		parts[ri] = byPlan[index[req.Plan]]
 	}
-	return parts, nil
+	return parts, byPlan, nil
 }
 
 // runPlanSet computes the per-shard partials for a set of distinct
@@ -522,7 +562,7 @@ func (c *Cluster) runPlanSet(plans []query.Plan, opt Options) ([][]ShardPartial,
 		go func() {
 			defer done.Done()
 			for t := range indices {
-				results[t], errs[t] = c.runShard(keys[t].shard, keys[t].plan)
+				results[t], errs[t] = c.runShard(keys[t].shard, keys[t].plan, opt.Counters)
 				if opt.OnTask != nil {
 					progressMu.Lock()
 					completed++
@@ -553,12 +593,12 @@ func (c *Cluster) runPlanSet(plans []query.Plan, opt Options) ([][]ShardPartial,
 // scheduleOpen replays the open-loop timeline: requests fan out to
 // every shard in arrival order, each shard serves its queue FIFO, and a
 // request completes when its slowest shard task does.
-func (c *Cluster) scheduleOpen(r *Report, responses []*Response, arrivals []uint64, parts [][]ShardPartial) {
+func (c *Cluster) scheduleOpen(r *Report, responses []*Response, arrivals []uint64, parts [][]ShardPartial, tr *obs.Trace) {
 	shardFree := make([]uint64, len(c.shards))
 	r.PerShard = newShardStats(len(c.shards))
 	for i, resp := range responses {
 		r.Requests = append(r.Requests,
-			c.dispatch(resp, i, -1, arrivals[i], parts[i], shardFree, r.PerShard))
+			c.dispatch(resp, i, -1, arrivals[i], parts[i], shardFree, r.PerShard, tr))
 	}
 }
 
@@ -566,7 +606,7 @@ func (c *Cluster) scheduleOpen(r *Report, responses []*Response, arrivals []uint
 // share the request stream; each client issues the next unissued
 // request the moment its previous one completes (zero think time).
 // Ties break on client index, so the replay is fully deterministic.
-func (c *Cluster) scheduleClosed(r *Report, responses []*Response, parts [][]ShardPartial, concurrency int) {
+func (c *Cluster) scheduleClosed(r *Report, responses []*Response, parts [][]ShardPartial, concurrency int, tr *obs.Trace) {
 	if concurrency > len(responses) {
 		concurrency = len(responses)
 	}
@@ -582,17 +622,34 @@ func (c *Cluster) scheduleClosed(r *Report, responses []*Response, parts [][]Sha
 				client = cl
 			}
 		}
-		tr := c.dispatch(resp, i, client, clientFree[client], parts[i], shardFree, r.PerShard)
-		clientFree[client] = tr.Completion
-		r.Requests = append(r.Requests, tr)
+		reqTr := c.dispatch(resp, i, client, clientFree[client], parts[i], shardFree, r.PerShard, tr)
+		clientFree[client] = reqTr.Completion
+		r.Requests = append(r.Requests, reqTr)
 	}
 	r.Concurrency = concurrency
 }
 
 // dispatch queues one request's shard tasks FIFO behind each shard's
-// earlier work and returns its trace.
+// earlier work and returns its trace. When tr is recording it emits
+// the request's span tree: an async request span on the router track
+// (pid 0) bracketing a routing instant, one complete span per shard
+// task on the cluster track (pid 1, tid = shard), and a merge instant
+// at completion. All span times are virtual cycles from this
+// single-threaded replay, so traces are byte-identical at any worker
+// count; the On() gates keep the disabled path allocation-free.
 func (c *Cluster) dispatch(resp *Response, index, client int, arrival uint64,
-	parts []ShardPartial, shardFree []uint64, perShard []ShardStats) RequestTrace {
+	parts []ShardPartial, shardFree []uint64, perShard []ShardStats, tr *obs.Trace) RequestTrace {
+	var reqName string
+	if tr.On() {
+		reqName = fmt.Sprintf("q%d %s", index, resp.Request.Plan.Arch)
+		tr.Begin(reqName, "request", 0, index, arrival,
+			obs.Arg{Key: "arch", Val: resp.Request.Plan.Arch.String()})
+		if resp.Routing != nil {
+			tr.Instant("route", "routing", 0, 0, arrival,
+				obs.Arg{Key: "chosen", Val: resp.Routing.Chosen.Arch.String()},
+				obs.Arg{Key: "candidates", Val: strconv.Itoa(len(resp.Routing.Estimates))})
+		}
+	}
 	var completion uint64
 	for s, p := range parts {
 		start := arrival
@@ -606,6 +663,16 @@ func (c *Cluster) dispatch(resp *Response, index, client int, arrival uint64,
 		if end > completion {
 			completion = end
 		}
+		if tr.On() {
+			tr.Complete(reqName, "shard", 1, s, start, end,
+				obs.Arg{Key: "matches", Val: strconv.Itoa(p.Matches)})
+		}
+	}
+	if tr.On() {
+		tr.Instant("merge", "merge", 0, 0, completion,
+			obs.Arg{Key: "matches", Val: strconv.Itoa(resp.Matches)})
+		tr.End(reqName, "request", 0, index, completion,
+			obs.Arg{Key: "latency_cycles", Val: strconv.FormatUint(completion-arrival, 10)})
 	}
 	return RequestTrace{
 		Index:      index,

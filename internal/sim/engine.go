@@ -128,6 +128,23 @@ type Engine struct {
 
 	// executed counts events that have fired, for diagnostics.
 	executed uint64
+	// scheduled counts events enqueued; ringEvents/heapEvents split it by
+	// the lane enqueue routed to. Plain field increments, so the Schedule
+	// and Step zero-allocation pins are unaffected.
+	scheduled  uint64
+	ringEvents uint64
+	heapEvents uint64
+}
+
+// Stats is a snapshot of the scheduler's event accounting: how many
+// events were enqueued, how many fired, and which lane — the near-future
+// ring or the far-future heap — each enqueue routed to. The counters are
+// cumulative since construction or the last Reset.
+type Stats struct {
+	Scheduled  uint64
+	Executed   uint64
+	RingEvents uint64
+	HeapEvents uint64
 }
 
 // NewEngine returns an engine positioned at cycle 0 with no pending events.
@@ -141,6 +158,7 @@ func NewEngine() *Engine {
 // reallocating. Pending events are dropped.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.executed = 0, 0, 0
+	e.scheduled, e.ringEvents, e.heapEvents = 0, 0, 0
 	if e.ringCount != 0 {
 		for i := range e.ring {
 			b := &e.ring[i]
@@ -169,6 +187,16 @@ func (e *Engine) Pending() int { return e.ringCount + len(e.heap) }
 
 // Executed reports the total number of events that have fired.
 func (e *Engine) Executed() uint64 { return e.executed }
+
+// Stats reports the scheduler's cumulative event accounting.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scheduled:  e.scheduled,
+		Executed:   e.executed,
+		RingEvents: e.ringEvents,
+		HeapEvents: e.heapEvents,
+	}
+}
 
 // Schedule queues fn to run at absolute cycle at. Scheduling in the past
 // (at < Now) is a programming error and panics: allowing it would silently
@@ -226,14 +254,17 @@ func (e *Engine) enqueue(at Cycle, h Handler, tag uint64) {
 	}
 	ev := queuedEvent{cycle: at, seq: e.seq, h: h, tag: tag}
 	e.seq++
+	e.scheduled++
 	if at-e.now < ringSize {
 		i := int(at & ringMask)
 		b := &e.ring[i]
 		b.evs = append(b.evs, ev)
 		e.occ[i>>6] |= 1 << (uint(i) & 63)
 		e.ringCount++
+		e.ringEvents++
 		return
 	}
+	e.heapEvents++
 	e.heapPush(ev)
 }
 

@@ -213,3 +213,25 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+func TestEngineStatsAccounting(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	e.Schedule(0, nop)     // ring lane
+	e.Schedule(10, nop)    // ring lane
+	e.Schedule(1<<20, nop) // far future: heap lane
+	got := e.Stats()
+	want := Stats{Scheduled: 3, Executed: 0, RingEvents: 2, HeapEvents: 1}
+	if got != want {
+		t.Fatalf("Stats before run = %+v, want %+v", got, want)
+	}
+	e.Run()
+	got = e.Stats()
+	if got.Executed != 3 || got.Scheduled != 3 {
+		t.Fatalf("Stats after run = %+v", got)
+	}
+	e.Reset()
+	if e.Stats() != (Stats{}) {
+		t.Fatalf("Stats after Reset = %+v, want zero", e.Stats())
+	}
+}

@@ -10,10 +10,19 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Registry holds all scopes for one simulated system instance.
+//
+// Scope creation and the registry-wide read paths (Lookup, Total,
+// Scopes, String, Reset) are safe for concurrent callers: observability
+// consumers snapshot registries while executor pools build machines.
+// Counter bumps through an obtained *Scope/*Counter stay unsynchronised
+// — each simulated machine is single-threaded, and keeping the hot path
+// lock-free is what keeps it free.
 type Registry struct {
+	mu     sync.Mutex
 	scopes map[string]*Scope
 	order  []string
 }
@@ -26,6 +35,8 @@ func NewRegistry() *Registry {
 // Scope returns the scope with the given component name, creating it on
 // first use. Names are hierarchical by convention ("cpu0.l1d").
 func (r *Registry) Scope(name string) *Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if s, ok := r.scopes[name]; ok {
 		return s
 	}
@@ -39,6 +50,8 @@ func (r *Registry) Scope(name string) *Scope {
 // scope/counter structure (a reset registry reports the same counter
 // names as a fresh machine, all at zero).
 func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, s := range r.scopes {
 		for _, c := range s.counters {
 			c.v = 0
@@ -48,6 +61,8 @@ func (r *Registry) Reset() {
 
 // Scopes returns all scopes in creation order.
 func (r *Registry) Scopes() []*Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]*Scope, 0, len(r.order))
 	for _, n := range r.order {
 		out = append(out, r.scopes[n])
@@ -58,6 +73,8 @@ func (r *Registry) Scopes() []*Scope {
 // Lookup returns the named counter value across the whole registry using
 // "scope.counter" syntax; it reports false if absent.
 func (r *Registry) Lookup(path string) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	i := strings.LastIndex(path, ".")
 	if i < 0 {
 		return 0, false
@@ -76,6 +93,8 @@ func (r *Registry) Lookup(path string) (uint64, bool) {
 // Total sums counters with the given name across all scopes whose name has
 // the given prefix. Used e.g. to sum dram.reads over all 32 vaults.
 func (r *Registry) Total(scopePrefix, counter string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var sum uint64
 	for _, n := range r.order {
 		if strings.HasPrefix(n, scopePrefix) {
@@ -90,6 +109,8 @@ func (r *Registry) Total(scopePrefix, counter string) uint64 {
 // String renders every scope and counter, sorted within scope, in creation
 // order of scopes. Stable output for golden tests.
 func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var b strings.Builder
 	for _, n := range r.order {
 		s := r.scopes[n]
@@ -129,6 +150,9 @@ func (s *Scope) Counter(name string) *Counter {
 	s.order = append(s.order, name)
 	return c
 }
+
+// Counters returns the scope's counter names in creation order.
+func (s *Scope) Counters() []string { return append([]string(nil), s.order...) }
 
 // Get returns the current value of a counter (0 if never created).
 func (s *Scope) Get(name string) uint64 {

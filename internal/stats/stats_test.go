@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -142,5 +144,76 @@ func TestHistogramProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Scope("cpu0").Counter("commits")
+	c.Add(42)
+	r.Scope("l1d").Counter("read_hits").Add(7)
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("counter after Reset = %d, want 0", c.Value())
+	}
+	if got := r.Total("", "read_hits"); got != 0 {
+		t.Fatalf("Total after Reset = %d, want 0", got)
+	}
+	// Scopes and counter identity survive a reset.
+	if len(r.Scopes()) != 2 {
+		t.Fatalf("scopes after Reset = %d, want 2", len(r.Scopes()))
+	}
+	if r.Scope("cpu0").Counter("commits") != c {
+		t.Fatal("Reset broke counter identity")
+	}
+}
+
+func TestScopeCounters(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope("cache")
+	s.Counter("misses")
+	s.Counter("hits")
+	s.Counter("misses") // re-fetch must not duplicate
+	got := s.Counters()
+	if len(got) != 2 || got[0] != "misses" || got[1] != "hits" {
+		t.Fatalf("Counters() = %v, want [misses hits]", got)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the scope.
+	got[0] = "clobbered"
+	if s.Counters()[0] != "misses" {
+		t.Fatal("Counters() exposed internal order slice")
+	}
+}
+
+// TestConcurrentScopes exercises the registry's locked paths from many
+// goroutines — scope creation racing registry-wide reads — and relies on
+// the -race runs in CI to flag unsynchronised access. Counter bumps stay
+// single-threaded per scope, matching how machines use the registry.
+func TestConcurrentScopes(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "worker" + strconv.Itoa(g)
+			for i := 0; i < 200; i++ {
+				r.Scope(name).Counter("ops").Inc()
+				switch i % 4 {
+				case 0:
+					r.Scopes()
+				case 1:
+					r.Total("worker", "ops")
+				case 2:
+					r.Lookup(name + ".ops")
+				case 3:
+					_ = r.String()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Total("worker", "ops"); got != 8*200 {
+		t.Fatalf("Total after concurrent bumps = %d, want %d", got, 8*200)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/machine"
+	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 )
 
@@ -26,6 +27,12 @@ type Options struct {
 	// arrive in completion order, not index order — use it for
 	// progress reporting, not aggregation.
 	OnCell func(completed, total int, r CellResult)
+	// Counters enables machine-counter capture: each cell's machine
+	// registry (plus its event engine's scheduler accounting) is
+	// snapshotted into CellResult.Counters after the run, before the
+	// machine is reused. Off by default; when off no capture code runs
+	// and exports are byte-identical to their pre-observability form.
+	Counters bool
 }
 
 // EffectiveWorkers resolves the worker-pool size these options produce.
@@ -57,6 +64,10 @@ type CellResult struct {
 	// envelopes), and Result.Plan is the chosen backend's plan. Nil —
 	// and JSON-omitted — for fixed-architecture cells.
 	Routing *cost.Decision `json:",omitempty"`
+	// Counters is the cell's machine-counter snapshot when
+	// Options.Counters was set; nil — and JSON-omitted — otherwise, so
+	// counter-off exports are unchanged.
+	Counters *obs.Counters `json:",omitempty"`
 }
 
 // ResultSet is the aggregate outcome of a sweep, ordered by cell index.
@@ -240,6 +251,13 @@ func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
 				}
 				if err == nil {
 					res, err = cfg.runOn(m, tab, plan)
+				}
+				if err == nil && opt.Counters {
+					// Snapshot before the next cell's Reset clears the
+					// registry. A snapshot is a pure function of the
+					// single-threaded cell run, so worker scheduling
+					// cannot leak into it.
+					cr.Counters = obs.Capture(m.Registry, m.Engine)
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("sweep: cell %d (%s): %w", i, cell, err)

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"sort"
 	"strconv"
 
 	"github.com/hipe-sim/hipe/internal/db"
@@ -43,18 +44,59 @@ func (rs *ResultSet) HasRouting() bool {
 	return false
 }
 
+// HasCounters reports whether any cell carries a machine-counter
+// snapshot (sweeps run with Options.Counters).
+func (rs *ResultSet) HasCounters() bool {
+	for i := range rs.Cells {
+		if rs.Cells[i].Counters.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// counterKeys returns the sorted union of every cell's counter keys —
+// the "ctr_<key>" column set. Snapshot keys are already sorted, so the
+// union is a sorted merge.
+func (rs *ResultSet) counterKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for i := range rs.Cells {
+		for _, k := range rs.Cells[i].Counters.Keys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // WriteCSV writes the set as CSV with CSVHeader's columns (plus
-// RoutingCSVHeader when the set contains auto-arch cells).
+// RoutingCSVHeader when the set contains auto-arch cells, plus one
+// "ctr_<key>" column per captured machine counter when the sweep ran
+// with counters on — counter-off exports keep the original schema).
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := rs.HasRouting()
+	var ctrKeys []string
+	if rs.HasCounters() {
+		ctrKeys = rs.counterKeys()
+	}
 	header := CSVHeader
-	if routed {
-		header = append(append([]string{}, CSVHeader...), RoutingCSVHeader()...)
+	if routed || len(ctrKeys) > 0 {
+		header = append([]string{}, CSVHeader...)
+		if routed {
+			header = append(header, RoutingCSVHeader()...)
+		}
+		for _, k := range ctrKeys {
+			header = append(header, "ctr_"+k)
+		}
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -101,6 +143,13 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 					strconv.FormatFloat(d.Estimates[d.ChosenIndex].Cycles, 'f', 0, 64))
 			} else {
 				rec = append(rec, "", "")
+			}
+		}
+		for _, k := range ctrKeys {
+			if v, ok := c.Counters.Get(k); ok {
+				rec = append(rec, strconv.FormatUint(v, 10))
+			} else {
+				rec = append(rec, "")
 			}
 		}
 		if err := cw.Write(rec); err != nil {

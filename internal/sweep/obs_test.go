@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+func obsTestCells(t *testing.T) []Cell {
+	t.Helper()
+	g := Grid{
+		Archs:      []query.Arch{query.X86, query.HIPE},
+		Strategies: []query.Strategy{query.ColumnAtATime},
+		OpSizes:    []uint32{64},
+		Unrolls:    []int{8},
+		Tuples:     []int{512},
+		Seeds:      []uint64{42},
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// TestSweepCountersCaptured: counters on, every cell carries a sorted
+// machine-counter snapshot with the engine and component keys, and the
+// CSV export grows the ctr_ columns.
+func TestSweepCountersCaptured(t *testing.T) {
+	cfg := Default()
+	cfg.Tuples = 512
+	rs, err := RunCells(cfg, obsTestCells(t), Options{Workers: 2, Counters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.HasCounters() {
+		t.Fatal("counters on but HasCounters false")
+	}
+	for _, c := range rs.Cells {
+		if c.Counters.Len() == 0 {
+			t.Fatalf("cell %d has no counter snapshot", c.Index)
+		}
+		for _, key := range []string{"engine.events_executed", "dram.reads"} {
+			if v, ok := c.Counters.Get(key); !ok || v == 0 {
+				t.Errorf("cell %d missing counter %s (= %d, %v)", c.Index, key, v, ok)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(header, "ctr_engine.events_executed") {
+		t.Fatalf("CSV header missing ctr_ columns: %s", header)
+	}
+	// Counter-off export keeps the original schema.
+	rsOff, err := RunCells(cfg, obsTestCells(t), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsOff.HasCounters() {
+		t.Fatal("counters off but HasCounters true")
+	}
+	buf.Reset()
+	if err := rsOff.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "ctr_") {
+		t.Fatal("counter-off CSV grew ctr_ columns")
+	}
+}
+
+// TestSweepCountersDeterministicAcrossWorkers: counter-bearing exports
+// are byte-identical at any worker count.
+func TestSweepCountersDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Default()
+	cfg.Tuples = 512
+	run := func(workers int) []byte {
+		t.Helper()
+		rs, err := RunCells(cfg, obsTestCells(t), Options{Workers: workers, Counters: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rs.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		if !bytes.Equal(base, run(w)) {
+			t.Fatalf("counter CSV differs between 1 and %d workers", w)
+		}
+	}
+}

@@ -74,4 +74,29 @@ trace "$many"
 cmp "$out/trace.1.csv" "$out/trace.$many.csv"
 cmp "$out/trace.1.json" "$out/trace.$many.json"
 
+echo "== observability exports (counters + virtual-time trace): -workers 1 vs -workers $many =="
+obs() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -mode open -qps 250000 \
+    -pools hipe,x86 -archs auto -counters \
+    -trace-json "$out/obs.$1.trace.json" -spans-csv "$out/obs.$1.spans.csv" \
+    -json "$out/obs.$1.json" -quiet >/dev/null
+}
+obs 1
+obs "$many"
+cmp "$out/obs.1.trace.json" "$out/obs.$many.trace.json"
+cmp "$out/obs.1.spans.csv" "$out/obs.$many.spans.csv"
+cmp "$out/obs.1.json" "$out/obs.$many.json"
+
+echo "== sweep counter columns: -workers 1 vs -workers $many =="
+ctrsweep() {
+  go run ./cmd/hipe-sweep -workers "$1" \
+    -archs x86,hmc,hive,hipe -opsizes 64,256 -unrolls 8 \
+    -tuples 4096 -q1cuts 2436 -counters -quiet \
+    -csv "$out/ctr.$1.csv" >/dev/null
+}
+ctrsweep 1
+ctrsweep "$many"
+cmp "$out/ctr.1.csv" "$out/ctr.$many.csv"
+
 echo "determinism gate passed: all artifacts byte-identical at 1 and $many workers"
