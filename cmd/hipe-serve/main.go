@@ -13,6 +13,11 @@
 //	           [-q1-every 4] [-q1-cut 2436] [-clustered] [-noise 10] \
 //	           [-duration-ms 0] [-concurrency 4] \
 //	           [-pools hipe,hipe,x86] [-classes "batch:400:100,rt:200:0"] [-shed] \
+//	           [-fault-seed 7] [-crash-every-us 500] [-crash-down-us 150] \
+//	           [-crash "1:40:120"] [-straggle-every-us 300] [-straggle-for-us 100] \
+//	           [-straggle-factor 3] [-stall-every-us 400] [-stall-for-us 20] [-stall-max-us 60] \
+//	           [-retries 2] [-retry-backoff-us 5] [-retry-backoff-cap-us 40] \
+//	           [-timeout-us 400] [-hedge-us 150] [-failover] \
 //	           [-trace] [-trace-period-us 2000] [-trace-amp 0.5] \
 //	           [-burst 4] [-burst-on-us 200] [-burst-off-us 600] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
@@ -28,6 +33,19 @@
 // never shed); with -shed, overload refuses work whose class patience
 // even the least-loaded replica exceeds — lowest patience sheds first.
 // Fleet reports add per-pool and per-class (SLO-attainment) rows.
+//
+// The fault flags inject a deterministic, seeded fault schedule into a
+// fleet run: stochastic replica crashes (-crash-every-us/-crash-down-us)
+// with recovery, scheduled outages (-crash pool:at_µs:down_µs triples),
+// per-shard straggler slowdowns (-straggle-*) and bounded transient
+// stalls (-stall-*). The recovery flags drive the fleet's response:
+// per-attempt timeouts (-timeout-us), capped exponential-backoff
+// retries (-retries/-retry-backoff-us/-retry-backoff-cap-us), hedged
+// second attempts (-hedge-us) and health-aware failover routing
+// (-failover). A request whose retry budget runs out degrades to a
+// partial answer with exact coverage and relative-error columns.
+// Faulted runs stay byte-identical at any -workers count; fault-free
+// runs are byte-identical to pre-fault builds.
 //
 // -trace swaps the open loop's Poisson process for a trace-driven
 // non-homogeneous one: -trace-period-us/-trace-amp add a diurnal
@@ -95,6 +113,22 @@ func main() {
 	pools := flag.String("pools", "", "comma list of replica-pool architectures (e.g. hipe,hipe,x86): serve through a replicated fleet with queue-aware routing")
 	classesFlag := flag.String("classes", "", "admission classes as name:slo_µs:patience_µs triples (needs -pools; patience 0 = never shed)")
 	shed := flag.Bool("shed", false, "enable admission control: shed low-patience classes under overload (needs -classes, open mode)")
+	faultSeed := flag.Uint64("fault-seed", 7, "fault-injection seed: equal seeds replay the identical fault timeline")
+	crashEveryUS := flag.Float64("crash-every-us", 0, "mean up-time between stochastic replica crashes in simulated µs (needs -pools; 0 disables)")
+	crashDownUS := flag.Float64("crash-down-us", 0, "mean crash outage duration in simulated µs (needs -crash-every-us)")
+	crashesFlag := flag.String("crash", "", "scheduled outages as pool:at_µs:down_µs triples (needs -pools)")
+	straggleEveryUS := flag.Float64("straggle-every-us", 0, "mean healthy time between per-shard straggler episodes in simulated µs (needs -pools; 0 disables)")
+	straggleForUS := flag.Float64("straggle-for-us", 0, "mean straggler episode duration in simulated µs (needs -straggle-every-us)")
+	straggleFactor := flag.Float64("straggle-factor", 0, "service-cycle multiplier during straggler episodes, finite and > 1 (needs -straggle-every-us)")
+	stallEveryUS := flag.Float64("stall-every-us", 0, "mean quiet time between per-shard transient stalls in simulated µs (needs -pools; 0 disables)")
+	stallForUS := flag.Float64("stall-for-us", 0, "mean stall duration in simulated µs (needs -stall-every-us)")
+	stallMaxUS := flag.Float64("stall-max-us", 0, "hard per-stall duration bound in simulated µs (0 = 4x -stall-for-us)")
+	retries := flag.Int("retries", 0, "per-request retry budget after a failed attempt (needs -pools)")
+	retryBackoffUS := flag.Float64("retry-backoff-us", 0, "delay before the first retry in simulated µs, doubling per retry (needs -retries)")
+	retryBackoffCapUS := flag.Float64("retry-backoff-cap-us", 0, "backoff doubling cap in simulated µs (0 = uncapped; needs -retries)")
+	timeoutUS := flag.Float64("timeout-us", 0, "per-attempt timeout in simulated µs, applied to every class (needs -pools; 0 = attempts never time out)")
+	hedgeUS := flag.Float64("hedge-us", 0, "hedged-request delay in simulated µs, applied to every class (needs -pools; 0 = no hedging)")
+	failover := flag.Bool("failover", false, "health-aware failover routing: exclude down replicas, penalise observed stragglers (needs -pools)")
 	traceMode := flag.Bool("trace", false, "open loop: trace-driven non-homogeneous arrivals instead of Poisson")
 	tracePeriodUS := flag.Float64("trace-period-us", 0, "diurnal modulation period in simulated µs (needs -trace)")
 	traceAmp := flag.Float64("trace-amp", 0, "diurnal amplitude in [0,1) (needs -trace and -trace-period-us)")
@@ -266,6 +300,71 @@ func main() {
 			fail("%s %g must be a non-negative finite duration", v.name, v.val)
 		}
 	}
+	// Fault-injection and recovery flags. The negated comparisons also
+	// reject NaN, which compares false against everything and would
+	// otherwise sail through into the cycle conversions.
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"-crash-every-us", *crashEveryUS}, {"-crash-down-us", *crashDownUS},
+		{"-straggle-every-us", *straggleEveryUS}, {"-straggle-for-us", *straggleForUS},
+		{"-stall-every-us", *stallEveryUS}, {"-stall-for-us", *stallForUS}, {"-stall-max-us", *stallMaxUS},
+		{"-retry-backoff-us", *retryBackoffUS}, {"-retry-backoff-cap-us", *retryBackoffCapUS},
+		{"-timeout-us", *timeoutUS}, {"-hedge-us", *hedgeUS},
+	} {
+		if !(v.val >= 0) || math.IsInf(v.val, 1) {
+			fail("%s %g must be a non-negative finite duration", v.name, v.val)
+		}
+	}
+	if *straggleFactor != 0 && (math.IsNaN(*straggleFactor) || math.IsInf(*straggleFactor, 0) || *straggleFactor <= 1) {
+		fail("-straggle-factor %g must be a finite multiplier > 1", *straggleFactor)
+	}
+	if *retries < 0 {
+		fail("-retries %d must not be negative", *retries)
+	}
+	crashList, err := parseCrashes(*crashesFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	faultOn := *crashEveryUS > 0 || *straggleEveryUS > 0 || *stallEveryUS > 0 || len(crashList) > 0
+	recoveryOn := *retries > 0 || *retryBackoffUS > 0 || *retryBackoffCapUS > 0 ||
+		*timeoutUS > 0 || *hedgeUS > 0 || *failover
+	if (faultOn || recoveryOn) && len(poolArchs) == 0 {
+		fail("fault and recovery flags need -pools (fault injection is a fleet feature)")
+	}
+	for _, c := range crashList {
+		if c.Pool >= len(poolArchs) {
+			fail("-crash pool %d outside the %d-pool fleet", c.Pool, len(poolArchs))
+		}
+	}
+	if *crashEveryUS > 0 && !(*crashDownUS > 0) {
+		fail("-crash-every-us needs a positive -crash-down-us")
+	}
+	if *crashEveryUS == 0 && *crashDownUS > 0 {
+		fail("-crash-down-us has no effect without -crash-every-us")
+	}
+	if *straggleEveryUS > 0 && (!(*straggleForUS > 0) || *straggleFactor == 0) {
+		fail("-straggle-every-us needs -straggle-for-us and -straggle-factor")
+	}
+	if *straggleEveryUS == 0 && (*straggleForUS > 0 || *straggleFactor != 0) {
+		fail("straggler knobs (-straggle-for-us, -straggle-factor) need -straggle-every-us")
+	}
+	if *stallEveryUS > 0 && !(*stallForUS > 0) {
+		fail("-stall-every-us needs a positive -stall-for-us")
+	}
+	if *stallEveryUS == 0 && (*stallForUS > 0 || *stallMaxUS > 0) {
+		fail("stall knobs (-stall-for-us, -stall-max-us) need -stall-every-us")
+	}
+	if *stallMaxUS > 0 && *stallMaxUS < *stallForUS {
+		fail("-stall-max-us %g below -stall-for-us %g", *stallMaxUS, *stallForUS)
+	}
+	if (*retryBackoffUS > 0 || *retryBackoffCapUS > 0) && *retries == 0 {
+		fail("retry backoff needs a positive -retries budget")
+	}
+	if *retryBackoffCapUS > 0 && *retryBackoffCapUS < *retryBackoffUS {
+		fail("-retry-backoff-cap-us %g below -retry-backoff-us %g", *retryBackoffCapUS, *retryBackoffUS)
+	}
 
 	cfg := hipe.Default()
 	cfg.Tuples, cfg.Seed = *tuples, *seed
@@ -328,6 +427,40 @@ func main() {
 	}
 	spec.Classes = classes
 	spec.Shed = *shed
+	// Per-class recovery knobs apply uniformly from the CLI; a classless
+	// run gets the synthesized default class to hang them on.
+	if *timeoutUS > 0 || *hedgeUS > 0 {
+		if len(spec.Classes) == 0 {
+			spec.Classes = []hipe.ClassSpec{{Name: "default"}}
+		}
+		for i := range spec.Classes {
+			spec.Classes[i].TimeoutCycles = faultCycles(*timeoutUS)
+			spec.Classes[i].HedgeCycles = faultCycles(*hedgeUS)
+		}
+	}
+	if faultOn {
+		spec.Faults = &hipe.FaultSpec{
+			Seed:           *faultSeed,
+			CrashEvery:     faultCycles(*crashEveryUS),
+			CrashDown:      faultCycles(*crashDownUS),
+			StraggleEvery:  faultCycles(*straggleEveryUS),
+			StraggleFor:    faultCycles(*straggleForUS),
+			StraggleFactor: *straggleFactor,
+			StallEvery:     faultCycles(*stallEveryUS),
+			StallFor:       faultCycles(*stallForUS),
+			StallMax:       faultCycles(*stallMaxUS),
+			Crashes:        crashList,
+		}
+	}
+	if recoveryOn {
+		spec.Recovery = &hipe.RecoverySpec{
+			MaxRetries:       *retries,
+			BackoffCycles:    faultCycles(*retryBackoffUS),
+			BackoffCapCycles: faultCycles(*retryBackoffCapUS),
+			Hedge:            *hedgeUS > 0,
+			Failover:         *failover,
+		}
+	}
 
 	opt := hipe.ServeOptions{
 		Workers:  *workers,
@@ -391,6 +524,48 @@ func main() {
 // 2 GHz clock.
 func usToCycles(us float64) uint64 {
 	return uint64(us / 1e6 * hipe.NominalHz)
+}
+
+// faultCycles converts a positive fault/recovery duration to cycles,
+// never rounding a positive flag down to the disabled zero value.
+func faultCycles(us float64) uint64 {
+	if us <= 0 {
+		return 0
+	}
+	if c := usToCycles(us); c > 0 {
+		return c
+	}
+	return 1
+}
+
+// parseCrashes parses the -crash grammar: comma-separated
+// pool:at_µs:down_µs triples, durations at the nominal clock.
+func parseCrashes(s string) ([]hipe.FaultCrash, error) {
+	var out []hipe.FaultCrash
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("-crash entry %q is not pool:at_µs:down_µs", part)
+		}
+		pool, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || pool < 0 {
+			return nil, fmt.Errorf("-crash entry %q: bad pool %q", part, fields[0])
+		}
+		at, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil || !(at >= 0) || math.IsInf(at, 1) {
+			return nil, fmt.Errorf("-crash entry %q: bad start %q (µs, non-negative)", part, fields[1])
+		}
+		down, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+		if err != nil || !(down > 0) || math.IsInf(down, 1) {
+			return nil, fmt.Errorf("-crash entry %q: bad outage %q (µs, positive)", part, fields[2])
+		}
+		out = append(out, hipe.FaultCrash{Pool: pool, At: usToCycles(at), Down: faultCycles(down)})
+	}
+	return out, nil
 }
 
 // parseClasses parses the -classes grammar: comma-separated

@@ -166,3 +166,82 @@ func TestFleetLoadTestRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultFlagValidation: the fault/recovery flag grammar — including
+// NaN, Inf and negative durations — dies with a usage error before any
+// simulation runs.
+func TestFaultFlagValidation(t *testing.T) {
+	pools := []string{"-pools", "hipe,hipe", "-archs", "auto"}
+	withPools := func(args ...string) []string { return append(append([]string{}, pools...), args...) }
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"faults without pools", []string{"-crash-every-us", "100", "-crash-down-us", "20"}, "need -pools"},
+		{"recovery without pools", []string{"-retries", "2"}, "need -pools"},
+		{"negative crash mean", withPools("-crash-every-us", "-5", "-crash-down-us", "10"), "non-negative finite duration"},
+		{"NaN crash mean", withPools("-crash-every-us", "NaN", "-crash-down-us", "10"), "non-negative finite duration"},
+		{"Inf outage", withPools("-crash-every-us", "100", "-crash-down-us", "+Inf"), "non-negative finite duration"},
+		{"NaN timeout", withPools("-timeout-us", "NaN"), "non-negative finite duration"},
+		{"negative hedge", withPools("-hedge-us", "-3"), "non-negative finite duration"},
+		{"crash mean without outage", withPools("-crash-every-us", "100"), "needs a positive -crash-down-us"},
+		{"outage without mean", withPools("-crash-down-us", "100"), "no effect without -crash-every-us"},
+		{"straggle mean alone", withPools("-straggle-every-us", "100"), "needs -straggle-for-us and -straggle-factor"},
+		{"straggle factor alone", withPools("-straggle-factor", "3"), "need -straggle-every-us"},
+		{"NaN straggle factor", withPools("-straggle-every-us", "10", "-straggle-for-us", "5", "-straggle-factor", "NaN"), "finite multiplier > 1"},
+		{"sub-unity straggle factor", withPools("-straggle-every-us", "10", "-straggle-for-us", "5", "-straggle-factor", "0.5"), "finite multiplier > 1"},
+		{"stall mean alone", withPools("-stall-every-us", "100"), "needs a positive -stall-for-us"},
+		{"stall bound alone", withPools("-stall-max-us", "50"), "need -stall-every-us"},
+		{"stall bound below mean", withPools("-stall-every-us", "100", "-stall-for-us", "50", "-stall-max-us", "10"), "below -stall-for-us"},
+		{"negative retries", withPools("-retries", "-1"), "must not be negative"},
+		{"backoff without retries", withPools("-retry-backoff-us", "10"), "positive -retries budget"},
+		{"backoff cap below base", withPools("-retries", "2", "-retry-backoff-us", "100", "-retry-backoff-cap-us", "10"), "below -retry-backoff-us"},
+		{"bad crash grammar", withPools("-crash", "1:40"), "not pool:at_µs:down_µs"},
+		{"bad crash pool", withPools("-crash", "x:40:120"), "bad pool"},
+		{"NaN crash start", withPools("-crash", "1:NaN:120"), "bad start"},
+		{"zero crash outage", withPools("-crash", "1:40:0"), "bad outage"},
+		{"crash outside fleet", withPools("-crash", "7:40:120"), "outside the 2-pool fleet"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestFaultedFleetRuns drives a crashing, straggling fleet with the
+// full recovery policy end to end and checks the degraded-mode summary
+// and fault counters surface.
+func TestFaultedFleetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	code, out := runBinary(t,
+		"-shards", "2", "-requests", "16", "-tuples", "1024",
+		"-mode", "open", "-qps", "400000",
+		"-pools", "hipe,hipe", "-archs", "auto",
+		"-classes", "batch:400:50,rt:200:0",
+		"-crash", "1:40:120", "-crash-every-us", "500", "-crash-down-us", "150",
+		"-straggle-every-us", "300", "-straggle-for-us", "100", "-straggle-factor", "3",
+		"-retries", "2", "-retry-backoff-us", "5", "-timeout-us", "400",
+		"-hedge-us", "150", "-failover",
+		"-quiet")
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out)
+	}
+	for _, want := range []string{"faults", "recovery", "SLO"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -252,3 +252,61 @@ func ExampleServe_tracing() {
 	// predicated ops squashed: true
 	// engine events scheduled: true
 }
+
+// ExampleServeFleet_faults injects a replica outage into a load test
+// and lets the recovery policy route around it. Pool 0 is down for the
+// whole horizon; with failover on, every request lands on the healthy
+// replica and completes exactly. A second run crashes both replicas:
+// the retry budget runs out and the fleet returns a gracefully
+// degraded answer — explicit zero coverage instead of an answer that
+// silently never arrives.
+func ExampleServeFleet_faults() {
+	cfg := hipe.Default()
+	cfg.Tuples = 1024
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+
+	fleet, err := hipe.ServeFleet(cfg, tab, 2, []hipe.Arch{hipe.HIPE, hipe.HIPE})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, err := hipe.StreamSpec{N: 4, Seed: 7, Archs: []hipe.Arch{hipe.ArchAuto}}.Requests()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := hipe.ClosedLoop(reqs, 1)
+	spec.Classes = []hipe.ClassSpec{{Name: "rt", SLOCycles: 1_000_000, TimeoutCycles: 500_000}}
+	spec.Faults = &hipe.FaultSpec{Crashes: []hipe.FaultCrash{
+		{Pool: 0, At: 0, Down: 50_000_000},
+	}}
+	spec.Recovery = &hipe.RecoverySpec{MaxRetries: 2, BackoffCycles: 1_000, Failover: true}
+	report, err := fleet.LoadTest(spec, hipe.ServeOptions{Counters: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("completed:", report.Completed)
+	fmt.Println("failovers:", report.Faults.Failovers)
+	fmt.Println("degraded:", report.Degraded)
+	failovers, _ := report.Counters.Get("serve.failovers")
+	fmt.Println("counter agrees:", int(failovers) == report.Faults.Failovers)
+
+	// Both replicas down: the request can neither run nor fail over, so
+	// when the attempt budget is spent it degrades with exact coverage
+	// accounting rather than waiting out the outage.
+	spec.Faults = &hipe.FaultSpec{Crashes: []hipe.FaultCrash{
+		{Pool: 0, At: 0, Down: 50_000_000},
+		{Pool: 1, At: 0, Down: 50_000_000},
+	}}
+	report, err = fleet.LoadTest(spec, hipe.ServeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := report.Requests[0]
+	fmt.Println("degraded:", tr.Degraded, "with coverage:", tr.Coverage)
+	// Output:
+	// completed: 4
+	// failovers: 4
+	// degraded: 0
+	// counter agrees: true
+	// degraded: true with coverage: 0
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
 	"github.com/hipe-sim/hipe/internal/energy"
+	"github.com/hipe-sim/hipe/internal/fault"
 	"github.com/hipe-sim/hipe/internal/harness"
 	"github.com/hipe-sim/hipe/internal/machine"
 	"github.com/hipe-sim/hipe/internal/obs"
@@ -122,6 +123,24 @@ type (
 	PoolPick = serve.PoolPick
 	// ShedTrace records one request admission control refused.
 	ShedTrace = serve.ShedTrace
+	// FaultSpec declares a seeded deterministic fault schedule for a
+	// fleet load test: stochastic replica crashes with later recovery,
+	// per-shard straggler slowdowns, bounded transient stalls, and
+	// scheduled (pinned) outages. The zero value injects nothing, and
+	// the fault streams are decorrelated from every other seeded draw,
+	// so enabling faults never changes which requests or arrival times
+	// a test contains.
+	FaultSpec = fault.Spec
+	// FaultCrash is one scheduled replica-pool outage of a FaultSpec.
+	FaultCrash = fault.Crash
+	// RecoverySpec declares the fleet's request-level recovery policy:
+	// capped exponential-backoff retries, hedged second attempts, and
+	// health-aware failover routing. Per-class attempt timeouts and
+	// hedge delays live on ClassSpec.
+	RecoverySpec = serve.RecoverySpec
+	// FaultStats totals a faulted/recovering load test's fault events
+	// and recovery actions (LoadReport.Faults).
+	FaultStats = serve.FaultStats
 	// Counters is a deterministic machine-counter snapshot: sorted
 	// "scope.counter" keys captured from a run's registry (cache hits,
 	// DRAM traffic, predication squashes, scheduler lane accounting).

@@ -5,6 +5,7 @@
 package cost
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/hipe-sim/hipe/internal/db"
@@ -24,6 +25,10 @@ type Decision struct {
 	// pick (RankLoaded) added to each estimate, in candidate order. Nil
 	// for unloaded decisions, so pre-fleet exports are unchanged.
 	QueueCycles []float64 `json:",omitempty"`
+	// Health holds the per-candidate replica health a health-aware pick
+	// (RankLoadedHealth) ranked under, in candidate order. Nil for
+	// health-blind decisions, so fault-free exports are unchanged.
+	Health []Health `json:",omitempty"`
 	// Chosen is the predicted-fastest candidate's plan.
 	Chosen query.Plan
 	// ChosenIndex is its position in Estimates.
@@ -170,24 +175,75 @@ func estimateShardedWith(pr Params, shards []*db.Table, caches []*profileCache, 
 // toward the earlier candidate — deterministic for a fixed candidate
 // order at any worker count.
 func RankLoaded(sel float64, ests []Estimate, queue []float64) (*Decision, error) {
+	return RankLoadedHealth(sel, ests, queue, nil)
+}
+
+// Health is one candidate replica's observed health at routing time:
+// whether it is down (crashed and not yet recovered) and the observed
+// multiplicative service slowdown its recent work showed (1 = nominal;
+// values below 1 are treated as 1).
+type Health struct {
+	Down     bool    `json:",omitempty"`
+	Slowdown float64 `json:",omitempty"`
+}
+
+// penalty returns the score multiplier this health imposes.
+func (h Health) penalty() float64 {
+	if h.Slowdown > 1 {
+		return h.Slowdown
+	}
+	return 1
+}
+
+// ErrAllDown is returned by RankLoadedHealth when every candidate
+// replica is down — the caller decides whether to queue for the
+// earliest recovery or fail the request.
+var ErrAllDown = errors.New("cost: every candidate replica is down")
+
+// RankLoadedHealth is RankLoaded made failover-aware: candidates whose
+// replica is down are excluded outright, and candidates on straggling
+// replicas have their predicted critical path inflated by the observed
+// slowdown factor before the queue penalty is added — so a nominally
+// faster but straggling pool loses to a healthy one the model ranks
+// close. A nil health slice degenerates to RankLoaded exactly. The
+// health snapshot is recorded on the decision (Decision.Health) so
+// failover picks stay auditable; when every candidate is down the
+// error wraps ErrAllDown. Ties break toward the earlier candidate.
+func RankLoadedHealth(sel float64, ests []Estimate, queue []float64, health []Health) (*Decision, error) {
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("cost: no candidate estimates")
 	}
 	if len(queue) != len(ests) {
 		return nil, fmt.Errorf("cost: %d queue penalties for %d candidates", len(queue), len(ests))
 	}
+	if health != nil && len(health) != len(ests) {
+		return nil, fmt.Errorf("cost: %d health entries for %d candidates", len(health), len(ests))
+	}
 	d := &Decision{
 		Selectivity: sel,
 		Estimates:   append([]Estimate(nil), ests...),
 		QueueCycles: append([]float64(nil), queue...),
-		ChosenIndex: 0,
+		ChosenIndex: -1,
 	}
-	best := ests[0].Cycles + queue[0]
-	for i := 1; i < len(ests); i++ {
-		if score := ests[i].Cycles + queue[i]; score < best {
+	if health != nil {
+		d.Health = append([]Health(nil), health...)
+	}
+	var best float64
+	for i := range ests {
+		if health != nil && health[i].Down {
+			continue
+		}
+		score := ests[i].Cycles + queue[i]
+		if health != nil {
+			score = ests[i].Cycles*health[i].penalty() + queue[i]
+		}
+		if d.ChosenIndex < 0 || score < best {
 			best = score
 			d.ChosenIndex = i
 		}
+	}
+	if d.ChosenIndex < 0 {
+		return nil, fmt.Errorf("cost: ranking %d candidates: %w", len(ests), ErrAllDown)
 	}
 	d.Chosen = d.Estimates[d.ChosenIndex].Plan
 	return d, nil

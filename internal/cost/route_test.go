@@ -1,6 +1,7 @@
 package cost_test
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/hipe-sim/hipe/internal/cost"
@@ -94,5 +95,77 @@ func TestRankLoadedRejectsMalformedInput(t *testing.T) {
 	ests := []cost.Estimate{{Plan: bestPlan(query.HIPE), Cycles: 1}}
 	if _, err := cost.RankLoaded(0, ests, []float64{1, 2}); err == nil {
 		t.Fatal("mismatched queue slice accepted")
+	}
+}
+
+// TestRankLoadedHealthFailover: down candidates are excluded, observed
+// straggler slowdowns inflate the model estimate before the queue
+// penalty, a nil health slice reproduces RankLoaded exactly, and an
+// all-down panel reports ErrAllDown.
+func TestRankLoadedHealthFailover(t *testing.T) {
+	ests := []cost.Estimate{
+		{Plan: bestPlan(query.HIPE), Cycles: 1000},
+		{Plan: bestPlan(query.X86), Cycles: 3000},
+	}
+	queue := []float64{0, 0}
+
+	// Nil health degenerates to RankLoaded, including the decision.
+	plain, err := cost.RankLoaded(0.02, ests, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilHealth, err := cost.RankLoadedHealth(0.02, ests, queue, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nilHealth.ChosenIndex != plain.ChosenIndex || nilHealth.Health != nil {
+		t.Fatalf("nil health pick %d (health %v), want RankLoaded's %d with no health recorded",
+			nilHealth.ChosenIndex, nilHealth.Health, plain.ChosenIndex)
+	}
+
+	// The fast candidate down: routing must exclude it outright even
+	// though its score dominates.
+	d, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 {
+		t.Fatalf("down candidate still chosen (pick %d)", d.ChosenIndex)
+	}
+	if len(d.Health) != 2 || !d.Health[0].Down {
+		t.Fatalf("health snapshot not recorded on the decision: %+v", d.Health)
+	}
+	if d.Estimates[0].Cycles != 1000 {
+		t.Fatal("estimates must stay the pure model predictions")
+	}
+
+	// A slowdown big enough flips the pick to the slower healthy pool:
+	// 1000 * 4 > 3000.
+	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 4}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 {
+		t.Fatalf("straggler penalty did not flip the pick (got %d)", d.ChosenIndex)
+	}
+	// A slowdown below the flip point leaves the fast candidate in
+	// front; sub-unity slowdowns never reward a candidate.
+	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 2}, {Slowdown: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 0 {
+		t.Fatalf("mild straggler lost a race it should win (pick %d)", d.ChosenIndex)
+	}
+
+	// Everything down: ErrAllDown, so the caller can queue for the
+	// earliest recovery instead.
+	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {Down: true}}); !errors.Is(err, cost.ErrAllDown) {
+		t.Fatalf("all-down error = %v, want ErrAllDown", err)
+	}
+
+	// Health slice length must match the candidate list.
+	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{}}); err == nil {
+		t.Fatal("mismatched health slice accepted")
 	}
 }

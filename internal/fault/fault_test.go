@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSpecValidate is the malformed-spec table: incomplete component
+// declarations and non-finite knobs must all be rejected.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"crash", Spec{CrashEvery: 100, CrashDown: 40}, true},
+		{"crash no down", Spec{CrashEvery: 100}, false},
+		{"down no crash", Spec{CrashDown: 40}, false},
+		{"straggle", Spec{StraggleEvery: 100, StraggleFor: 20, StraggleFactor: 3}, true},
+		{"straggle no duration", Spec{StraggleEvery: 100, StraggleFactor: 3}, false},
+		{"straggle factor 1", Spec{StraggleEvery: 100, StraggleFor: 20, StraggleFactor: 1}, false},
+		{"straggle factor below 1", Spec{StraggleEvery: 100, StraggleFor: 20, StraggleFactor: 0.5}, false},
+		{"straggle factor NaN", Spec{StraggleEvery: 100, StraggleFor: 20, StraggleFactor: math.NaN()}, false},
+		{"straggle factor Inf", Spec{StraggleEvery: 100, StraggleFor: 20, StraggleFactor: math.Inf(1)}, false},
+		{"straggle knobs no rate", Spec{StraggleFor: 20}, false},
+		{"stall", Spec{StallEvery: 100, StallFor: 10}, true},
+		{"stall bounded", Spec{StallEvery: 100, StallFor: 10, StallMax: 30}, true},
+		{"stall no duration", Spec{StallEvery: 100}, false},
+		{"stall bound below mean", Spec{StallEvery: 100, StallFor: 10, StallMax: 5}, false},
+		{"stall knobs no rate", Spec{StallMax: 30}, false},
+		{"scheduled", Spec{Crashes: []Crash{{Pool: 0, At: 50, Down: 20}}}, true},
+		{"scheduled zero outage", Spec{Crashes: []Crash{{Pool: 0, At: 50}}}, false},
+		{"scheduled negative pool", Spec{Crashes: []Crash{{Pool: -1, At: 50, Down: 20}}}, false},
+		{"scheduled overflow", Spec{Crashes: []Crash{{Pool: 0, At: math.MaxUint64 - 5, Down: 20}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.spec.Validate(); (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestNewGeometry: the injector rejects scheduled crashes outside the
+// fleet and non-positive geometries; a disabled spec builds nil.
+func TestNewGeometry(t *testing.T) {
+	if in, err := New(Spec{}, 2, 4); err != nil || in != nil {
+		t.Fatalf("disabled spec built (%v, %v), want nil injector", in, err)
+	}
+	if _, err := New(Spec{Crashes: []Crash{{Pool: 2, At: 10, Down: 5}}}, 2, 4); err == nil {
+		t.Fatal("scheduled crash on pool 2 accepted by a 2-pool fleet")
+	}
+	if _, err := New(Spec{CrashEvery: 100, CrashDown: 10}, 0, 4); err == nil {
+		t.Fatal("zero-pool geometry accepted")
+	}
+}
+
+// TestNilInjectorIsHealthy: every query on the nil injector
+// short-circuits to the healthy answer.
+func TestNilInjectorIsHealthy(t *testing.T) {
+	var in *Injector
+	if _, down := in.DownUntil(0, 100); down {
+		t.Fatal("nil injector reports an outage")
+	}
+	if _, _, ok := in.NextCrash(0, 0, 1000); ok {
+		t.Fatal("nil injector reports a crash")
+	}
+	if s := in.Slowdown(0, 0, 100); s != 1 {
+		t.Fatalf("nil injector slowdown %g, want 1", s)
+	}
+	if u := in.StallUntil(0, 0, 100); u != 100 {
+		t.Fatalf("nil injector stall until %d, want 100", u)
+	}
+	if sp := in.Spec(); sp.Enabled() {
+		t.Fatal("nil injector echoes an enabled spec")
+	}
+}
+
+// TestScheduledCrashWindows: DownUntil and NextCrash agree exactly with
+// a pinned outage's half-open [At, At+Down) window.
+func TestScheduledCrashWindows(t *testing.T) {
+	in, err := New(Spec{Crashes: []Crash{{Pool: 1, At: 100, Down: 50}}}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, down := in.DownUntil(1, 99); down {
+		t.Fatal("down before the scheduled start")
+	}
+	for _, tt := range []uint64{100, 125, 149} {
+		until, down := in.DownUntil(1, tt)
+		if !down || until != 150 {
+			t.Fatalf("at %d: down=%v until=%d, want down until 150", tt, down, until)
+		}
+	}
+	if _, down := in.DownUntil(1, 150); down {
+		t.Fatal("still down at the recovery cycle")
+	}
+	if _, down := in.DownUntil(0, 125); down {
+		t.Fatal("outage leaked onto pool 0")
+	}
+	start, end, ok := in.NextCrash(1, 60, 200)
+	if !ok || start != 100 || end != 150 {
+		t.Fatalf("NextCrash = (%d, %d, %v), want (100, 150, true)", start, end, ok)
+	}
+	if _, _, ok := in.NextCrash(1, 100, 200); ok {
+		t.Fatal("NextCrash includes a crash at the exclusive `from` bound")
+	}
+	if _, _, ok := in.NextCrash(1, 10, 99); ok {
+		t.Fatal("NextCrash found a crash before the window")
+	}
+}
+
+// TestQueryOrderIndependence is the determinism pin: fault state at any
+// cycle must be a pure function of (spec, geometry, cycle), so querying
+// in scrambled order — or twice — returns identical answers to a fresh
+// injector queried in time order.
+func TestQueryOrderIndependence(t *testing.T) {
+	spec := Spec{
+		Seed:       3,
+		CrashEvery: 400, CrashDown: 90,
+		StraggleEvery: 300, StraggleFor: 80, StraggleFactor: 2.5,
+		StallEvery: 250, StallFor: 30, StallMax: 70,
+		Crashes: []Crash{{Pool: 0, At: 500, Down: 120}},
+	}
+	build := func() *Injector {
+		in, err := New(spec, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	type probe struct {
+		until, stall uint64
+		down         bool
+		slow         float64
+	}
+	sample := func(in *Injector, ts []uint64) []probe {
+		out := make([]probe, 0, len(ts)*4)
+		for _, tt := range ts {
+			for p := 0; p < 2; p++ {
+				for s := 0; s < 2; s++ {
+					until, down := in.DownUntil(p, tt)
+					out = append(out, probe{
+						until: until, down: down,
+						slow:  in.Slowdown(p, s, tt),
+						stall: in.StallUntil(p, s, tt),
+					})
+				}
+			}
+		}
+		return out
+	}
+	forward := []uint64{0, 100, 500, 900, 1400, 2000, 5000}
+	scrambled := []uint64{5000, 100, 2000, 0, 900, 500, 1400}
+	a := sample(build(), forward)
+	// Index scrambled probes back into forward order for comparison.
+	bByTime := map[uint64][]probe{}
+	inB := build()
+	for _, tt := range scrambled {
+		bByTime[tt] = sample(inB, []uint64{tt})
+	}
+	for i, tt := range forward {
+		for j := 0; j < 4; j++ {
+			if a[i*4+j] != bByTime[tt][j] {
+				t.Fatalf("cycle %d probe %d: forward %+v, scrambled %+v", tt, j, a[i*4+j], bByTime[tt][j])
+			}
+		}
+	}
+	// Re-querying the same injector is idempotent.
+	if c := sample(inB, forward); len(c) != len(a) {
+		t.Fatal("sample size mismatch")
+	} else {
+		for i := range a {
+			if a[i] != c[i] {
+				t.Fatalf("probe %d: fresh %+v, re-queried %+v", i, a[i], c[i])
+			}
+		}
+	}
+}
+
+// TestStallBounded: every stall window respects the hard bound, and
+// StallUntil never moves time backwards.
+func TestStallBounded(t *testing.T) {
+	const bound = 25
+	in, err := New(Spec{Seed: 9, StallEvery: 50, StallFor: 20, StallMax: bound}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := uint64(0); tt < 20_000; tt += 7 {
+		until := in.StallUntil(0, 0, tt)
+		if until < tt {
+			t.Fatalf("stall at %d resolves to earlier cycle %d", tt, until)
+		}
+		if until > tt && until-tt > bound {
+			t.Fatalf("stall at %d lasts %d cycles, bound %d", tt, until-tt, bound)
+		}
+	}
+}
+
+// TestStragglerEpisodes: Slowdown returns exactly the configured factor
+// inside episodes and 1 outside, and episodes do occur.
+func TestStragglerEpisodes(t *testing.T) {
+	in, err := New(Spec{Seed: 4, StraggleEvery: 100, StraggleFor: 60, StraggleFactor: 3.5}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed, healthy := false, false
+	for tt := uint64(0); tt < 10_000; tt += 11 {
+		switch s := in.Slowdown(0, 1, tt); s {
+		case 3.5:
+			slowed = true
+		case 1:
+			healthy = true
+		default:
+			t.Fatalf("slowdown %g at %d, want 1 or 3.5", s, tt)
+		}
+	}
+	if !slowed || !healthy {
+		t.Fatalf("episodes did not alternate (slowed=%v healthy=%v)", slowed, healthy)
+	}
+}
+
+// TestSeedsDecorrelate: distinct seeds produce distinct fault
+// timelines, equal seeds identical ones.
+func TestSeedsDecorrelate(t *testing.T) {
+	mk := func(seed uint64) *Injector {
+		in, err := New(Spec{Seed: seed, CrashEvery: 200, CrashDown: 50}, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	signature := func(in *Injector) []uint64 {
+		var sig []uint64
+		for tt := uint64(0); tt < 50_000; tt += 13 {
+			if until, down := in.DownUntil(0, tt); down {
+				sig = append(sig, tt, until)
+			}
+		}
+		return sig
+	}
+	a, b, c := signature(mk(1)), signature(mk(1)), signature(mk(2))
+	if len(a) == 0 {
+		t.Fatal("seed 1 produced no outage in 50k cycles")
+	}
+	equal := func(x, y []uint64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !equal(a, b) {
+		t.Fatal("equal seeds produced different timelines")
+	}
+	if equal(a, c) {
+		t.Fatal("distinct seeds produced identical timelines")
+	}
+}
+
+// TestZeroInjectorQueriesDoNotAllocate pins the healthy fast path: the
+// nil injector must answer every query without touching the heap, which
+// is what lets the serving replay keep its zero-alloc gates with faults
+// off.
+func TestZeroInjectorQueriesDoNotAllocate(t *testing.T) {
+	var in *Injector
+	allocs := testing.AllocsPerRun(200, func() {
+		in.DownUntil(0, 1000)
+		in.NextCrash(0, 0, 1000)
+		in.Slowdown(0, 0, 1000)
+		in.StallUntil(0, 0, 1000)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil injector queries allocate %.1f times per run, want 0", allocs)
+	}
+}

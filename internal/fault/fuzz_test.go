@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSpecValidate is the satellite fuzz target: Validate and New must
+// reject any malformed spec with an error — never a panic, never an
+// accepted NaN/Inf knob — and every accepted spec must build an
+// injector whose queries behave (bounded stalls, factor-or-1 slowdowns,
+// half-open outage windows) and replay deterministically. Run with
+// `go test -fuzz FuzzSpecValidate ./internal/fault/`; the committed
+// corpus under testdata/fuzz seeds each rejection branch (and runs as
+// plain tests on every `go test`).
+func FuzzSpecValidate(f *testing.F) {
+	// Seeds: the happy path, each rejection branch, boundary values.
+	f.Add(uint64(7), uint64(500), uint64(150), uint64(300), uint64(100), 3.0,
+		uint64(400), uint64(20), uint64(60), 1, uint64(40), uint64(120), 2, 2)
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), 0.0,
+		uint64(0), uint64(0), uint64(0), -1, uint64(0), uint64(0), 0, 0)
+	f.Add(uint64(1), uint64(100), uint64(0), uint64(100), uint64(0), 1.0,
+		uint64(100), uint64(0), uint64(5), 0, uint64(10), uint64(0), 1, 1)
+	f.Add(uint64(2), uint64(0), uint64(40), uint64(0), uint64(20), math.NaN(),
+		uint64(0), uint64(10), uint64(30), 5, uint64(50), uint64(20), 2, 4)
+	f.Add(uint64(3), uint64(1), uint64(1), uint64(1), uint64(1), math.Inf(1),
+		uint64(1), uint64(1), uint64(1), 0, ^uint64(0)-5, uint64(20), 8, 8)
+
+	f.Fuzz(func(t *testing.T, seed uint64,
+		crashEvery, crashDown uint64,
+		straggleEvery, straggleFor uint64, straggleFactor float64,
+		stallEvery, stallFor, stallMax uint64,
+		crashPool int, crashAt, crashDur uint64,
+		pools, shards int) {
+		// Bound the means so accepted specs cannot make extend() crawl
+		// cycle-by-cycle across huge probe ranges.
+		spec := Spec{
+			Seed:           seed,
+			CrashEvery:     crashEvery % 100_000,
+			CrashDown:      crashDown % 100_000,
+			StraggleEvery:  straggleEvery % 100_000,
+			StraggleFor:    straggleFor % 100_000,
+			StraggleFactor: straggleFactor,
+			StallEvery:     stallEvery % 100_000,
+			StallFor:       stallFor % 100_000,
+			StallMax:       stallMax % 100_000,
+		}
+		if crashDur != 0 || crashAt != 0 || crashPool != 0 {
+			spec.Crashes = []Crash{{Pool: crashPool, At: crashAt, Down: crashDur}}
+		}
+		if err := spec.Validate(); err != nil {
+			// Rejection is the contract for malformed specs; New must
+			// agree.
+			if _, nerr := New(spec, pools%16, shards%16); nerr == nil {
+				t.Fatal("Validate rejected a spec New accepted")
+			}
+			return
+		}
+		// Accepted specs must never carry a non-finite factor.
+		if spec.StraggleEvery > 0 &&
+			(math.IsNaN(spec.StraggleFactor) || math.IsInf(spec.StraggleFactor, 0)) {
+			t.Fatalf("accepted straggler factor %g", spec.StraggleFactor)
+		}
+		in, err := New(spec, pools%16, shards%16)
+		if err != nil {
+			// Geometry rejection (pool bounds, non-positive fleet) is fine.
+			return
+		}
+		if in == nil {
+			if spec.Enabled() {
+				t.Fatal("enabled spec built a nil injector")
+			}
+			return
+		}
+		p, s := 0, 0
+		if n := pools % 16; n > 0 {
+			p = int(seed % uint64(n))
+		}
+		if n := shards % 16; n > 0 {
+			s = int(crashAt % uint64(n))
+		}
+		for _, tt := range []uint64{0, 1, 999, 12_345, 500_000} {
+			until, down := in.DownUntil(p, tt)
+			if down && until <= tt {
+				t.Fatalf("outage at %d recovers at non-future cycle %d", tt, until)
+			}
+			if slow := in.Slowdown(p, s, tt); slow != 1 && slow != spec.StraggleFactor {
+				t.Fatalf("slowdown %g at %d, want 1 or %g", slow, tt, spec.StraggleFactor)
+			}
+			if st := in.StallUntil(p, s, tt); st < tt {
+				t.Fatalf("stall at %d resolves backwards to %d", tt, st)
+			}
+			if start, end, ok := in.NextCrash(p, tt, tt+10_000); ok &&
+				(start <= tt || start > tt+10_000 || end <= start) {
+				t.Fatalf("NextCrash(%d) window (%d, %d) malformed", tt, start, end)
+			}
+		}
+		// Determinism: a fresh injector answers identically.
+		in2, err := New(spec, pools%16, shards%16)
+		if err != nil {
+			t.Fatalf("second build failed: %v", err)
+		}
+		for _, tt := range []uint64{0, 999, 12_345, 500_000} {
+			u1, d1 := in.DownUntil(p, tt)
+			u2, d2 := in2.DownUntil(p, tt)
+			if u1 != u2 || d1 != d2 {
+				t.Fatalf("DownUntil(%d) differs across identical builds", tt)
+			}
+			if in.StallUntil(p, s, tt) != in2.StallUntil(p, s, tt) {
+				t.Fatalf("StallUntil(%d) differs across identical builds", tt)
+			}
+		}
+	})
+}

@@ -93,6 +93,11 @@ func Capture(reg *stats.Registry, eng *sim.Engine) *Counters {
 	return fromMap(acc)
 }
 
+// NewCounters builds a snapshot from a plain key → value map — how the
+// serving layer surfaces its own totals (recovery actions, shed
+// counts) next to the machine counters. The map is not retained.
+func NewCounters(m map[string]uint64) *Counters { return fromMap(m) }
+
 func fromMap(acc map[string]uint64) *Counters {
 	c := &Counters{entries: make([]Entry, 0, len(acc))}
 	for k, v := range acc {

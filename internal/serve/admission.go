@@ -23,6 +23,19 @@ type ClassSpec struct {
 	// overload sheds lowest-patience (typically lowest-value) work
 	// first.
 	PatienceCycles uint64
+	// TimeoutCycles bounds one attempt's virtual-time latency (queueing
+	// plus service) when a recovery policy is in force: an attempt that
+	// cannot complete every shard by dispatch + timeout is abandoned at
+	// the deadline and, retry budget permitting, re-dispatched. Zero
+	// means attempts are never timed out (a crashed replica then parks
+	// the attempt until the pool recovers).
+	TimeoutCycles uint64
+	// HedgeCycles is the class's hedging delay: when the recovery
+	// policy enables hedging and the primary attempt has not completed
+	// this many cycles after dispatch, a second attempt launches on the
+	// next-ranked distinct replica pool and the first successful
+	// completion wins. Zero disables hedging for the class.
+	HedgeCycles uint64
 }
 
 // ClassStats is one class's row in a fleet report: offered/shed/done
@@ -49,6 +62,26 @@ type ClassStats struct {
 	LatencyP50 uint64
 	LatencyP95 uint64
 	LatencyP99 uint64
+	// Recovery accounting, set only when the load test injected faults
+	// or declared a recovery policy (JSON-omitted otherwise, so
+	// fault-free reports are byte-identical to their pre-fault form).
+	// Degraded counts completed requests answered with a partial
+	// result after the retry budget ran out — a degraded request counts
+	// against SLO attainment no matter how fast it failed. Retries,
+	// Hedges, HedgeWins and Failovers total the class's recovery
+	// actions.
+	Degraded  int `json:",omitempty"`
+	Retries   int `json:",omitempty"`
+	Hedges    int `json:",omitempty"`
+	HedgeWins int `json:",omitempty"`
+	Failovers int `json:",omitempty"`
+	// MeanCoverage is the mean fraction of table rows actually scanned
+	// across the class's completed requests (1 when nothing degraded);
+	// MeanAnswerErr the mean relative revenue error of the returned
+	// answers against the reference evaluator (0 when nothing
+	// degraded). Both only set on faulted/recovering runs.
+	MeanCoverage  float64 `json:",omitempty"`
+	MeanAnswerErr float64 `json:",omitempty"`
 }
 
 // ShedTrace records one shed request for auditability.
@@ -69,6 +102,11 @@ type classAccum struct {
 	hist stats.LogHist
 	slo  stats.Attainment
 	row  ClassStats
+	// recovering marks a faulted/recovering replay: coverage and error
+	// means are derived (and emitted) only then.
+	recovering  bool
+	coverageSum float64
+	errSum      float64
 }
 
 func newClassAccums(classes []ClassSpec) []classAccum {
@@ -92,6 +130,29 @@ func (a *classAccum) observe(latency uint64, hasSLO bool) {
 	}
 }
 
+// observeRecovered folds one completed request of a faulted/recovering
+// replay into the row: latency and SLO accounting as usual, except
+// that a degraded (partial) answer counts as an SLO miss no matter how
+// quickly the fleet gave up — a wrong answer inside the latency bound
+// is still a broken objective.
+func (a *classAccum) observeRecovered(latency uint64, hasSLO, degraded bool, coverage, answerErr float64) {
+	a.recovering = true
+	a.row.Completed++
+	a.hist.Observe(latency)
+	if hasSLO {
+		if degraded {
+			a.slo.Miss()
+		} else {
+			a.slo.Observe(latency)
+		}
+	}
+	if degraded {
+		a.row.Degraded++
+	}
+	a.coverageSum += coverage
+	a.errSum += answerErr
+}
+
 // finish freezes the row.
 func (a *classAccum) finish() ClassStats {
 	a.row.LatencyP50 = a.hist.Quantile(0.50)
@@ -100,6 +161,10 @@ func (a *classAccum) finish() ClassStats {
 	if a.row.SLOCycles > 0 {
 		a.row.Attained = int(a.slo.Met)
 		a.row.Attainment = a.slo.Fraction()
+	}
+	if a.recovering && a.row.Completed > 0 {
+		a.row.MeanCoverage = a.coverageSum / float64(a.row.Completed)
+		a.row.MeanAnswerErr = a.errSum / float64(a.row.Completed)
 	}
 	return a.row
 }

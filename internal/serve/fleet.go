@@ -18,6 +18,7 @@ import (
 
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/fault"
 	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/sweep"
@@ -309,10 +310,33 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	for i := range rp.poolFree {
 		rp.poolFree[i] = make([]uint64, len(f.shards))
 	}
+	// Fault injection and the recovery policy switch the replay onto the
+	// dispatchRecover path; without either, the legacy dispatch runs
+	// untouched and reports stay byte-identical to the pre-fault layer.
+	if spec.Faults != nil {
+		inj, err := fault.New(*spec.Faults, len(f.pools), len(f.shards))
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		rp.inj = inj
+	}
+	rp.rec = spec.Recovery
+	if rp.recovering() {
+		rp.fstats = &FaultStats{}
+		rp.slow = make([]float64, len(f.pools))
+		for i := range rp.slow {
+			rp.slow[i] = 1
+		}
+		rp.done = make([]bool, len(f.shards))
+	}
+	dispatch := rp.dispatch
+	if rp.recovering() {
+		dispatch = rp.dispatchRecover
+	}
 	switch spec.Mode {
 	case Open:
 		for i := range reqs {
-			if _, err := rp.dispatch(i, -1, arrivalTimes[i], reqs[i], cands[i]); err != nil {
+			if _, err := dispatch(i, -1, arrivalTimes[i], reqs[i], cands[i]); err != nil {
 				return nil, err
 			}
 		}
@@ -331,7 +355,7 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 					client = cl
 				}
 			}
-			tr, err := rp.dispatch(i, client, clientFree[client], reqs[i], cands[i])
+			tr, err := dispatch(i, client, clientFree[client], reqs[i], cands[i])
 			if err != nil {
 				return nil, err
 			}
@@ -342,6 +366,13 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	r.Trace = tr
 	r.finish()
 	r.finishFleet(rp.accums)
+	if rp.fstats != nil {
+		r.Faults = rp.fstats
+		r.Degraded = rp.fstats.Degraded
+		if opt.Counters && r.Counters != nil {
+			r.Counters.Add(rp.fstats.recoveryCounters(r.Shed))
+		}
+	}
 	return r, nil
 }
 
@@ -363,6 +394,18 @@ type fleetReplay struct {
 	// off). The replay is single-threaded, so recording is race-free
 	// and byte-deterministic.
 	tr *obs.Trace
+
+	// Fault/recovery state (recovery.go); all nil on the legacy path.
+	// inj injects the scheduled faults; rec is the recovery policy;
+	// fstats totals fault events and recovery actions; slow is the
+	// per-pool observed-slowdown EWMA the failover router penalises
+	// stragglers by; done is dispatchRecover's per-shard first-completion
+	// scratch (coverage accounting).
+	inj    *fault.Injector
+	rec    *RecoverySpec
+	fstats *FaultStats
+	slow   []float64
+	done   []bool
 }
 
 // dispatch routes and queues one arrival. A shed request produces a

@@ -51,9 +51,27 @@ type RequestTrace struct {
 	Service uint64
 	// Work is the total simulated cycles across all shards.
 	Work uint64
-	// Matches and Revenue are the merged, verified answers.
+	// Matches and Revenue are the merged, verified answers. On a
+	// degraded request they are the partial sums over the shards that
+	// completed.
 	Matches int
 	Revenue int64
+	// Recovery accounting, set only by faulted/recovering replays and
+	// JSON-omitted otherwise, so fault-free reports are byte-identical
+	// to their pre-fault form. Attempts counts the dispatches (1 =
+	// first try succeeded); Hedges the hedged second attempts; HedgeWon
+	// whether a hedge supplied the winning completion.
+	Attempts int  `json:",omitempty"`
+	Hedges   int  `json:",omitempty"`
+	HedgeWon bool `json:",omitempty"`
+	// Degraded marks a partial answer after the retry budget ran out;
+	// Coverage is the exact fraction of table rows scanned (1 when not
+	// degraded); ErrMatches and ErrRevenue the relative errors of the
+	// partial answer against the reference evaluator's exact one.
+	Degraded   bool    `json:",omitempty"`
+	Coverage   float64 `json:",omitempty"`
+	ErrMatches float64 `json:",omitempty"`
+	ErrRevenue float64 `json:",omitempty"`
 }
 
 // ShardStats is one shard's load accounting over a test.
@@ -137,6 +155,12 @@ type Report struct {
 	// ShedRequests are their traces, in arrival order.
 	Shed         int         `json:",omitempty"`
 	ShedRequests []ShedTrace `json:",omitempty"`
+	// Degraded is the total request count answered with a partial
+	// result, and Faults the fault-event and recovery-action totals.
+	// Both set only by faulted/recovering load tests (Faults non-nil is
+	// the marker) and JSON-omitted otherwise.
+	Degraded int         `json:",omitempty"`
+	Faults   *FaultStats `json:",omitempty"`
 	// Counters is the machine-counter total over the test — every
 	// distinct (plan, shard) simulation summed exactly once — when
 	// Options.Counters was set; nil (and JSON-omitted) otherwise, so
@@ -183,6 +207,17 @@ func FleetCSVHeader() []string {
 	return []string{"class", "pool", "pool_arch", "queue_cycles", "slo_cycles", "slo_met"}
 }
 
+// FaultCSVHeader returns the columns appended for faulted/recovering
+// reports: the request's attempt and hedge counts, whether it
+// degraded, and the partial answer's coverage and relative errors.
+func FaultCSVHeader() []string {
+	return []string{"attempts", "hedges", "degraded", "coverage", "err_matches", "err_revenue"}
+}
+
+// HasFaults reports whether the report came from a faulted/recovering
+// load test.
+func (r *Report) HasFaults() bool { return r.Faults != nil }
+
 // HasRouting reports whether any request in the report was routed by
 // the adaptive planner.
 func (r *Report) HasRouting() bool {
@@ -208,12 +243,16 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := r.HasRouting()
 	fleet := r.HasFleet()
+	faults := r.HasFaults()
 	header := CSVHeader
 	backends := query.Backends()
-	if fleet || routed {
+	if fleet || routed || faults {
 		header = append([]string{}, CSVHeader...)
 		if fleet {
 			header = append(header, FleetCSVHeader()...)
+		}
+		if faults {
+			header = append(header, FaultCSVHeader()...)
 		}
 		if routed {
 			header = append(header, RoutingCSVHeader()...)
@@ -256,6 +295,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		if fleet {
 			rec = append(rec, r.fleetColumns(&tr)...)
 		}
+		if faults {
+			rec = append(rec, faultColumns(&tr)...)
+		}
 		if routed {
 			rec = append(rec, routingColumns(tr.Routing, backends)...)
 		}
@@ -280,10 +322,25 @@ func (r *Report) fleetColumns(tr *RequestTrace) []string {
 	if tr.Class >= 0 && tr.Class < len(r.Classes) {
 		if bound := r.Classes[tr.Class].SLOCycles; bound > 0 {
 			slo = strconv.FormatUint(bound, 10)
-			met = strconv.FormatBool(tr.Latency <= bound)
+			// A degraded answer misses its SLO however fast the fleet gave
+			// up; Degraded is always false on fault-free reports, so their
+			// cells are unchanged.
+			met = strconv.FormatBool(!tr.Degraded && tr.Latency <= bound)
 		}
 	}
 	return []string{strconv.Itoa(tr.Class), pool, arch, queue, slo, met}
+}
+
+// faultColumns renders one trace's recovery cells.
+func faultColumns(tr *RequestTrace) []string {
+	return []string{
+		strconv.Itoa(tr.Attempts),
+		strconv.Itoa(tr.Hedges),
+		strconv.FormatBool(tr.Degraded),
+		strconv.FormatFloat(tr.Coverage, 'g', -1, 64),
+		strconv.FormatFloat(tr.ErrMatches, 'g', -1, 64),
+		strconv.FormatFloat(tr.ErrRevenue, 'g', -1, 64),
+	}
 }
 
 // routingColumns renders one trace's routing-decision cells: empty
@@ -364,6 +421,14 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "latency mean/max     %.0f / %d cycles\n", r.LatencyMean, r.LatencyMax)
 	if r.Shed > 0 {
 		fmt.Fprintf(&b, "shed                 %d requests refused by admission control\n", r.Shed)
+	}
+	if r.Faults != nil {
+		fs := r.Faults
+		fmt.Fprintf(&b, "faults               %d crash kills, %d stall delays, %d straggles\n",
+			fs.CrashKills, fs.StallDelays, fs.Straggles)
+		fmt.Fprintf(&b, "recovery             %d retries, %d hedges (%d won), %d failovers\n",
+			fs.Retries, fs.Hedges, fs.HedgeWins, fs.Failovers)
+		fmt.Fprintf(&b, "degraded             %d requests answered partially\n", r.Degraded)
 	}
 	for _, s := range r.PerShard {
 		fmt.Fprintf(&b, "shard %-3d            %4d tasks %12d busy cycles %6.1f%% utilised\n",

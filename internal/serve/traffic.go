@@ -17,6 +17,7 @@ import (
 
 	"github.com/hipe-sim/hipe/internal/cost"
 	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/fault"
 	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/stats"
@@ -176,6 +177,16 @@ type LoadSpec struct {
 	// exceeds its class's patience. Lower-patience (lower-value) classes
 	// shed first under overload. Open mode only.
 	Shed bool
+
+	// Fleet fault-injection fields. Only Fleet.LoadTest honours them;
+	// Cluster.LoadTest rejects specs that set either.
+	// Faults schedules deterministic replica crashes, straggler
+	// episodes and transient stalls (nil or zero-valued = fault-free).
+	Faults *fault.Spec
+	// Recovery declares the request-level recovery policy — timeouts,
+	// retries, hedging, failover (nil = none; a faulted run with no
+	// recovery degrades on first failure).
+	Recovery *RecoverySpec
 }
 
 // OpenLoop declares an open-loop test: reqs arrive with exponential
@@ -358,6 +369,14 @@ func (s LoadSpec) validate() error {
 			return fmt.Errorf("serve: class %d has no name", i)
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	if err := s.Recovery.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -402,6 +421,9 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	}
 	if len(spec.Classes) > 0 || spec.Shed {
 		return nil, fmt.Errorf("serve: admission classes need a replicated fleet (use Fleet.LoadTest)")
+	}
+	if spec.Faults != nil || spec.Recovery != nil {
+		return nil, fmt.Errorf("serve: fault injection and recovery need a replicated fleet (use Fleet.LoadTest)")
 	}
 	resolved := make([]Request, len(spec.Requests))
 	routings := make([]*cost.Decision, len(spec.Requests))

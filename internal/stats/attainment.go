@@ -25,6 +25,13 @@ func (a *Attainment) Observe(v uint64) {
 	}
 }
 
+// Miss records one sample as missed regardless of its latency — the
+// serving layer's accounting for degraded (partial) answers, which
+// break the objective however quickly they were returned.
+func (a *Attainment) Miss() {
+	a.Total++
+}
+
 // Fraction reports the attained fraction Met/Total (0 if empty).
 func (a *Attainment) Fraction() float64 {
 	if a.Total == 0 {

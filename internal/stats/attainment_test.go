@@ -55,3 +55,22 @@ func TestAttainmentMerge(t *testing.T) {
 	c := Attainment{Bound: 11}
 	a.Merge(&c)
 }
+
+func TestAttainmentMissCountsAgainst(t *testing.T) {
+	a := Attainment{Bound: 100}
+	a.Observe(1) // would attain
+	a.Miss()     // degraded answer: a miss at any latency
+	if a.Total != 2 || a.Met != 1 {
+		t.Fatalf("after one observe and one miss: %+v", a)
+	}
+	if got, want := a.Fraction(), 0.5; got != want {
+		t.Fatalf("fraction %g, want %g", got, want)
+	}
+	// Merge carries misses through: missed samples stay missed.
+	b := Attainment{Bound: 100}
+	b.Miss()
+	a.Merge(&b)
+	if a.Total != 3 || a.Met != 1 {
+		t.Fatalf("merged %+v", a)
+	}
+}

@@ -88,6 +88,28 @@ cmp "$out/obs.1.trace.json" "$out/obs.$many.trace.json"
 cmp "$out/obs.1.spans.csv" "$out/obs.$many.spans.csv"
 cmp "$out/obs.1.json" "$out/obs.$many.json"
 
+echo "== faulted fleet (crashes + stragglers + stalls + recovery): -workers 1 vs -workers $many =="
+faulted() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -mode open -qps 250000 \
+    -pools hipe,hipe,x86 -archs auto -q1-every 3 \
+    -classes "batch:400:100,rt:200:0" -shed \
+    -crash 1:40:120 -crash-every-us 500 -crash-down-us 150 \
+    -straggle-every-us 300 -straggle-for-us 100 -straggle-factor 3 \
+    -stall-every-us 400 -stall-for-us 20 -stall-max-us 60 \
+    -retries 2 -retry-backoff-us 5 -retry-backoff-cap-us 40 \
+    -timeout-us 400 -hedge-us 150 -failover -fault-seed 7 \
+    -counters -quiet \
+    -trace-json "$out/faulted.$1.trace.json" -spans-csv "$out/faulted.$1.spans.csv" \
+    -csv "$out/faulted.$1.csv" -json "$out/faulted.$1.json" >/dev/null
+}
+faulted 1
+faulted "$many"
+cmp "$out/faulted.1.csv" "$out/faulted.$many.csv"
+cmp "$out/faulted.1.json" "$out/faulted.$many.json"
+cmp "$out/faulted.1.trace.json" "$out/faulted.$many.trace.json"
+cmp "$out/faulted.1.spans.csv" "$out/faulted.$many.spans.csv"
+
 echo "== sweep counter columns: -workers 1 vs -workers $many =="
 ctrsweep() {
   go run ./cmd/hipe-sweep -workers "$1" \
