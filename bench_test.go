@@ -177,6 +177,53 @@ func BenchmarkFigCounters(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepGrid runs one representative sweep grid through each
+// execution mode: exact whole-table simulation (the baseline), exact
+// with 4-way parallel shard simulation per cell, and the cost-model
+// estimate fast path. hipe-benchjson pairs the lanes into the
+// BENCH_<n>.json sweep_grid section and gates the estimate lane's
+// aggregate speedup (the ≥ 5x figure-of-merit for PR 9).
+func BenchmarkSweepGrid(b *testing.B) {
+	cfg := benchConfig()
+	grid := hipe.Grid{
+		Archs:      []hipe.Arch{hipe.X86, hipe.HMC, hipe.HIVE, hipe.HIPE},
+		Strategies: []hipe.Strategy{hipe.ColumnAtATime},
+		OpSizes:    []uint32{64, 256},
+		Unrolls:    []int{8, 32},
+		Fused:      []bool{false},
+		Tuples:     []int{benchTuples},
+		Seeds:      []uint64{42},
+		Clustered:  []bool{false},
+		Queries: []hipe.Q06{
+			func() hipe.Q06 { q := hipe.DefaultQ06(); q.QtyHi = 10; return q }(),
+			hipe.DefaultQ06(),
+		},
+		SkipInvalid: true,
+	}
+	lanes := []struct {
+		name string
+		opt  hipe.SweepOptions
+	}{
+		{"exact", hipe.SweepOptions{}},
+		{"exact-sharded", hipe.SweepOptions{CellShards: 4}},
+		{"estimate", hipe.SweepOptions{Exec: hipe.ExecEstimate}},
+	}
+	for _, lane := range lanes {
+		lane := lane
+		b.Run(lane.name, func(b *testing.B) {
+			var rs *hipe.ResultSet
+			for i := 0; i < b.N; i++ {
+				var err error
+				rs, err = hipe.SweepWith(cfg, grid, lane.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rs.Cells)), "cells")
+		})
+	}
+}
+
 // BenchmarkFleet load-tests the replicated fleet end to end: two
 // replica pools (HIPE, x86), an auto-routed two-class request stream,
 // admission control shedding under an open-loop overload. The simulated

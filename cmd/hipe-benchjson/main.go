@@ -12,7 +12,8 @@
 //
 //	hipe-benchjson -out BENCH_3.json \
 //	    [-figure-benchtime 3x] [-micro-benchtime 10000x] \
-//	    [-baseline old-bench.txt] [-check-allocs] [-skip-figures]
+//	    [-baseline old-bench.txt] [-check-allocs] [-skip-figures] \
+//	    [-prev BENCH_7.json] [-max-regress-pct 10] [-min-sweep-speedup 5]
 //
 // -baseline takes a raw `go test -bench` output file (captured before a
 // change) and records each baseline benchmark alongside, with a
@@ -21,6 +22,16 @@
 // -check-allocs exits non-zero if any scheduler microbench reports a
 // nonzero allocs/op — the CI bench-smoke job's allocation-regression
 // tripwire (beside the testing.AllocsPerRun unit tests).
+//
+// -prev takes a previously committed BENCH_<n>.json document and, with
+// -max-regress-pct P, exits non-zero if any figure bench present in
+// both documents got more than P% slower — the CI wall-clock regression
+// tripwire across the committed performance trajectory.
+//
+// -min-sweep-speedup S gates the BenchmarkSweepGrid lanes: the emitted
+// sweep_grid section records the exact, sharded and estimate lanes'
+// ns/op plus the estimate fast path's aggregate speedup over exact, and
+// the run exits non-zero if that speedup falls below S.
 package main
 
 import (
@@ -67,6 +78,18 @@ type Overhead struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// SweepGrid summarises the BenchmarkSweepGrid execution-mode lanes:
+// the same sweep grid run exact, exact with 4-way cell sharding, and
+// through the cost-model estimate fast path. FastPathSpeedup is the
+// PR 9 figure-of-merit (estimate lane throughput over exact).
+type SweepGrid struct {
+	ExactNsPerOp    float64 `json:"exact_ns_per_op"`
+	ShardedNsPerOp  float64 `json:"sharded_ns_per_op"`
+	EstimateNsPerOp float64 `json:"estimate_ns_per_op"`
+	ShardSpeedup    float64 `json:"shard_speedup"`
+	FastPathSpeedup float64 `json:"fast_path_speedup"`
+}
+
 // Doc is the emitted document.
 type Doc struct {
 	GoVersion       string        `json:"go_version"`
@@ -74,8 +97,32 @@ type Doc struct {
 	Figures         []BenchResult `json:"figure_benches,omitempty"`
 	Scheduler       []BenchResult `json:"scheduler_benches"`
 	CounterOverhead []Overhead    `json:"counter_overhead,omitempty"`
+	SweepGrid       *SweepGrid    `json:"sweep_grid,omitempty"`
 	Baseline        []BenchResult `json:"baseline,omitempty"`
 	Comparisons     []Comparison  `json:"comparisons,omitempty"`
+}
+
+// sweepGrid pairs the BenchmarkSweepGrid lanes into one summary row;
+// nil when the lanes are absent (e.g. -skip-figures).
+func sweepGrid(rs []BenchResult) *SweepGrid {
+	byName := map[string]BenchResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	exact, ok := byName["BenchmarkSweepGrid/exact"]
+	if !ok || exact.NsPerOp == 0 {
+		return nil
+	}
+	g := &SweepGrid{ExactNsPerOp: exact.NsPerOp}
+	if sharded, ok := byName["BenchmarkSweepGrid/exact-sharded"]; ok && sharded.NsPerOp > 0 {
+		g.ShardedNsPerOp = sharded.NsPerOp
+		g.ShardSpeedup = exact.NsPerOp / sharded.NsPerOp
+	}
+	if est, ok := byName["BenchmarkSweepGrid/estimate"]; ok && est.NsPerOp > 0 {
+		g.EstimateNsPerOp = est.NsPerOp
+		g.FastPathSpeedup = exact.NsPerOp / est.NsPerOp
+	}
+	return g
 }
 
 // counterOverhead pairs every ".../counters-off" lane with its
@@ -172,6 +219,9 @@ func main() {
 	baselinePath := flag.String("baseline", "", "raw `go test -bench` output captured before the change; recorded with speedups")
 	checkAllocs := flag.Bool("check-allocs", false, "exit 1 if a scheduler microbench reports allocs/op > 0")
 	skipFigures := flag.Bool("skip-figures", false, "skip the (slow) figure benches; scheduler microbenches only")
+	prevPath := flag.String("prev", "", "previously committed BENCH_<n>.json; with -max-regress-pct, gates wall-clock regressions on matching figure benches")
+	maxRegressPct := flag.Float64("max-regress-pct", 0, "exit 1 if a figure bench present in -prev got more than this many percent slower (0 disables)")
+	minSweepSpeedup := flag.Float64("min-sweep-speedup", 0, "exit 1 if the sweep-grid estimate lane's speedup over exact falls below this factor (0 disables)")
 	flag.Parse()
 
 	// fail rejects a bad flag combination up front: message plus usage
@@ -190,6 +240,18 @@ func main() {
 	if *figureBenchtime == "" || *microBenchtime == "" {
 		fail("-figure-benchtime and -micro-benchtime must not be empty")
 	}
+	if *maxRegressPct < 0 {
+		fail("-max-regress-pct %g must not be negative", *maxRegressPct)
+	}
+	if *maxRegressPct > 0 && *prevPath == "" {
+		fail("-max-regress-pct needs a -prev document to compare against")
+	}
+	if *minSweepSpeedup < 0 {
+		fail("-min-sweep-speedup %g must not be negative", *minSweepSpeedup)
+	}
+	if (*minSweepSpeedup > 0 || *maxRegressPct > 0) && *skipFigures {
+		fail("the -min-sweep-speedup and -max-regress-pct gates need the figure benches; drop -skip-figures")
+	}
 
 	doc := Doc{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
@@ -202,11 +264,12 @@ func main() {
 		// share) on the paper's configurations. BenchmarkFigCounters'
 		// counters-off/on lanes are paired into the counter_overhead
 		// section below.
-		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting|BenchmarkFleet)", *figureBenchtime)
+		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting|BenchmarkFleet|BenchmarkSweepGrid)", *figureBenchtime)
 		if err != nil {
 			log.Fatal(err)
 		}
 		doc.CounterOverhead = counterOverhead(doc.Figures)
+		doc.SweepGrid = sweepGrid(doc.Figures)
 	}
 	log.Printf("running scheduler microbenches (-benchtime %s)...", *microBenchtime)
 	doc.Scheduler, err = runBench("./internal/sim/", "^(BenchmarkSchedule|BenchmarkEngine)", *microBenchtime)
@@ -257,6 +320,51 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("alloc check passed: all scheduler lanes at 0 allocs/op")
+	}
+
+	if *prevPath != "" && *maxRegressPct > 0 {
+		raw, err := os.ReadFile(*prevPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev Doc
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			log.Fatalf("parse %s: %v", *prevPath, err)
+		}
+		prevByName := map[string]BenchResult{}
+		for _, b := range prev.Figures {
+			prevByName[b.Name] = b
+		}
+		failed := false
+		for _, r := range doc.Figures {
+			b, ok := prevByName[r.Name]
+			if !ok || b.NsPerOp == 0 || r.NsPerOp == 0 {
+				continue
+			}
+			pct := 100 * (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			if pct > *maxRegressPct {
+				log.Printf("WALL-CLOCK REGRESSION: %s %.0f -> %.0f ns/op (%+.1f%%, budget %.1f%%)",
+					r.Name, b.NsPerOp, r.NsPerOp, pct, *maxRegressPct)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		log.Printf("regression check passed: no figure bench slower than %s by more than %.1f%%", *prevPath, *maxRegressPct)
+	}
+
+	if *minSweepSpeedup > 0 {
+		if doc.SweepGrid == nil {
+			log.Fatal("sweep-speedup gate: BenchmarkSweepGrid lanes missing from the figure run")
+		}
+		if doc.SweepGrid.FastPathSpeedup < *minSweepSpeedup {
+			log.Printf("SWEEP SPEEDUP BELOW GATE: estimate fast path %.1fx over exact, want >= %.1fx",
+				doc.SweepGrid.FastPathSpeedup, *minSweepSpeedup)
+			os.Exit(1)
+		}
+		log.Printf("sweep-speedup gate passed: estimate fast path %.1fx over exact (gate %.1fx)",
+			doc.SweepGrid.FastPathSpeedup, *minSweepSpeedup)
 	}
 
 	enc, err := json.MarshalIndent(doc, "", "  ")

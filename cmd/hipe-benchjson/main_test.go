@@ -35,6 +35,10 @@ func TestFlagValidation(t *testing.T) {
 		{"positional arg", []string{"extra"}, "unexpected argument"},
 		{"empty out", []string{"-out", ""}, "-out must name a path"},
 		{"empty benchtime", []string{"-micro-benchtime", ""}, "must not be empty"},
+		{"negative regress budget", []string{"-max-regress-pct", "-5"}, "must not be negative"},
+		{"regress gate without prev", []string{"-max-regress-pct", "10"}, "needs a -prev document"},
+		{"negative sweep gate", []string{"-min-sweep-speedup", "-1"}, "must not be negative"},
+		{"sweep gate without figures", []string{"-min-sweep-speedup", "5", "-skip-figures"}, "drop -skip-figures"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -77,6 +81,27 @@ PASS
 	}
 	if fig.Metrics["cycles/plan"] != 1234567 || fig.Metrics["DRAM-pJ/plan"] != 890 {
 		t.Fatalf("custom metrics mis-parsed: %+v", fig.Metrics)
+	}
+}
+
+// TestSweepGridPairing covers the sweep_grid lane pairing without
+// shelling out: the three BenchmarkSweepGrid lanes collapse into one
+// summary row with both speedup ratios.
+func TestSweepGridPairing(t *testing.T) {
+	g := sweepGrid([]BenchResult{
+		{Name: "BenchmarkSweepGrid/exact", NsPerOp: 1000},
+		{Name: "BenchmarkSweepGrid/exact-sharded", NsPerOp: 400},
+		{Name: "BenchmarkSweepGrid/estimate", NsPerOp: 10},
+		{Name: "BenchmarkFig3a", NsPerOp: 5},
+	})
+	if g == nil {
+		t.Fatal("lanes present but no sweep_grid row")
+	}
+	if g.ShardSpeedup != 2.5 || g.FastPathSpeedup != 100 {
+		t.Fatalf("speedups mis-paired: %+v", g)
+	}
+	if sweepGrid([]BenchResult{{Name: "BenchmarkFig3a", NsPerOp: 5}}) != nil {
+		t.Fatal("sweep_grid row fabricated without lanes")
 	}
 }
 

@@ -21,9 +21,18 @@
 //	           [-trace] [-trace-period-us 2000] [-trace-amp 0.5] \
 //	           [-burst 4] [-burst-on-us 200] [-burst-off-us 600] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
-//	           [-workers N] [-csv out.csv] [-json out.json] \
+//	           [-exec exact|estimate] [-workers N] [-csv out.csv] [-json out.json] \
 //	           [-counters] [-trace-json trace.json] [-spans-csv spans.csv] \
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-trace-out exec.trace]
+//
+// -exec selects the execution mode. "exact" (the default) replays every
+// shard on a full machine model. "estimate" prices each (plan, shard)
+// with the analytic cost model instead — answers stay exact (they come
+// from the reference evaluators), only service times are approximate,
+// with the bounded error documented in docs/PERFORMANCE.md — and the
+// report gains an exec_mode marker and CSV column. Estimate mode cannot
+// produce machine counters or machine-replay traces, so -exec estimate
+// with -counters, -trace-json or -spans-csv is refused.
 //
 // -pools engages the replicated fleet: each entry is one complete
 // replica of all shards pinned to that backend family, and every
@@ -95,7 +104,29 @@ import (
 	"time"
 
 	hipe "github.com/hipe-sim/hipe"
+	"github.com/hipe-sim/hipe/internal/cliutil"
 )
+
+// flagGroups files every hipe-serve flag under a subsystem; usage
+// output prints group by group instead of one ~50-flag alphabetical
+// list. main_test.go pins that no flag is left ungrouped.
+var flagGroups = []cliutil.FlagGroup{
+	{Title: "serving", Flags: []string{"shards", "requests", "mode", "qps", "duration-ms", "concurrency", "archs", "aggregate", "q1-every", "q1-cut"}},
+	{Title: "table", Flags: []string{"tuples", "seed", "stream-seed", "clustered", "noise"}},
+	{Title: "fleet", Flags: []string{"pools", "classes", "shed"}},
+	{Title: "faults", Flags: []string{"fault-seed", "crash-every-us", "crash-down-us", "crash", "straggle-every-us", "straggle-for-us", "straggle-factor", "stall-every-us", "stall-for-us", "stall-max-us"}},
+	{Title: "recovery", Flags: []string{"retries", "retry-backoff-us", "retry-backoff-cap-us", "timeout-us", "hedge-us", "failover"}},
+	{Title: "arrivals", Flags: []string{"trace", "trace-period-us", "trace-amp", "burst", "burst-on-us", "burst-off-us"}},
+	{Title: "execution", Flags: []string{"exec", "workers", "quiet"}},
+	{Title: "observability", Flags: []string{"counters", "trace-json", "spans-csv"}},
+	{Title: "export", Flags: []string{"csv", "json"}},
+	{Title: "profiling", Flags: []string{"cpuprofile", "memprofile", "trace-out"}},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage of hipe-serve:")
+	cliutil.PrintGroupedUsage(os.Stderr, flagGroups, flag.CommandLine)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -140,6 +171,7 @@ func main() {
 	tuples := flag.Int("tuples", 16384, "lineitem row count (multiple of 64)")
 	seed := flag.Uint64("seed", 42, "table generator seed")
 	streamSeed := flag.Uint64("stream-seed", 1, "request-stream and arrival-process seed")
+	execMode := flag.String("exec", "exact", "execution mode: exact replays every shard machine, estimate prices shards with the cost model (see docs/PERFORMANCE.md)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "executor pool size (defaults to GOMAXPROCS); never changes results")
 	csvPath := flag.String("csv", "", "write per-request traces as CSV to this path (- for stdout)")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this path (- for stdout)")
@@ -150,11 +182,12 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (snapshotted after the load test) to this path")
 	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the load test to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	flag.Usage = usage
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "hipe-serve: "+format+"\n\nusage of hipe-serve:\n", args...)
-		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "hipe-serve: "+format+"\n\n", args...)
+		usage()
 		os.Exit(2)
 	}
 	// Validate every flag combination up front: a malformed run must
@@ -212,6 +245,18 @@ func main() {
 	}
 	if *noise < 0 {
 		fail("-noise %d must not be negative", *noise)
+	}
+	emode, ok := hipe.ParseExecMode(*execMode)
+	if !ok {
+		fail("unknown exec mode %q (have %s)", *execMode, hipe.ExecModeChoices())
+	}
+	if emode == hipe.ExecEstimate {
+		if *counters {
+			fail("-exec estimate cannot produce machine counters (µop-level counters need exact simulation)")
+		}
+		if *traceJSON != "" || *spansCSV != "" {
+			fail("-exec estimate cannot produce machine-replay traces (spans need exact simulation)")
+		}
 	}
 	// Architectures validate against the backend registry, so the error
 	// message tracks whatever backends are actually registered.
@@ -465,6 +510,7 @@ func main() {
 	opt := hipe.ServeOptions{
 		Workers:  *workers,
 		Counters: *counters,
+		Exec:     emode,
 		// The span exporters are the only consumers of the virtual-time
 		// trace, so asking for either turns the tracer on.
 		Trace: *traceJSON != "" || *spansCSV != "",

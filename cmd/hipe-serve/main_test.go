@@ -143,6 +143,77 @@ func TestFleetFlagValidation(t *testing.T) {
 	}
 }
 
+// TestExecFlagValidation pins the CLI-level exec-mode refusals: unknown
+// modes list the registry, and estimate mode rejects the outputs it
+// cannot produce before anything runs.
+func TestExecFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown mode", []string{"-exec", "psychic"}, `unknown exec mode "psychic"`},
+		{"mode choices listed", []string{"-exec", "psychic"}, "exact, estimate"},
+		{"estimate with counters", []string{"-exec", "estimate", "-counters"}, "cannot produce machine counters"},
+		{"estimate with trace json", []string{"-exec", "estimate", "-trace-json", "t.json"}, "cannot produce machine-replay traces"},
+		{"estimate with span csv", []string{"-exec", "estimate", "-spans-csv", "s.csv"}, "cannot produce machine-replay traces"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestGroupedUsage pins the subsystem grouping of the help text: every
+// group header prints, and no flag has fallen out of the groups into
+// the trailing "ungrouped" section.
+func TestGroupedUsage(t *testing.T) {
+	// flag's ExitOnError treats -h as success, so only the output matters.
+	_, out := runBinary(t, "-h")
+	for _, want := range []string{
+		"serving:", "table:", "fleet:", "faults:", "recovery:",
+		"arrivals:", "execution:", "observability:", "export:", "profiling:",
+		"-exec",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ungrouped") {
+		t.Errorf("a flag escaped the subsystem groups:\n%s", out)
+	}
+	if strings.Contains(out, "unregistered flag") {
+		t.Errorf("a group lists a flag that is not registered:\n%s", out)
+	}
+}
+
+// TestEstimateServeRuns: -exec estimate serves the stream on cost-model
+// service times and marks the report and CSV export.
+func TestEstimateServeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	code, out := runBinary(t,
+		"-shards", "2", "-requests", "8", "-tuples", "1024",
+		"-archs", "auto", "-exec", "estimate", "-quiet", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("estimate serve failed (%d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "exec_mode") || !strings.Contains(out, "estimate") {
+		t.Fatalf("estimate serve CSV lacks the exec_mode marker\n%s", out)
+	}
+}
+
 // TestFleetLoadTestRuns drives a small replicated fleet with classes,
 // shedding and trace arrivals end to end.
 func TestFleetLoadTestRuns(t *testing.T) {

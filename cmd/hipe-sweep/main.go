@@ -11,8 +11,22 @@
 //	           [-fused both] [-qtyhi 24,50] [-q1cuts 2436] \
 //	           [-tuples 16384] [-seeds 42] \
 //	           [-clustered both] [-workers N] [-csv out.csv] [-json out.json] \
+//	           [-exec exact|estimate] [-cell-shards N] \
 //	           [-counters] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
 //	           [-trace-out exec.trace]
+//
+// -exec selects the execution mode: "exact" (the default) simulates
+// every cell on a full machine model; "estimate" prices cells with the
+// analytic cost model instead — orders of magnitude faster, with the
+// bounded cycle error documented in docs/PERFORMANCE.md — and marks
+// every exported row with an exec_mode column. Estimate mode cannot
+// produce machine counters, so -exec estimate -counters is refused.
+//
+// -cell-shards N (exact mode only) runs each cell as a parallel shard
+// simulation: the cell's table is cut into N contiguous shards whose
+// machines simulate concurrently, and the partials merge in shard
+// order — cycles as the critical path, energy and counters summed — so
+// exports stay byte-identical at any worker count.
 //
 // -counters snapshots each cell's machine counters (cache hits, DRAM
 // activates, link packets, event-engine lanes…) after its run: the CSV
@@ -50,13 +64,30 @@ import (
 	"time"
 
 	hipe "github.com/hipe-sim/hipe"
+	"github.com/hipe-sim/hipe/internal/cliutil"
 )
+
+// flagGroups files every hipe-sweep flag under a subsystem; usage
+// output prints group by group instead of one flat alphabetical list.
+// main_test.go pins that no flag is left ungrouped.
+var flagGroups = []cliutil.FlagGroup{
+	{Title: "grid axes", Flags: []string{"archs", "strategies", "opsizes", "unrolls", "fused", "tuples", "seeds", "clustered"}},
+	{Title: "workload", Flags: []string{"qtyhi", "q1cuts", "disclo", "dischi", "noise", "strict"}},
+	{Title: "execution", Flags: []string{"exec", "cell-shards", "workers", "quiet"}},
+	{Title: "export", Flags: []string{"csv", "json", "counters"}},
+	{Title: "profiling", Flags: []string{"cpuprofile", "memprofile", "trace-out"}},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage of hipe-sweep:")
+	cliutil.PrintGroupedUsage(os.Stderr, flagGroups, flag.CommandLine)
+}
 
 // fail rejects a bad flag combination up front: message plus usage on
 // stderr, exit 2 — never a late panic mid-sweep or a silent default.
 func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hipe-sweep: "+format+"\n\nusage of hipe-sweep:\n", args...)
-	flag.PrintDefaults()
+	fmt.Fprintf(os.Stderr, "hipe-sweep: "+format+"\n\n", args...)
+	usage()
 	os.Exit(2)
 }
 
@@ -81,10 +112,13 @@ func main() {
 	csvPath := flag.String("csv", "", "write per-cell results as CSV to this path (- for stdout)")
 	jsonPath := flag.String("json", "", "write per-cell results as JSON to this path (- for stdout)")
 	counters := flag.Bool("counters", false, "capture each cell's machine-counter snapshot; exports gain one ctr_<key> column / Counters field per counter")
+	execMode := flag.String("exec", "exact", "execution mode: exact simulates every cell, estimate prices it with the cost model (see docs/PERFORMANCE.md)")
+	cellShards := flag.Int("cell-shards", 0, "exact mode: split each cell into N shards simulated in parallel and merged deterministically (0 = whole-table)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (snapshotted after the sweep) to this path")
 	traceOut := flag.String("trace-out", "", "write a runtime execution trace of the sweep to this path")
 	quiet := flag.Bool("quiet", false, "suppress progress on stderr")
+	flag.Usage = usage
 	flag.Parse()
 
 	// Validate flag combinations before any parsing or simulation.
@@ -102,6 +136,21 @@ func main() {
 	}
 	if *csvPath == "-" && *jsonPath == "-" {
 		fail("-csv - and -json - both claim stdout; pick one")
+	}
+	mode, ok := hipe.ParseExecMode(*execMode)
+	if !ok {
+		fail("unknown exec mode %q (have %s)", *execMode, hipe.ExecModeChoices())
+	}
+	if *cellShards < 0 {
+		fail("-cell-shards %d must not be negative", *cellShards)
+	}
+	if mode == hipe.ExecEstimate {
+		if *counters {
+			fail("-exec estimate cannot capture machine counters (µop-level counters need exact simulation)")
+		}
+		if *cellShards > 1 {
+			fail("-exec estimate runs no shard machines; drop -cell-shards")
+		}
 	}
 
 	grid := hipe.Grid{
@@ -150,7 +199,7 @@ func main() {
 		grid.Q1Queries = append(grid.Q1Queries, hipe.Q01{ShipCut: int32(cut)})
 	}
 
-	opt := hipe.SweepOptions{Workers: *workers, Counters: *counters}
+	opt := hipe.SweepOptions{Workers: *workers, Counters: *counters, Exec: mode, CellShards: *cellShards}
 	if !*quiet {
 		opt.OnCell = func(done, total int, r hipe.CellResult) {
 			fmt.Fprintf(os.Stderr, "\rhipe-sweep: %d/%d cells", done, total)

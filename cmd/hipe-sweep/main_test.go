@@ -81,6 +81,90 @@ func TestArchValidationListsRegistry(t *testing.T) {
 	}
 }
 
+// TestExecFlagValidation pins the CLI-level exec-mode refusals: unknown
+// modes list the registry, and estimate mode rejects the outputs it
+// cannot produce before anything runs.
+func TestExecFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown mode", []string{"-exec", "psychic"}, `unknown exec mode "psychic"`},
+		{"mode choices listed", []string{"-exec", "psychic"}, "exact, estimate"},
+		{"estimate with counters", []string{"-exec", "estimate", "-counters"}, "cannot capture machine counters"},
+		{"estimate with shards", []string{"-exec", "estimate", "-cell-shards", "4"}, "no shard machines"},
+		{"negative shards", []string{"-cell-shards", "-2"}, "must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestGroupedUsage pins the subsystem grouping of the help text: every
+// group header prints, and no flag has fallen out of the groups into
+// the trailing "ungrouped" section.
+func TestGroupedUsage(t *testing.T) {
+	// flag's ExitOnError treats -h as success, so only the output matters.
+	_, out := runBinary(t, "-h")
+	for _, want := range []string{"grid axes:", "workload:", "execution:", "export:", "profiling:", "-exec", "-cell-shards"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ungrouped") {
+		t.Errorf("a flag escaped the subsystem groups:\n%s", out)
+	}
+	if strings.Contains(out, "unregistered flag") {
+		t.Errorf("a group lists a flag that is not registered:\n%s", out)
+	}
+}
+
+// TestEstimateSweepRuns: -exec estimate produces the exec_mode CSV
+// column and runs the whole grid through the cost model.
+func TestEstimateSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	code, out := runBinary(t,
+		"-archs", "hipe,auto", "-opsizes", "256", "-unrolls", "32",
+		"-tuples", "1024", "-quiet", "-exec", "estimate", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("estimate sweep failed (%d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "exec_mode") || !strings.Contains(out, "estimate") {
+		t.Fatalf("estimate sweep CSV lacks the exec_mode marker\n%s", out)
+	}
+}
+
+// TestShardedSweepRuns: -cell-shards splits each cell into parallel
+// shard simulations and records the shard count in the export.
+func TestShardedSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	code, out := runBinary(t,
+		"-archs", "hipe", "-opsizes", "256", "-unrolls", "32",
+		"-tuples", "1024", "-quiet", "-cell-shards", "4", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("sharded sweep failed (%d)\n%s", code, out)
+	}
+	if !strings.Contains(out, "shards") {
+		t.Fatalf("sharded sweep CSV lacks the shards column\n%s", out)
+	}
+}
+
 // TestAutoArchSweepRuns: -archs auto produces planner-routed cells with
 // routing columns in the CSV export.
 func TestAutoArchSweepRuns(t *testing.T) {

@@ -187,6 +187,66 @@ func ExampleSweep() {
 	// best: hipe/column-at-a-time/256B/32x
 }
 
+// ExampleSweep_estimateMode runs the same auto-routed sweep twice —
+// exact machine simulation and the cost-model estimate fast path. The
+// fast path prices every cell analytically (orders of magnitude faster,
+// bounded cycle error — see docs/PERFORMANCE.md) but routes through the
+// identical planner call, so both modes pick the same backend.
+func ExampleSweep_estimateMode() {
+	cfg := hipe.Default()
+	grid := hipe.Grid{
+		Archs:   []hipe.Arch{hipe.ArchAuto},
+		Unrolls: []int{32},
+		Tuples:  []int{1024},
+	}
+
+	exact, err := hipe.SweepWith(cfg, grid, hipe.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := hipe.SweepWith(cfg, grid, hipe.SweepOptions{Exec: hipe.ExecEstimate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("estimate marked:", est.Cells[0].Mode == hipe.ExecEstimate)
+	fmt.Println("same routing pick:", est.Cells[0].Routing.Chosen == exact.Cells[0].Routing.Chosen)
+	fmt.Println("cycles priced:", est.Cells[0].Result.Cycles > 0)
+	// Output:
+	// estimate marked: true
+	// same routing pick: true
+	// cycles priced: true
+}
+
+// ExampleServe_parallelShards shows the determinism contract behind
+// intra-request parallelism: per-shard machine simulations run
+// concurrently on the executor pool, partials merge in shard order, and
+// the report's cycle figure is the scatter-gather critical path — so
+// the answer and the report bytes are identical at any worker count.
+func ExampleServe_parallelShards() {
+	cfg := hipe.Default()
+	cfg.Tuples = 1024
+	tab := hipe.Generate(cfg.Tuples, cfg.Seed)
+
+	cluster, err := hipe.Serve(cfg, tab, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := hipe.ServeRequest{Plan: hipe.ServePlan(hipe.HIPE, hipe.DefaultQ06())}
+	serial, err := cluster.Query(req, hipe.ServeOptions{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wide, err := cluster.Query(req, hipe.ServeOptions{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same answer:", wide.Matches == serial.Matches && wide.Revenue == serial.Revenue)
+	fmt.Println("same critical path:", wide.Cycles == serial.Cycles)
+	// Output:
+	// same answer: true
+	// same critical path: true
+}
+
 // ExampleServe_tracing runs a small load test with the observability
 // layer on: the virtual-time tracer records each request's span tree
 // (admission, routing, per-shard machine replay, merge) in simulated

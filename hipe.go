@@ -83,8 +83,16 @@ type (
 	// ResultSet aggregates a sweep, ordered by cell index, with CSV and
 	// JSON exporters.
 	ResultSet = sweep.ResultSet
-	// SweepOptions tune a sweep run (worker count, progress callback).
+	// SweepOptions tune a sweep run (worker count, progress callback,
+	// counter capture, execution mode, intra-cell shard parallelism).
 	SweepOptions = sweep.Options
+	// ExecMode selects exact machine simulation (ExecExact, the default)
+	// or the analytic cost model's calibrated fast path (ExecEstimate)
+	// for sweeps and serving replays. Estimate mode keeps answers exact,
+	// bounds cycle error (pinned by test; see docs/PERFORMANCE.md), and
+	// refuses outputs only real simulation can produce (machine
+	// counters, traces).
+	ExecMode = sweep.ExecMode
 	// Cluster is a sharded serving fleet: one table partitioned across
 	// simulated machines, answering concurrent Q06-family requests.
 	Cluster = serve.Cluster
@@ -92,7 +100,9 @@ type (
 	ServeRequest = serve.Request
 	// ServeResponse is a merged, verified whole-table answer.
 	ServeResponse = serve.Response
-	// ServeOptions bound the executor pool running shard simulations.
+	// ServeOptions tune cluster execution: the executor pool running
+	// shard simulations, counter capture, virtual-time tracing, and the
+	// execution mode (exact simulation or the estimate fast path).
 	ServeOptions = serve.Options
 	// StreamSpec declares a seeded mixed-selectivity request stream.
 	StreamSpec = serve.StreamSpec
@@ -154,10 +164,13 @@ type (
 	// single-threaded replay when ServeOptions.Trace is set, exported
 	// as Chrome trace_event JSON (Perfetto-loadable) or flat CSV.
 	Trace = obs.Trace
-	// TraceSpan is one recorded span; TraceArg one span annotation;
-	// TracePhase its event kind.
-	TraceSpan  = obs.Span
-	TraceArg   = obs.Arg
+	// TraceSpan is one recorded span of a Trace: name, category,
+	// process/thread track, phase and virtual-cycle timestamps.
+	TraceSpan = obs.Span
+	// TraceArg is one key/value annotation attached to a TraceSpan.
+	TraceArg = obs.Arg
+	// TracePhase is a TraceSpan's event kind (complete, begin, end,
+	// instant — see the TracePhase* constants).
 	TracePhase = obs.Phase
 	// Profile bundles the CLI profiling hooks (-cpuprofile,
 	// -memprofile, -trace-out): Go pprof CPU/heap profiles and the
@@ -184,6 +197,24 @@ const (
 	TracePhaseEnd      = obs.PhaseEnd
 	TracePhaseInstant  = obs.PhaseInstant
 )
+
+// Execution modes (see ExecMode).
+const (
+	// ExecExact runs full machine simulations — the default, and the
+	// only mode that produces machine counters and traces.
+	ExecExact = sweep.ExecExact
+	// ExecEstimate prices cells and shard replays with the analytic
+	// cost model instead of simulating — orders of magnitude faster,
+	// exact answers, bounded cycle error.
+	ExecEstimate = sweep.ExecEstimate
+)
+
+// ParseExecMode resolves an -exec flag spelling ("exact", "estimate")
+// to its mode.
+func ParseExecMode(s string) (ExecMode, bool) { return sweep.ParseExecMode(s) }
+
+// ExecModeChoices renders the valid -exec spellings for usage errors.
+func ExecModeChoices() string { return sweep.ExecModeChoices() }
 
 // Backend registry and cost-model types (aliases into the
 // implementation packages).
@@ -330,8 +361,11 @@ func Sweep(cfg Config, grid Grid) (*ResultSet, error) {
 	return sweep.Run(cfg, grid, sweep.Options{})
 }
 
-// SweepWith is Sweep with explicit options (worker count, per-cell
-// progress callback).
+// SweepWith is Sweep with explicit options: worker count, per-cell
+// progress callback, counter capture, the execution mode (ExecEstimate
+// prices cells with the cost model instead of simulating), and
+// intra-cell shard parallelism (CellShards > 1 cuts each cell's table
+// into shards simulated concurrently and merged deterministically).
 func SweepWith(cfg Config, grid Grid, opt SweepOptions) (*ResultSet, error) {
 	return sweep.Run(cfg, grid, opt)
 }

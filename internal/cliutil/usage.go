@@ -1,0 +1,69 @@
+// Package cliutil holds the small pieces the hipe-* commands share.
+// Its grouped-usage renderer replaces flag.PrintDefaults for commands
+// whose flag count has outgrown one flat alphabetical list: flags print
+// by subsystem, in a declared order, so -h reads as a map of the tool
+// rather than a dictionary of it.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FlagGroup is one subsystem section of a command's usage output: a
+// title plus the flag names it owns, printed in the listed order.
+type FlagGroup struct {
+	Title string
+	Flags []string
+}
+
+// PrintGroupedUsage renders fs's flags grouped by subsystem. Every
+// group flag must be registered; a registered flag missing from every
+// group falls into a trailing "ungrouped flags" section — tests pin
+// that section's absence, so adding a flag without filing it under a
+// subsystem fails the build's usage test rather than silently
+// degrading the help text.
+func PrintGroupedUsage(w io.Writer, groups []FlagGroup, fs *flag.FlagSet) {
+	grouped := map[string]bool{}
+	for _, g := range groups {
+		fmt.Fprintf(w, "%s:\n", g.Title)
+		for _, name := range g.Flags {
+			f := fs.Lookup(name)
+			if f == nil {
+				fmt.Fprintf(w, "  -%s\n    \t(group lists unregistered flag)\n", name)
+				continue
+			}
+			grouped[name] = true
+			printFlag(w, f)
+		}
+		fmt.Fprintln(w)
+	}
+	var stray []*flag.Flag
+	fs.VisitAll(func(f *flag.Flag) {
+		if !grouped[f.Name] {
+			stray = append(stray, f)
+		}
+	})
+	if len(stray) > 0 {
+		fmt.Fprintln(w, "ungrouped flags:")
+		for _, f := range stray {
+			printFlag(w, f)
+		}
+	}
+}
+
+// printFlag renders one flag in flag.PrintDefaults' two-line shape.
+func printFlag(w io.Writer, f *flag.Flag) {
+	arg, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if arg != "" {
+		line += " " + arg
+	}
+	line += "\n    \t" + strings.ReplaceAll(usage, "\n", "\n    \t")
+	if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" {
+		line += fmt.Sprintf(" (default %s)", f.DefValue)
+	}
+	fmt.Fprintln(w, line)
+}

@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func testFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.String("alpha", "a", "first `list`")
+	fs.Int("beta", 3, "second")
+	fs.Bool("gamma", false, "third")
+	return fs
+}
+
+func TestPrintGroupedUsage(t *testing.T) {
+	fs := testFlagSet()
+	var b strings.Builder
+	PrintGroupedUsage(&b, []FlagGroup{
+		{Title: "one", Flags: []string{"alpha"}},
+		{Title: "two", Flags: []string{"beta", "gamma"}},
+	}, fs)
+	out := b.String()
+	for _, want := range []string{"one:", "two:", "-alpha list", "-beta int", "-gamma", "(default a)", "(default 3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ungrouped") {
+		t.Errorf("fully-grouped flag set produced an ungrouped section:\n%s", out)
+	}
+	if strings.Index(out, "one:") > strings.Index(out, "two:") {
+		t.Error("groups printed out of declared order")
+	}
+}
+
+func TestPrintGroupedUsageStray(t *testing.T) {
+	fs := testFlagSet()
+	var b strings.Builder
+	PrintGroupedUsage(&b, []FlagGroup{{Title: "one", Flags: []string{"alpha"}}}, fs)
+	out := b.String()
+	if !strings.Contains(out, "ungrouped flags:") || !strings.Contains(out, "-beta") {
+		t.Errorf("stray flags not surfaced:\n%s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package machine
+
+import "testing"
+
+func TestPoolRecyclesMachines(t *testing.T) {
+	p := NewPool(Default())
+	m1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(m1)
+	m2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("pool built a new machine instead of recycling the freed one")
+	}
+	// The pool is now empty: a second Get must build fresh.
+	m3, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m2 {
+		t.Error("pool handed out the same machine twice concurrently")
+	}
+	p.Put(m2)
+	p.Put(m3)
+	if got := len(p.free); got != 2 {
+		t.Errorf("free list holds %d machines, want 2", got)
+	}
+}

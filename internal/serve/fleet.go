@@ -171,6 +171,9 @@ func (f *Fleet) route(cands []fleetCand, queue []float64) (*cost.Decision, fleet
 // and returns the verified answer with the routing decision and pool
 // pick attached. Safe for concurrent callers.
 func (f *Fleet) Query(req Request, opt Options) (*Response, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := f.Admit(req); err != nil {
 		return nil, err
 	}
@@ -207,6 +210,9 @@ func (f *Fleet) Query(req Request, opt Options) (*Response, error) {
 // replica's shard queues. Reports are byte-identical at any worker
 // count.
 func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -277,6 +283,9 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	}
 	for i, a := range f.pools {
 		r.Pools[i] = PoolStats{Pool: i, Arch: a.String()}
+	}
+	if opt.Exec == sweep.ExecEstimate {
+		r.ExecMode = opt.Exec.String()
 	}
 	// Counter totals sum each distinct (plan, shard) simulation once —
 	// replica pools share the memoised runs, so per-request summing

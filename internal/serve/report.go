@@ -119,6 +119,13 @@ type PoolStats struct {
 type Report struct {
 	// Mode is "open" or "closed".
 	Mode string
+	// ExecMode is "estimate" when the test priced shard service times
+	// with the analytic cost model instead of machine simulation
+	// (answers stay exact; only timing is approximate). Empty — and
+	// JSON-omitted — on exact reports, so they are byte-identical to
+	// their pre-mode form. Exported CSV rows gain an exec_mode column
+	// only when this is set.
+	ExecMode string `json:",omitempty"`
 	// Shards is the fleet size; Rows the whole-table row count.
 	Shards int
 	Rows   int
@@ -235,10 +242,12 @@ func (r *Report) HasFleet() bool {
 }
 
 // WriteCSV writes the per-request traces as CSV with CSVHeader's
-// columns (plus FleetCSVHeader for fleet reports, plus
-// RoutingCSVHeader when the report contains routed requests), in
-// request-index order. Pre-fleet, fixed-architecture exports stay
-// byte-identical to their original form.
+// columns (plus FleetCSVHeader for fleet reports, plus FaultCSVHeader
+// for faulted runs, plus RoutingCSVHeader when the report contains
+// routed requests, plus an exec_mode column for estimate-mode reports
+// — in that order), in request-index order. Pre-fleet, exact,
+// fixed-architecture exports stay byte-identical to their original
+// form.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := r.HasRouting()
@@ -246,7 +255,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	faults := r.HasFaults()
 	header := CSVHeader
 	backends := query.Backends()
-	if fleet || routed || faults {
+	if fleet || routed || faults || r.ExecMode != "" {
 		header = append([]string{}, CSVHeader...)
 		if fleet {
 			header = append(header, FleetCSVHeader()...)
@@ -256,6 +265,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		}
 		if routed {
 			header = append(header, RoutingCSVHeader()...)
+		}
+		if r.ExecMode != "" {
+			header = append(header, "exec_mode")
 		}
 	}
 	if err := cw.Write(header); err != nil {
@@ -300,6 +312,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		}
 		if routed {
 			rec = append(rec, routingColumns(tr.Routing, backends)...)
+		}
+		if r.ExecMode != "" {
+			rec = append(rec, r.ExecMode)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -407,6 +422,9 @@ func micros(cycles uint64) float64 {
 func (r *Report) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s-loop load test: %d shards, %d rows ==\n", r.Mode, r.Shards, r.Rows)
+	if r.ExecMode != "" {
+		fmt.Fprintf(&b, "exec mode            %s (cost-model cycles, exact answers)\n", r.ExecMode)
+	}
 	if r.Concurrency > 0 {
 		fmt.Fprintf(&b, "concurrency          %d clients\n", r.Concurrency)
 	}

@@ -24,6 +24,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -145,6 +146,12 @@ type Response struct {
 	// snapshots summed — when Options.Counters is set; nil (and
 	// JSON-omitted) otherwise.
 	Counters *obs.Counters `json:",omitempty"`
+	// ExecMode is "estimate" when the response's shard cycles came from
+	// the analytic cost model rather than machine simulation (answers
+	// are exact either way; only timing is approximate). Empty — and
+	// JSON-omitted — for exact responses, so exact exports are
+	// byte-identical to their pre-mode form.
+	ExecMode string `json:",omitempty"`
 }
 
 // Options tune cluster execution.
@@ -170,6 +177,35 @@ type Options struct {
 	// single-threaded timeline replay, exported via the report's
 	// WriteChromeTrace/WriteSpanCSV. Off by default and free when off.
 	Trace bool
+	// Exec selects the execution mode. ExecExact (the zero value) runs
+	// every shard task as a full machine simulation; ExecEstimate prices
+	// shard service times with the analytic cost model — no machines are
+	// built — while answers still come from the shard reference
+	// evaluators, so merges verify exactly and only timing is
+	// approximate. Estimate responses and reports carry an "estimate"
+	// mode marker; exact exports are byte-identical to runs made before
+	// this knob existed. See internal/sweep's ExecMode and
+	// docs/PERFORMANCE.md for the error contract.
+	Exec sweep.ExecMode
+}
+
+// validate rejects option combinations the cluster refuses to serve:
+// estimate mode builds no machines, so it can produce neither machine
+// counters nor machine-replay traces.
+func (o Options) validate() error {
+	switch o.Exec {
+	case sweep.ExecExact:
+	case sweep.ExecEstimate:
+		if o.Counters {
+			return fmt.Errorf("serve: estimate mode cannot produce machine counters (µop-level counters need exact simulation)")
+		}
+		if o.Trace {
+			return fmt.Errorf("serve: estimate mode cannot produce machine-replay traces (spans need exact simulation)")
+		}
+	default:
+		return fmt.Errorf("serve: unknown exec mode %d", int(o.Exec))
+	}
+	return nil
 }
 
 // EffectiveWorkers resolves the executor-pool size these options
@@ -207,8 +243,7 @@ type Cluster struct {
 	// machine is bit-identical to a fresh one, so reuse never changes
 	// answers or timelines — it only stops the fleet from rebuilding
 	// (and re-allocating) the world once per shard task.
-	mpoolMu sync.Mutex
-	mpool   []*machine.Machine
+	mpool *machine.Pool
 }
 
 // New partitions tab into nShards contiguous shards (each a multiple of
@@ -240,6 +275,7 @@ func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
 		refs:   make(map[db.Q06]*db.ReferenceResult),
 		refs1:  make(map[db.Q01]*db.Q1Result),
 		routes: make(map[routeKey]*cost.Decision),
+		mpool:  machine.NewPool(mc),
 	}, nil
 }
 
@@ -367,40 +403,24 @@ func (c *Cluster) referenceQ1(q db.Q01) *db.Q1Result {
 	return r
 }
 
-// getMachine draws a pooled (Reset) machine, or builds one.
-func (c *Cluster) getMachine() (*machine.Machine, error) {
-	c.mpoolMu.Lock()
-	if n := len(c.mpool); n > 0 {
-		m := c.mpool[n-1]
-		c.mpool = c.mpool[:n-1]
-		c.mpoolMu.Unlock()
-		return m, nil
+// runShard produces req's plan's shard-s partial under opt's execution
+// mode. Exact mode runs the plan on a pooled machine instance, verifies
+// the engine-computed result against the shard reference, and — when
+// opt.Counters is set — snapshots the machine's counter registry into
+// the partial before the machine is recycled (Reset clears the
+// registry). Estimate mode prices the shard analytically instead; see
+// estimateShard.
+func (c *Cluster) runShard(s int, p query.Plan, opt Options) (ShardPartial, error) {
+	if opt.Exec == sweep.ExecEstimate {
+		return c.estimateShard(s, p)
 	}
-	c.mpoolMu.Unlock()
-	return machine.New(c.mc)
-}
-
-// putMachine resets a machine and returns it to the pool.
-func (c *Cluster) putMachine(m *machine.Machine) {
-	m.Reset()
-	c.mpoolMu.Lock()
-	c.mpool = append(c.mpool, m)
-	c.mpoolMu.Unlock()
-}
-
-// runShard executes req's plan over shard s on a pooled machine
-// instance, verifies the engine-computed result against the shard
-// reference, and returns the shard partial. When counters is set the
-// machine's counter registry is snapshotted into the partial before
-// the machine is recycled (Reset clears the registry).
-func (c *Cluster) runShard(s int, p query.Plan, counters bool) (ShardPartial, error) {
-	m, err := c.getMachine()
+	m, err := c.mpool.Get()
 	if err != nil {
 		return ShardPartial{}, err
 	}
 	// Recycle on every path: Reset is proven safe even after a run
 	// abandoned mid-flight, so failed shard tasks keep the pool warm.
-	defer c.putMachine(m)
+	defer c.mpool.Put(m)
 	w, err := query.Prepare(m, c.shards[s], p)
 	if err != nil {
 		return ShardPartial{}, err
@@ -410,7 +430,7 @@ func (c *Cluster) runShard(s int, p query.Plan, counters bool) (ShardPartial, er
 		return ShardPartial{}, err
 	}
 	var ctrs *obs.Counters
-	if counters {
+	if opt.Counters {
 		ctrs = obs.Capture(m.Registry, m.Engine)
 	}
 	// Verify passed: the engine's bitmask (and, for aggregation plans,
@@ -432,6 +452,39 @@ func (c *Cluster) runShard(s int, p query.Plan, counters bool) (ShardPartial, er
 		Matches:  w.Ref.Matches,
 		Revenue:  w.Ref.Revenue,
 		Counters: ctrs,
+	}, nil
+}
+
+// estimateShard is runShard's estimate-mode leg: no machine is built.
+// The shard's service time comes from the analytic cost model walking
+// the shard's selectivity profile — the same estimator the adaptive
+// planner ranks candidates with — and the answer partials come from the
+// shard reference evaluator, so the merge step's whole-table
+// verification still passes exactly; only the cycle figure is
+// approximate (bounded error, pinned by test — see docs/PERFORMANCE.md).
+func (c *Cluster) estimateShard(s int, p query.Plan) (ShardPartial, error) {
+	shard := c.shards[s]
+	est, err := cost.EstimatePlan(c.params, p, cost.ProfileFor(shard, p))
+	if err != nil {
+		return ShardPartial{}, err
+	}
+	cycles := uint64(math.Round(est.Cycles))
+	if p.Kind == query.Q1Agg {
+		ref := db.ReferenceQ1(shard, p.Q1)
+		return ShardPartial{
+			Shard:   s,
+			Cycles:  cycles,
+			Matches: ref.Matches,
+			Revenue: ref.Revenue(),
+			Groups:  append([]db.GroupAgg(nil), ref.Groups[:]...),
+		}, nil
+	}
+	ref := db.Reference(shard, p.Q)
+	return ShardPartial{
+		Shard:   s,
+		Cycles:  cycles,
+		Matches: ref.Matches,
+		Revenue: ref.Revenue,
 	}, nil
 }
 
@@ -509,6 +562,9 @@ func (c *Cluster) mergeQ1(req Request, resp *Response, parts []ShardPartial) (*R
 // against the unsharded reference evaluator. Safe for concurrent
 // callers.
 func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	req, routing, err := c.resolve(req)
 	if err != nil {
 		return nil, err
@@ -531,7 +587,7 @@ func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
 		go func() {
 			defer done.Done()
 			for s := range indices {
-				parts[s], errs[s] = c.runShard(s, req.Plan, opt.Counters)
+				parts[s], errs[s] = c.runShard(s, req.Plan, opt)
 				if opt.OnTask != nil {
 					progressMu.Lock()
 					completed++
@@ -556,5 +612,8 @@ func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
 		return nil, err
 	}
 	resp.Routing = routing
+	if opt.Exec == sweep.ExecEstimate {
+		resp.ExecMode = opt.Exec.String()
+	}
 	return resp, nil
 }

@@ -21,6 +21,7 @@ import (
 	"github.com/hipe-sim/hipe/internal/obs"
 	"github.com/hipe-sim/hipe/internal/query"
 	"github.com/hipe-sim/hipe/internal/stats"
+	"github.com/hipe-sim/hipe/internal/sweep"
 )
 
 // StreamSpec declares a mixed request stream: N requests drawn with a
@@ -416,6 +417,9 @@ func (s LoadSpec) arrivals() []uint64 {
 // count (routing happens once, single-threaded, before any worker
 // runs, and decisions are pure functions of the served table).
 func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -462,6 +466,9 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 			return nil, fmt.Errorf("serve: request %d: %w", i, err)
 		}
 		resp.Routing = routings[i]
+		if opt.Exec == sweep.ExecEstimate {
+			resp.ExecMode = opt.Exec.String()
+		}
 		responses[i] = resp
 	}
 
@@ -470,6 +477,9 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		Shards:  len(c.shards),
 		Rows:    c.whole.N,
 		Offered: offered,
+	}
+	if opt.Exec == sweep.ExecEstimate {
+		r.ExecMode = opt.Exec.String()
 	}
 	// The report's counter total sums each distinct (plan, shard)
 	// simulation exactly once — requests sharing a plan share one run,
@@ -584,7 +594,7 @@ func (c *Cluster) runPlanSet(plans []query.Plan, opt Options) ([][]ShardPartial,
 		go func() {
 			defer done.Done()
 			for t := range indices {
-				results[t], errs[t] = c.runShard(keys[t].shard, keys[t].plan, opt.Counters)
+				results[t], errs[t] = c.runShard(keys[t].shard, keys[t].plan, opt)
 				if opt.OnTask != nil {
 					progressMu.Lock()
 					completed++

@@ -32,7 +32,44 @@ type Options struct {
 	// snapshotted into CellResult.Counters after the run, before the
 	// machine is reused. Off by default; when off no capture code runs
 	// and exports are byte-identical to their pre-observability form.
+	// Counters need real simulation: estimate mode refuses them.
 	Counters bool
+	// Exec selects the execution mode. ExecExact (the zero value) runs
+	// full machine simulations; ExecEstimate prices each cell with the
+	// analytic cost model instead — no machines are built — and marks
+	// every result with CellResult.Mode. Exact-mode results and exports
+	// are byte-identical to runs made before this knob existed.
+	Exec ExecMode
+	// CellShards, when above 1, runs each exact cell as a parallel
+	// shard simulation: the cell's table is partitioned into CellShards
+	// contiguous shards (db.Partition), the per-shard machines simulate
+	// concurrently on the worker pool, and the partials merge in shard
+	// order — cycles as the critical path (slowest shard), energy and
+	// counter totals summed — so results are byte-identical at any
+	// worker count. 0 or 1 keeps the whole-table single-machine path.
+	CellShards int
+}
+
+// validate rejects option combinations the engine refuses to run:
+// estimate mode can produce neither machine counters nor per-shard
+// machine simulations, because there are no machines.
+func (o Options) validate() error {
+	switch o.Exec {
+	case ExecExact:
+	case ExecEstimate:
+		if o.Counters {
+			return fmt.Errorf("sweep: estimate mode cannot capture machine counters (µop-level counters need exact simulation)")
+		}
+		if o.CellShards > 1 {
+			return fmt.Errorf("sweep: estimate mode prices whole cells analytically and has no shard machines to parallelise")
+		}
+	default:
+		return fmt.Errorf("sweep: unknown exec mode %d", int(o.Exec))
+	}
+	if o.CellShards < 0 {
+		return fmt.Errorf("sweep: negative cell shard count %d", o.CellShards)
+	}
+	return nil
 }
 
 // EffectiveWorkers resolves the worker-pool size these options produce.
@@ -68,6 +105,16 @@ type CellResult struct {
 	// Options.Counters was set; nil — and JSON-omitted — otherwise, so
 	// counter-off exports are unchanged.
 	Counters *obs.Counters `json:",omitempty"`
+	// Mode records the execution mode that produced Result: ExecEstimate
+	// cells carry model-predicted cycles over reference-evaluator
+	// answers. ExecExact (the zero value) is JSON-omitted, so exact
+	// exports are byte-identical to their pre-mode form.
+	Mode ExecMode `json:",omitempty"`
+	// Shards records the intra-cell shard count when the cell ran as a
+	// parallel shard simulation (Options.CellShards > 1): Result.Cycles
+	// is then the critical path over Shards concurrent machines. 0 —
+	// and JSON-omitted — for whole-table runs.
+	Shards int `json:",omitempty"`
 }
 
 // ResultSet is the aggregate outcome of a sweep, ordered by cell index.
@@ -181,6 +228,15 @@ func (tc *tableCache) get(w workload) (*db.Table, float64) {
 // the returned error is the first failure in cell order (deterministic
 // regardless of worker count); the ResultSet is nil on error.
 func RunCells(cfg Config, cells []Cell, opt Options) (*ResultSet, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Exec == ExecEstimate {
+		return runCellsEstimate(cfg, cells, opt)
+	}
+	if opt.CellShards > 1 {
+		return runCellsSharded(cfg, cells, opt)
+	}
 	rs := &ResultSet{Cells: make([]CellResult, len(cells))}
 	errs := make([]error, len(cells))
 	cache := &tableCache{tables: map[workload]*tableEntry{}}

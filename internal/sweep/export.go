@@ -44,6 +44,30 @@ func (rs *ResultSet) HasRouting() bool {
 	return false
 }
 
+// HasModes reports whether any cell ran in a non-default execution
+// mode (estimate): only then does the CSV carry an exec_mode column, so
+// exact exports are byte-identical to their pre-mode form.
+func (rs *ResultSet) HasModes() bool {
+	for i := range rs.Cells {
+		if rs.Cells[i].Mode != ExecExact {
+			return true
+		}
+	}
+	return false
+}
+
+// HasSharding reports whether any cell ran as a parallel shard
+// simulation: only then does the CSV carry a shards column, so
+// whole-table exports are byte-identical to their pre-sharding form.
+func (rs *ResultSet) HasSharding() bool {
+	for i := range rs.Cells {
+		if rs.Cells[i].Shards > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // HasCounters reports whether any cell carries a machine-counter
 // snapshot (sweeps run with Options.Counters).
 func (rs *ResultSet) HasCounters() bool {
@@ -77,22 +101,32 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteCSV writes the set as CSV with CSVHeader's columns (plus
-// RoutingCSVHeader when the set contains auto-arch cells, plus one
-// "ctr_<key>" column per captured machine counter when the sweep ran
-// with counters on — counter-off exports keep the original schema).
+// WriteCSV writes the set as CSV with CSVHeader's columns, plus — in
+// this order, each only when active — RoutingCSVHeader's columns for
+// auto-arch cells, an exec_mode column for estimate-mode runs, a shards
+// column for parallel shard simulations, and one "ctr_<key>" column per
+// captured machine counter. A plain exact whole-table counter-off
+// export keeps the original schema byte-for-byte.
 func (rs *ResultSet) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := rs.HasRouting()
+	modes := rs.HasModes()
+	sharded := rs.HasSharding()
 	var ctrKeys []string
 	if rs.HasCounters() {
 		ctrKeys = rs.counterKeys()
 	}
 	header := CSVHeader
-	if routed || len(ctrKeys) > 0 {
+	if routed || modes || sharded || len(ctrKeys) > 0 {
 		header = append([]string{}, CSVHeader...)
 		if routed {
 			header = append(header, RoutingCSVHeader()...)
+		}
+		if modes {
+			header = append(header, "exec_mode")
+		}
+		if sharded {
+			header = append(header, "shards")
 		}
 		for _, k := range ctrKeys {
 			header = append(header, "ctr_"+k)
@@ -144,6 +178,12 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 			} else {
 				rec = append(rec, "", "")
 			}
+		}
+		if modes {
+			rec = append(rec, c.Mode.String())
+		}
+		if sharded {
+			rec = append(rec, strconv.Itoa(c.Shards))
 		}
 		for _, k := range ctrKeys {
 			if v, ok := c.Counters.Get(k); ok {

@@ -121,4 +121,39 @@ ctrsweep 1
 ctrsweep "$many"
 cmp "$out/ctr.1.csv" "$out/ctr.$many.csv"
 
+echo "== estimate-mode sweep (cost-model fast path, auto axis): -workers 1 vs -workers $many =="
+estsweep() {
+  go run ./cmd/hipe-sweep -workers "$1" -exec estimate \
+    -archs x86,hmc,hive,hipe,auto -opsizes 64,256 -unrolls 1,8 \
+    -tuples 4096 -q1cuts 2436 -quiet \
+    -csv "$out/est.$1.csv" -json "$out/est.$1.json" >/dev/null
+}
+estsweep 1
+estsweep "$many"
+cmp "$out/est.1.csv" "$out/est.$many.csv"
+cmp "$out/est.1.json" "$out/est.$many.json"
+
+echo "== parallel shard simulation (-cell-shards 4): -workers 1 vs -workers $many =="
+shardsweep() {
+  go run ./cmd/hipe-sweep -workers "$1" -cell-shards 4 \
+    -archs x86,hipe,auto -opsizes 256 -unrolls 8,32 \
+    -tuples 4096 -q1cuts 2436 -counters -quiet \
+    -csv "$out/shard.$1.csv" -json "$out/shard.$1.json" >/dev/null
+}
+shardsweep 1
+shardsweep "$many"
+cmp "$out/shard.1.csv" "$out/shard.$many.csv"
+cmp "$out/shard.1.json" "$out/shard.$many.json"
+
+echo "== estimate-mode serve report: -workers 1 vs -workers $many =="
+estserve() {
+  go run ./cmd/hipe-serve -workers "$1" -exec estimate \
+    -shards 4 -requests 24 -tuples 4096 -archs auto -q1-every 3 -quiet \
+    -csv "$out/estserve.$1.csv" -json "$out/estserve.$1.json" >/dev/null
+}
+estserve 1
+estserve "$many"
+cmp "$out/estserve.1.csv" "$out/estserve.$many.csv"
+cmp "$out/estserve.1.json" "$out/estserve.$many.json"
+
 echo "determinism gate passed: all artifacts byte-identical at 1 and $many workers"
