@@ -26,7 +26,16 @@ import (
 	"time"
 
 	hipe "github.com/hipe-sim/hipe"
+	"github.com/hipe-sim/hipe/internal/cliutil"
 )
+
+// flagGroups files every hipe-bench flag under a subsystem; usage
+// output prints group by group. main_test.go pins that no flag is left
+// ungrouped.
+var flagGroups = []cliutil.FlagGroup{
+	{Title: "figures", Flags: []string{"fig", "tuples", "seed", "timing"}},
+	{Title: "profiling", Flags: []string{"cpuprofile", "memprofile", "trace-out"}},
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -45,12 +54,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the figure runs to this path")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile (snapshotted after the figure runs) to this path")
 	traceOut := fs.String("trace-out", "", "write a runtime execution trace of the figure runs to this path")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage of hipe-bench:")
+		cliutil.PrintGroupedUsage(stderr, flagGroups, fs)
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(format string, a ...any) int {
-		fmt.Fprintf(stderr, "hipe-bench: "+format+"\n\nusage of hipe-bench:\n", a...)
-		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "hipe-bench: "+format+"\n\n", a...)
+		fs.Usage()
 		return 2
 	}
 	// Validate every flag combination up front: a malformed run must

@@ -40,6 +40,30 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+// TestGroupedUsage pins the subsystem grouping of the help text: every
+// group header prints, the usage banner survives, and no flag has
+// fallen out of the groups into the trailing "ungrouped" section.
+func TestGroupedUsage(t *testing.T) {
+	code, _, stderr := runCLI(t, "-h")
+	if code != 2 {
+		t.Fatalf("-h exit code %d, want 2", code)
+	}
+	for _, want := range []string{
+		"usage of hipe-bench", "figures:", "profiling:",
+		"-fig", "-trace-out",
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("usage output missing %q:\n%s", want, stderr)
+		}
+	}
+	if strings.Contains(stderr, "ungrouped") {
+		t.Errorf("a flag escaped the subsystem groups:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "unregistered flag") {
+		t.Errorf("a group lists a flag that is not registered:\n%s", stderr)
+	}
+}
+
 func TestSingleFigureRuns(t *testing.T) {
 	code, out, stderr := runCLI(t, "-fig", "3d", "-tuples", "256", "-timing=false")
 	if code != 0 {

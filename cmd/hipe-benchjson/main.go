@@ -90,16 +90,35 @@ type SweepGrid struct {
 	FastPathSpeedup float64 `json:"fast_path_speedup"`
 }
 
+// AdaptiveRouting summarises the BenchmarkAdaptiveRouting lanes: the
+// identical drifted-prior load test routed statically and with the
+// feedback loop closed. CycleReductionPct is the PR 10 figure-of-merit
+// (simulated service cycles the adaptive planner recovers from the
+// mis-calibration); OverheadPct is the feedback loop's wall-clock cost
+// over the static lane.
+type AdaptiveRouting struct {
+	StaticNsPerOp     float64 `json:"static_ns_per_op"`
+	AdaptiveNsPerOp   float64 `json:"adaptive_ns_per_op"`
+	OverheadPct       float64 `json:"overhead_pct"`
+	StaticServiceCyc  float64 `json:"static_service_cycles"`
+	AdaptServiceCyc   float64 `json:"adaptive_service_cycles"`
+	CycleReductionPct float64 `json:"cycle_reduction_pct"`
+	StaticP50         float64 `json:"static_p50_cycles"`
+	AdaptP50          float64 `json:"adaptive_p50_cycles"`
+	Explored          float64 `json:"explored_requests"`
+}
+
 // Doc is the emitted document.
 type Doc struct {
-	GoVersion       string        `json:"go_version"`
-	GOMAXPROCS      int           `json:"gomaxprocs"`
-	Figures         []BenchResult `json:"figure_benches,omitempty"`
-	Scheduler       []BenchResult `json:"scheduler_benches"`
-	CounterOverhead []Overhead    `json:"counter_overhead,omitempty"`
-	SweepGrid       *SweepGrid    `json:"sweep_grid,omitempty"`
-	Baseline        []BenchResult `json:"baseline,omitempty"`
-	Comparisons     []Comparison  `json:"comparisons,omitempty"`
+	GoVersion       string           `json:"go_version"`
+	GOMAXPROCS      int              `json:"gomaxprocs"`
+	Figures         []BenchResult    `json:"figure_benches,omitempty"`
+	Scheduler       []BenchResult    `json:"scheduler_benches"`
+	CounterOverhead []Overhead       `json:"counter_overhead,omitempty"`
+	SweepGrid       *SweepGrid       `json:"sweep_grid,omitempty"`
+	AdaptiveRouting *AdaptiveRouting `json:"adaptive_routing,omitempty"`
+	Baseline        []BenchResult    `json:"baseline,omitempty"`
+	Comparisons     []Comparison     `json:"comparisons,omitempty"`
 }
 
 // sweepGrid pairs the BenchmarkSweepGrid lanes into one summary row;
@@ -123,6 +142,34 @@ func sweepGrid(rs []BenchResult) *SweepGrid {
 		g.FastPathSpeedup = exact.NsPerOp / est.NsPerOp
 	}
 	return g
+}
+
+// adaptiveRouting pairs the BenchmarkAdaptiveRouting lanes into one
+// summary row; nil when the lanes are absent (e.g. -skip-figures).
+func adaptiveRouting(rs []BenchResult) *AdaptiveRouting {
+	byName := map[string]BenchResult{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	static, ok := byName["BenchmarkAdaptiveRouting/static"]
+	adapt, ok2 := byName["BenchmarkAdaptiveRouting/adaptive"]
+	if !ok || !ok2 || static.NsPerOp == 0 {
+		return nil
+	}
+	a := &AdaptiveRouting{
+		StaticNsPerOp:    static.NsPerOp,
+		AdaptiveNsPerOp:  adapt.NsPerOp,
+		OverheadPct:      100 * (adapt.NsPerOp - static.NsPerOp) / static.NsPerOp,
+		StaticServiceCyc: static.Metrics["simcyc:service"],
+		AdaptServiceCyc:  adapt.Metrics["simcyc:service"],
+		StaticP50:        static.Metrics["simcyc:p50"],
+		AdaptP50:         adapt.Metrics["simcyc:p50"],
+		Explored:         adapt.Metrics["explored"],
+	}
+	if a.StaticServiceCyc > 0 {
+		a.CycleReductionPct = 100 * (a.StaticServiceCyc - a.AdaptServiceCyc) / a.StaticServiceCyc
+	}
+	return a
 }
 
 // counterOverhead pairs every ".../counters-off" lane with its
@@ -258,18 +305,20 @@ func main() {
 	var err error
 	if !*skipFigures {
 		log.Printf("running figure benches (-benchtime %s)...", *figureBenchtime)
-		// The Q01 aggregation, adaptive-routing and fleet-serving benches
-		// ride with the figure panels: whole-workload simulations (and,
-		// for routing, the planner's per-request overhead and plannerpct
+		// The Q01 aggregation, routing and fleet-serving benches ride
+		// with the figure panels: whole-workload simulations (and, for
+		// routing, the planner's per-request overhead and plannerpct
 		// share) on the paper's configurations. BenchmarkFigCounters'
 		// counters-off/on lanes are paired into the counter_overhead
-		// section below.
-		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting|BenchmarkFleet|BenchmarkSweepGrid)", *figureBenchtime)
+		// section and BenchmarkAdaptiveRouting's static/adaptive lanes
+		// into the adaptive_routing section below.
+		doc.Figures, err = runBench(".", "^(BenchmarkFig|BenchmarkQ1|BenchmarkAutoRouting|BenchmarkAdaptiveRouting|BenchmarkFleet|BenchmarkSweepGrid)", *figureBenchtime)
 		if err != nil {
 			log.Fatal(err)
 		}
 		doc.CounterOverhead = counterOverhead(doc.Figures)
 		doc.SweepGrid = sweepGrid(doc.Figures)
+		doc.AdaptiveRouting = adaptiveRouting(doc.Figures)
 	}
 	log.Printf("running scheduler microbenches (-benchtime %s)...", *microBenchtime)
 	doc.Scheduler, err = runBench("./internal/sim/", "^(BenchmarkSchedule|BenchmarkEngine)", *microBenchtime)

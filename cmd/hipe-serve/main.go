@@ -18,6 +18,7 @@
 //	           [-straggle-factor 3] [-stall-every-us 400] [-stall-for-us 20] [-stall-max-us 60] \
 //	           [-retries 2] [-retry-backoff-us 5] [-retry-backoff-cap-us 40] \
 //	           [-timeout-us 400] [-hedge-us 150] [-failover] \
+//	           [-adaptive] [-explore-pct 1] [-obs-halflife 8] [-buckets 8] [-adapt-seed 11] \
 //	           [-trace] [-trace-period-us 2000] [-trace-amp 0.5] \
 //	           [-burst 4] [-burst-on-us 200] [-burst-off-us 600] \
 //	           [-tuples 16384] [-seed 42] [-stream-seed 1] \
@@ -55,6 +56,18 @@
 // partial answer with exact coverage and relative-error columns.
 // Faulted runs stay byte-identical at any -workers count; fault-free
 // runs are byte-identical to pre-fault builds.
+//
+// -adaptive closes the loop between observed replay cycles and the
+// routing planner on a fleet run: each completed request's service
+// cycles feed a per-(kind, backend, selectivity-bucket) EWMA, and
+// routing blends that running average with the analytic prior —
+// prior-weighted while a bucket is cold, observation-dominated once it
+// has samples. A deterministic exploration floor (-explore-pct, drawn
+// from the -adapt-seed decorrelated stream) keeps sampling backends
+// the blend would otherwise starve. Adaptive picks add route_mode,
+// obs_cycles, bucket_samples and explored CSV columns; the replay is
+// single-threaded over virtual time, so adaptive runs stay
+// byte-identical at any -workers count.
 //
 // -trace swaps the open loop's Poisson process for a trace-driven
 // non-homogeneous one: -trace-period-us/-trace-amp add a diurnal
@@ -116,6 +129,7 @@ var flagGroups = []cliutil.FlagGroup{
 	{Title: "fleet", Flags: []string{"pools", "classes", "shed"}},
 	{Title: "faults", Flags: []string{"fault-seed", "crash-every-us", "crash-down-us", "crash", "straggle-every-us", "straggle-for-us", "straggle-factor", "stall-every-us", "stall-for-us", "stall-max-us"}},
 	{Title: "recovery", Flags: []string{"retries", "retry-backoff-us", "retry-backoff-cap-us", "timeout-us", "hedge-us", "failover"}},
+	{Title: "adaptive", Flags: []string{"adaptive", "explore-pct", "obs-halflife", "buckets", "adapt-seed"}},
 	{Title: "arrivals", Flags: []string{"trace", "trace-period-us", "trace-amp", "burst", "burst-on-us", "burst-off-us"}},
 	{Title: "execution", Flags: []string{"exec", "workers", "quiet"}},
 	{Title: "observability", Flags: []string{"counters", "trace-json", "spans-csv"}},
@@ -160,6 +174,11 @@ func main() {
 	timeoutUS := flag.Float64("timeout-us", 0, "per-attempt timeout in simulated µs, applied to every class (needs -pools; 0 = attempts never time out)")
 	hedgeUS := flag.Float64("hedge-us", 0, "hedged-request delay in simulated µs, applied to every class (needs -pools; 0 = no hedging)")
 	failover := flag.Bool("failover", false, "health-aware failover routing: exclude down replicas, penalise observed stragglers (needs -pools)")
+	adaptive := flag.Bool("adaptive", false, "feedback-driven routing: blend observed replay cycles into the routing estimates, with a deterministic exploration floor (needs -pools)")
+	explorePct := flag.Float64("explore-pct", 0, "adaptive exploration floor as a percentage of routed requests, below 100 (0 = the 1% default; needs -adaptive)")
+	obsHalfLife := flag.Float64("obs-halflife", 0, "adaptive observation EWMA half-life in samples (0 = the 8-sample default; needs -adaptive)")
+	buckets := flag.Int("buckets", 0, "adaptive selectivity-bucket count per (kind, backend) pair, up to 64 (0 = the 8-bucket default; needs -adaptive)")
+	adaptSeed := flag.Uint64("adapt-seed", 11, "adaptive exploration-stream seed: equal seeds replay the identical exploration draws")
 	traceMode := flag.Bool("trace", false, "open loop: trace-driven non-homogeneous arrivals instead of Poisson")
 	tracePeriodUS := flag.Float64("trace-period-us", 0, "diurnal modulation period in simulated µs (needs -trace)")
 	traceAmp := flag.Float64("trace-amp", 0, "diurnal amplitude in [0,1) (needs -trace and -trace-period-us)")
@@ -410,6 +429,23 @@ func main() {
 	if *retryBackoffCapUS > 0 && *retryBackoffCapUS < *retryBackoffUS {
 		fail("-retry-backoff-cap-us %g below -retry-backoff-us %g", *retryBackoffCapUS, *retryBackoffUS)
 	}
+	// Adaptive-routing flags. The knob ranges mirror AdaptiveSpec's
+	// validation so a bad value dies here with the flag's name.
+	if *adaptive && len(poolArchs) == 0 {
+		fail("-adaptive needs -pools (feedback-driven routing is a fleet feature)")
+	}
+	if !*adaptive && (*explorePct != 0 || *obsHalfLife != 0 || *buckets != 0) {
+		fail("adaptive knobs (-explore-pct, -obs-halflife, -buckets) need -adaptive")
+	}
+	if *explorePct < 0 || *explorePct >= 100 || math.IsNaN(*explorePct) {
+		fail("-explore-pct %g must be in [0, 100)", *explorePct)
+	}
+	if !(*obsHalfLife >= 0) || math.IsInf(*obsHalfLife, 1) {
+		fail("-obs-halflife %g must be a non-negative finite sample count", *obsHalfLife)
+	}
+	if *buckets < 0 || *buckets > hipe.MaxAdaptiveBuckets {
+		fail("-buckets %d outside 0..%d", *buckets, hipe.MaxAdaptiveBuckets)
+	}
 
 	cfg := hipe.Default()
 	cfg.Tuples, cfg.Seed = *tuples, *seed
@@ -495,6 +531,14 @@ func main() {
 			StallFor:       faultCycles(*stallForUS),
 			StallMax:       faultCycles(*stallMaxUS),
 			Crashes:        crashList,
+		}
+	}
+	if *adaptive {
+		spec.Adaptive = &hipe.AdaptiveSpec{
+			Buckets:    *buckets,
+			HalfLife:   *obsHalfLife,
+			ExplorePct: *explorePct,
+			Seed:       *adaptSeed,
 		}
 	}
 	if recoveryOn {

@@ -181,7 +181,7 @@ func TestGroupedUsage(t *testing.T) {
 	// flag's ExitOnError treats -h as success, so only the output matters.
 	_, out := runBinary(t, "-h")
 	for _, want := range []string{
-		"serving:", "table:", "fleet:", "faults:", "recovery:",
+		"serving:", "table:", "fleet:", "faults:", "recovery:", "adaptive:",
 		"arrivals:", "execution:", "observability:", "export:", "profiling:",
 		"-exec",
 	} {
@@ -287,6 +287,66 @@ func TestFaultFlagValidation(t *testing.T) {
 				t.Fatalf("output %q does not contain %q", out, tc.want)
 			}
 		})
+	}
+}
+
+// TestAdaptiveFlagValidation: the adaptive-routing flag grammar fails
+// fast with usage, before any simulation runs.
+func TestAdaptiveFlagValidation(t *testing.T) {
+	pools := []string{"-pools", "hipe,x86", "-archs", "auto"}
+	withPools := func(args ...string) []string { return append(append([]string{}, pools...), args...) }
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"adaptive without pools", []string{"-adaptive"}, "-adaptive needs -pools"},
+		{"explore without adaptive", withPools("-explore-pct", "5"), "need -adaptive"},
+		{"halflife without adaptive", withPools("-obs-halflife", "16"), "need -adaptive"},
+		{"buckets without adaptive", withPools("-buckets", "4"), "need -adaptive"},
+		{"explore at 100", withPools("-adaptive", "-explore-pct", "100"), "must be in [0, 100)"},
+		{"negative explore", withPools("-adaptive", "-explore-pct", "-1"), "must be in [0, 100)"},
+		{"NaN explore", withPools("-adaptive", "-explore-pct", "NaN"), "must be in [0, 100)"},
+		{"negative halflife", withPools("-adaptive", "-obs-halflife", "-2"), "non-negative finite sample count"},
+		{"Inf halflife", withPools("-adaptive", "-obs-halflife", "+Inf"), "non-negative finite sample count"},
+		{"too many buckets", withPools("-adaptive", "-buckets", "65"), "outside 0..64"},
+		{"negative buckets", withPools("-adaptive", "-buckets", "-1"), "outside 0..64"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runBinary(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("usage error exited 0\n%s", out)
+			}
+			if !strings.Contains(out, "exit status 2") {
+				t.Fatalf("child did not exit with usage status 2\n%s", out)
+			}
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output %q does not contain %q", out, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdaptiveFleetRuns drives a feedback-routed fleet end to end and
+// checks the adaptive provenance columns reach the CSV export.
+func TestAdaptiveFleetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load test")
+	}
+	code, out := runBinary(t,
+		"-shards", "2", "-requests", "12", "-tuples", "1024",
+		"-mode", "open", "-qps", "400000", "-clustered",
+		"-pools", "hipe,x86", "-archs", "auto",
+		"-adaptive", "-explore-pct", "10", "-obs-halflife", "4",
+		"-quiet", "-csv", "-")
+	if code != 0 {
+		t.Fatalf("adaptive serve failed (%d)\n%s", code, out)
+	}
+	for _, want := range []string{"route_mode", "obs_cycles", "bucket_samples", "explored", "adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("adaptive serve CSV lacks %q\n%s", want, out)
+		}
 	}
 }
 

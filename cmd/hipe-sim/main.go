@@ -19,13 +19,28 @@ import (
 	"os"
 
 	hipe "github.com/hipe-sim/hipe"
+	"github.com/hipe-sim/hipe/internal/cliutil"
 )
+
+// flagGroups files every hipe-sim flag under a subsystem; usage output
+// prints group by group. main_test.go pins that no flag is left
+// ungrouped.
+var flagGroups = []cliutil.FlagGroup{
+	{Title: "plan", Flags: []string{"arch", "strategy", "opsize", "unroll", "fused"}},
+	{Title: "table", Flags: []string{"tuples", "seed", "clustered"}},
+	{Title: "inspection", Flags: []string{"print-config"}},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage of hipe-sim:")
+	cliutil.PrintGroupedUsage(os.Stderr, flagGroups, flag.CommandLine)
+}
 
 // fail rejects a bad flag combination up front: message plus usage on
 // stderr, exit 2 — matching the other CLIs' usage-error convention.
 func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "hipe-sim: "+format+"\n\nusage of hipe-sim:\n", args...)
-	flag.PrintDefaults()
+	fmt.Fprintf(os.Stderr, "hipe-sim: "+format+"\n\n", args...)
+	usage()
 	os.Exit(2)
 }
 
@@ -41,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed")
 	clustered := flag.Bool("clustered", false, "date-clustered table (append-ordered)")
 	printConfig := flag.Bool("print-config", false, "dump the Table I machine configuration and exit")
+	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() > 0 {

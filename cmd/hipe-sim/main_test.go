@@ -54,6 +54,28 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+// TestGroupedUsage pins the subsystem grouping of the help text: every
+// group header prints, the usage banner survives, and no flag has
+// fallen out of the groups into the trailing "ungrouped" section.
+func TestGroupedUsage(t *testing.T) {
+	// flag's ExitOnError treats -h as success, so only the output matters.
+	_, out := runBinary(t, "-h")
+	for _, want := range []string{
+		"usage of hipe-sim", "plan:", "table:", "inspection:",
+		"-arch", "-print-config",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ungrouped") {
+		t.Errorf("a flag escaped the subsystem groups:\n%s", out)
+	}
+	if strings.Contains(out, "unregistered flag") {
+		t.Errorf("a group lists a flag that is not registered:\n%s", out)
+	}
+}
+
 // TestPrintConfig: -print-config dumps the Table I machine table and
 // exits cleanly without simulating.
 func TestPrintConfig(t *testing.T) {

@@ -229,12 +229,29 @@ type (
 	CostParams = cost.Params
 	// CostEstimate is the model's cycle/energy prediction for one plan.
 	CostEstimate = cost.Estimate
-	// RoutingDecision is one adaptive-routing outcome: profiled
-	// selectivity, every candidate's estimate, and the chosen plan.
+	// RoutingDecision is one routing outcome: profiled selectivity,
+	// every candidate's estimate, and the chosen plan — plus, for
+	// feedback-driven picks, the blended observed cycles, bucket sample
+	// counts, route mode and exploration provenance.
 	RoutingDecision = cost.Decision
+	// AdaptiveSpec declares feedback-driven routing: observed replay
+	// cycles are folded into a per-(kind, backend, selectivity-bucket)
+	// EWMA and blended with the analytic prior — prior-weighted while a
+	// bucket is cold, observation-dominated once it has samples — with
+	// a deterministic exploration floor drawn from a decorrelated seeded
+	// stream. Set LoadSpec.Adaptive for a fleet load test (replayed
+	// single-threaded, so exports stay byte-identical at any worker
+	// count) or pass it to Cluster.EnableAdaptive for the online Query
+	// path. The zero value of each knob selects its documented default.
+	AdaptiveSpec = cost.AdaptiveConfig
 	// WorkloadProfile is the selectivity profile the model consumes.
 	WorkloadProfile = cost.Profile
 )
+
+// MaxAdaptiveBuckets bounds AdaptiveSpec.Buckets. The selectivity
+// buckets are halving intervals, so 64 already reaches sel = 2^-63 —
+// far below anything a generated table can produce.
+const MaxAdaptiveBuckets = cost.MaxAdaptiveBuckets
 
 // Backends returns the registered execution backends in architecture
 // order.

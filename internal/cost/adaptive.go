@@ -1,0 +1,214 @@
+// Feedback-driven routing state: the analytic model (cost.go) is the
+// prior, and this file closes the loop with what the replay actually
+// observed. Observed per-request service cycles are folded into a
+// per-(kind, backend, selectivity-bucket) EWMA; routing blends that
+// running estimate with the analytic prior — prior-weighted while a
+// bucket is cold, observation-dominated once it has samples — and a
+// deterministic exploration floor keeps sampling backends the blend
+// would otherwise starve. Every draw is a pure function of (seed,
+// request index) on a decorrelated stream, the same discipline the
+// fault injector and trace generator follow, so adaptive plan streams
+// and exports are byte-identical at any worker count.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hipe-sim/hipe/internal/db"
+	"github.com/hipe-sim/hipe/internal/query"
+	"github.com/hipe-sim/hipe/internal/stats"
+)
+
+// Adaptive-routing defaults and bounds, shared with the CLI layer.
+const (
+	// DefaultAdaptiveBuckets is the selectivity-bucket count per
+	// (kind, backend) pair when AdaptiveConfig.Buckets is zero.
+	DefaultAdaptiveBuckets = 8
+	// DefaultAdaptiveHalfLife is the observation EWMA half-life in
+	// samples when AdaptiveConfig.HalfLife is zero.
+	DefaultAdaptiveHalfLife = 8.0
+	// DefaultAdaptiveExplorePct is the exploration floor in percent
+	// when AdaptiveConfig.ExplorePct is zero.
+	DefaultAdaptiveExplorePct = 1.0
+	// MaxAdaptiveBuckets bounds the bucket axis; selectivity buckets
+	// are halving intervals, so 64 already reaches sel = 2^-63.
+	MaxAdaptiveBuckets = 64
+	// adaptivePriorSamples is the analytic prior's weight in the
+	// blend, expressed in equivalent samples: a cold bucket is all
+	// prior, and after this many observations the blend weighs the
+	// observed EWMA and the prior equally.
+	adaptivePriorSamples = 4.0
+)
+
+// AdaptiveConfig declares the feedback-driven routing layer: how
+// observed cycles are bucketed and averaged, how often routing explores
+// a candidate the blended estimate would not pick, and the seed of the
+// decorrelated exploration stream. The zero value of each knob selects
+// its default, so `AdaptiveConfig{}` is a usable "just turn it on".
+type AdaptiveConfig struct {
+	// Buckets is the number of log2-spaced selectivity buckets per
+	// (kind, backend) pair (0 = DefaultAdaptiveBuckets, max
+	// MaxAdaptiveBuckets). Bucket b covers selectivities in
+	// (2^-(b+1), 2^-b]; the last bucket absorbs everything rarer.
+	Buckets int
+	// HalfLife is the observation EWMA half-life in samples
+	// (0 = DefaultAdaptiveHalfLife).
+	HalfLife float64
+	// ExplorePct is the exploration floor: the percentage of routed
+	// requests that re-draw their pick uniformly over the candidate
+	// set (0 = DefaultAdaptiveExplorePct; must stay below 100).
+	ExplorePct float64
+	// Seed seeds the decorrelated exploration stream. Every draw is a
+	// pure function of (Seed, request index), so enabling exploration
+	// perturbs no other RNG stream and replays identically at any
+	// worker count.
+	Seed uint64
+}
+
+// Validate rejects out-of-range knobs. Zero values are legal (they
+// select defaults); explicit values must be in range.
+func (c AdaptiveConfig) Validate() error {
+	if c.Buckets < 0 || c.Buckets > MaxAdaptiveBuckets {
+		return fmt.Errorf("cost: adaptive buckets %d outside 1..%d", c.Buckets, MaxAdaptiveBuckets)
+	}
+	if c.HalfLife < 0 || math.IsNaN(c.HalfLife) || math.IsInf(c.HalfLife, 0) {
+		return fmt.Errorf("cost: adaptive half-life %v must be a positive finite sample count", c.HalfLife)
+	}
+	if c.ExplorePct < 0 || c.ExplorePct >= 100 || math.IsNaN(c.ExplorePct) {
+		return fmt.Errorf("cost: adaptive explore percentage %v outside [0, 100)", c.ExplorePct)
+	}
+	return nil
+}
+
+// withDefaults resolves zero knobs to their documented defaults.
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Buckets == 0 {
+		c.Buckets = DefaultAdaptiveBuckets
+	}
+	if c.HalfLife == 0 {
+		c.HalfLife = DefaultAdaptiveHalfLife
+	}
+	if c.ExplorePct == 0 {
+		c.ExplorePct = DefaultAdaptiveExplorePct
+	}
+	return c
+}
+
+// obsKey addresses one observation cell: the workload family, the
+// backend that served it, and the estimated-selectivity bucket.
+type obsKey struct {
+	kind   query.QueryKind
+	arch   query.Arch
+	bucket int
+}
+
+// Adaptive is the online routing state. It is deliberately not
+// synchronised: the deterministic virtual-time replays are
+// single-threaded, and the concurrent Query paths serialise access
+// under their cluster mutex.
+type Adaptive struct {
+	cfg   AdaptiveConfig
+	proto stats.EWMA
+	cells map[obsKey]stats.EWMA
+}
+
+// NewAdaptive validates the config and returns empty (all-cold)
+// adaptive routing state.
+func NewAdaptive(cfg AdaptiveConfig) (*Adaptive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Adaptive{
+		cfg:   cfg,
+		proto: stats.NewEWMA(cfg.HalfLife),
+		cells: make(map[obsKey]stats.EWMA),
+	}, nil
+}
+
+// Config returns the resolved (defaults applied) configuration.
+func (a *Adaptive) Config() AdaptiveConfig { return a.cfg }
+
+// Bucket maps an estimated selectivity to its log2-spaced bucket:
+// bucket 0 holds sel > 1/2, each further bucket halves the range, and
+// the last bucket absorbs the tail (including sel <= 0).
+func (a *Adaptive) Bucket(sel float64) int {
+	last := a.cfg.Buckets - 1
+	if !(sel > 0) || sel >= 1 {
+		if sel >= 1 {
+			return 0
+		}
+		return last
+	}
+	b := int(-math.Log2(sel))
+	if b < 0 {
+		b = 0
+	}
+	if b > last {
+		b = last
+	}
+	return b
+}
+
+// Observe folds one completed request's observed service cycles into
+// the (kind, backend, bucket) cell. This is the replay's hot feedback
+// path: a load-modify-store on a value cell, no allocations once the
+// cell exists.
+func (a *Adaptive) Observe(kind query.QueryKind, arch query.Arch, sel, cycles float64) {
+	if a == nil {
+		return
+	}
+	k := obsKey{kind: kind, arch: arch, bucket: a.Bucket(sel)}
+	cell, ok := a.cells[k]
+	if !ok {
+		cell = a.proto
+	}
+	cell.Observe(cycles)
+	a.cells[k] = cell
+}
+
+// Blended combines the analytic prior with the cell's observed EWMA.
+// The observation weight is n/(n+adaptivePriorSamples): a cold bucket
+// returns the prior exactly, and the blend is observation-dominated
+// once the cell has more samples than the prior's equivalent weight.
+// It also returns the raw observed average and the cell's sample count
+// for provenance.
+func (a *Adaptive) Blended(kind query.QueryKind, arch query.Arch, sel, prior float64) (blended, observed float64, samples uint64) {
+	if a == nil {
+		return prior, 0, 0
+	}
+	cell, ok := a.cells[obsKey{kind: kind, arch: arch, bucket: a.Bucket(sel)}]
+	if !ok || cell.Count() == 0 {
+		return prior, 0, 0
+	}
+	n := float64(cell.Count())
+	w := n / (n + adaptivePriorSamples)
+	return (1-w)*prior + w*cell.Value(), cell.Value(), cell.Count()
+}
+
+// exploreSeed decorrelates the per-request exploration stream from the
+// base seed with the same multiply-XOR mixing the fault injector uses
+// for its per-entity streams.
+func exploreSeed(seed uint64, index int) uint64 {
+	h := seed ^ 0xADAB_7156_0C1A_5EED
+	h ^= (uint64(index) + 1) * 0x9E37_79B9_7F4A_7C15
+	h ^= h >> 31
+	return h
+}
+
+// ExplorePick draws the exploration decision for one routed request:
+// whether the epsilon floor fires at this request index and, if so,
+// which of the n candidates to force. The draw is a pure function of
+// (config seed, index) — routing order, worker count, and observation
+// history cannot perturb it.
+func (a *Adaptive) ExplorePick(index, n int) (int, bool) {
+	if a == nil || n <= 1 || a.cfg.ExplorePct <= 0 {
+		return -1, false
+	}
+	r := db.NewRNG(exploreSeed(a.cfg.Seed, index))
+	if r.Float64()*100 >= a.cfg.ExplorePct {
+		return -1, false
+	}
+	return int(r.Next() % uint64(n)), true
+}

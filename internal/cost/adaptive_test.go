@@ -1,0 +1,228 @@
+package cost_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hipe-sim/hipe/internal/cost"
+	"github.com/hipe-sim/hipe/internal/query"
+)
+
+func TestAdaptiveConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  cost.AdaptiveConfig
+		ok   bool
+	}{
+		{"zero value", cost.AdaptiveConfig{}, true},
+		{"explicit", cost.AdaptiveConfig{Buckets: 16, HalfLife: 32, ExplorePct: 5, Seed: 9}, true},
+		{"max buckets", cost.AdaptiveConfig{Buckets: cost.MaxAdaptiveBuckets}, true},
+		{"negative buckets", cost.AdaptiveConfig{Buckets: -1}, false},
+		{"too many buckets", cost.AdaptiveConfig{Buckets: cost.MaxAdaptiveBuckets + 1}, false},
+		{"negative half-life", cost.AdaptiveConfig{HalfLife: -1}, false},
+		{"NaN half-life", cost.AdaptiveConfig{HalfLife: math.NaN()}, false},
+		{"infinite half-life", cost.AdaptiveConfig{HalfLife: math.Inf(1)}, false},
+		{"negative explore", cost.AdaptiveConfig{ExplorePct: -0.5}, false},
+		{"explore at 100", cost.AdaptiveConfig{ExplorePct: 100}, false},
+		{"NaN explore", cost.AdaptiveConfig{ExplorePct: math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+		if _, err := cost.NewAdaptive(tc.cfg); (err == nil) != tc.ok {
+			t.Errorf("%s: NewAdaptive error = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	// Defaults resolve on construction.
+	ad, err := cost.NewAdaptive(cost.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ad.Config()
+	if got.Buckets != cost.DefaultAdaptiveBuckets ||
+		got.HalfLife != cost.DefaultAdaptiveHalfLife ||
+		got.ExplorePct != cost.DefaultAdaptiveExplorePct {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+}
+
+func TestAdaptiveBucketMapping(t *testing.T) {
+	ad, err := cost.NewAdaptive(cost.AdaptiveConfig{Buckets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 7
+	cases := []struct {
+		sel  float64
+		want int
+	}{
+		{1.5, 0}, {1, 0}, {0.75, 0}, // bucket 0: sel > 1/2 (and the >=1 clamp)
+		{0.5, 1}, {0.3, 1},
+		{0.25, 2}, {0.13, 2},
+		{0.02, 5},
+		{1.0 / 256, 7},          // exactly at the tail's edge
+		{1e-9, last}, {0, last}, // rarer than the last bucket: absorbed
+		{-1, last}, // nonsense selectivity: tail, never a panic
+		{math.NaN(), last},
+	}
+	for _, tc := range cases {
+		if got := ad.Bucket(tc.sel); got != tc.want {
+			t.Errorf("Bucket(%g) = %d, want %d", tc.sel, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptiveBlend pins the prior/observation blend contract: a cold
+// cell returns the analytic prior exactly; samples shift the weight by
+// n/(n+4); cells are distinct per (kind, backend, bucket).
+func TestAdaptiveBlend(t *testing.T) {
+	ad, err := cost.NewAdaptive(cost.AdaptiveConfig{Buckets: 8, HalfLife: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prior = 1000.0
+
+	// Cold: prior stands alone, no observed value, zero samples.
+	b, obs, n := ad.Blended(query.Q6Select, query.HIPE, 0.02, prior)
+	if b != prior || obs != 0 || n != 0 {
+		t.Fatalf("cold blend = (%g, %g, %d), want (%g, 0, 0)", b, obs, n, prior)
+	}
+
+	// One observation at 5000: weight 1/(1+4), blend 1/5 toward it.
+	ad.Observe(query.Q6Select, query.HIPE, 0.02, 5000)
+	b, obs, n = ad.Blended(query.Q6Select, query.HIPE, 0.02, prior)
+	want := 0.8*prior + 0.2*5000
+	if math.Abs(b-want) > 1e-9 || obs != 5000 || n != 1 {
+		t.Fatalf("1-sample blend = (%g, %g, %d), want (%g, 5000, 1)", b, obs, n, want)
+	}
+
+	// Many observations: observation-dominated, blend approaches the EWMA.
+	for i := 0; i < 99; i++ {
+		ad.Observe(query.Q6Select, query.HIPE, 0.02, 5000)
+	}
+	b, _, n = ad.Blended(query.Q6Select, query.HIPE, 0.02, prior)
+	if n != 100 {
+		t.Fatalf("sample count = %d, want 100", n)
+	}
+	wantWarm := (4.0/104)*prior + (100.0/104)*5000
+	if math.Abs(b-wantWarm) > 1e-6 {
+		t.Fatalf("warm blend = %g, want %g", b, wantWarm)
+	}
+
+	// Distinct cells: another backend, kind, or bucket stays cold.
+	for _, probe := range []struct {
+		name string
+		kind query.QueryKind
+		arch query.Arch
+		sel  float64
+	}{
+		{"other backend", query.Q6Select, query.X86, 0.02},
+		{"other kind", query.Q1Agg, query.HIPE, 0.02},
+		{"other bucket", query.Q6Select, query.HIPE, 0.4},
+	} {
+		if b, _, n := ad.Blended(probe.kind, probe.arch, probe.sel, prior); b != prior || n != 0 {
+			t.Fatalf("%s cell warmed by proxy: blend %g samples %d", probe.name, b, n)
+		}
+	}
+}
+
+// TestAdaptiveNilReceiver pins the nil-receiver no-op contract the
+// serve layer leans on when adaptive routing is off.
+func TestAdaptiveNilReceiver(t *testing.T) {
+	var ad *cost.Adaptive
+	ad.Observe(query.Q6Select, query.HIPE, 0.02, 5000) // must not panic
+	if b, obs, n := ad.Blended(query.Q6Select, query.HIPE, 0.02, 777); b != 777 || obs != 0 || n != 0 {
+		t.Fatalf("nil Blended = (%g, %g, %d), want prior passthrough", b, obs, n)
+	}
+	if j, ok := ad.ExplorePick(3, 4); ok || j != -1 {
+		t.Fatalf("nil ExplorePick = (%d, %v), want (-1, false)", j, ok)
+	}
+}
+
+// TestAdaptiveExploreDeterminism pins the exploration stream contract:
+// the draw at a request index is a pure function of (seed, index) —
+// observation history, call order, and repetition cannot perturb it —
+// the empirical rate tracks ExplorePct, and forced picks stay in range.
+func TestAdaptiveExploreDeterminism(t *testing.T) {
+	cfg := cost.AdaptiveConfig{ExplorePct: 10, Seed: 42}
+	ad1, err := cost.NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad2, err := cost.NewAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	const draws = 4000
+	explored := 0
+	for i := 0; i < draws; i++ {
+		j1, ok1 := ad1.ExplorePick(i, n)
+		// ad2 interleaves observations and repeated draws: no effect.
+		ad2.Observe(query.Q6Select, query.HIPE, 0.02, float64(i))
+		ad2.ExplorePick(i, n)
+		j2, ok2 := ad2.ExplorePick(i, n)
+		if j1 != j2 || ok1 != ok2 {
+			t.Fatalf("draw %d diverged: (%d,%v) vs (%d,%v)", i, j1, ok1, j2, ok2)
+		}
+		if ok1 {
+			explored++
+			if j1 < 0 || j1 >= n {
+				t.Fatalf("draw %d forced out-of-range candidate %d", i, j1)
+			}
+		}
+	}
+	rate := 100 * float64(explored) / draws
+	if rate < 7 || rate > 13 {
+		t.Fatalf("explore rate %.2f%% over %d draws, want ~10%%", rate, draws)
+	}
+
+	// Different seeds decorrelate the streams.
+	ad3, err := cost.NewAdaptive(cost.AdaptiveConfig{ExplorePct: 10, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < draws; i++ {
+		_, ok1 := ad1.ExplorePick(i, n)
+		_, ok3 := ad3.ExplorePick(i, n)
+		if ok1 && ok3 {
+			same++
+		}
+	}
+	if same > draws/50 {
+		t.Fatalf("seeds 42 and 43 co-fire on %d/%d draws — streams correlated", same, draws)
+	}
+
+	// A single candidate never explores — there is nothing to sample.
+	if _, ok := ad1.ExplorePick(0, 1); ok {
+		t.Fatal("explored with a single candidate")
+	}
+}
+
+// TestAdaptiveObserveZeroAlloc pins the observation-record path at
+// zero allocations once a cell exists: every completed request in a
+// load-test replay folds its cycles through Observe, so the feedback
+// loop must never add GC pressure to the hot path.
+func TestAdaptiveObserveZeroAlloc(t *testing.T) {
+	ad, err := cost.NewAdaptive(cost.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.Observe(query.Q6Select, query.HIPE, 0.02, 1000) // warm the cell
+	if allocs := testing.AllocsPerRun(200, func() {
+		ad.Observe(query.Q6Select, query.HIPE, 0.02, 1200)
+	}); allocs != 0 {
+		t.Fatalf("warm Observe allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		ad.Blended(query.Q6Select, query.HIPE, 0.02, 900)
+	}); allocs != 0 {
+		t.Fatalf("Blended allocates %.1f objects/op, want 0", allocs)
+	}
+}

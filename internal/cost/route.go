@@ -29,6 +29,21 @@ type Decision struct {
 	// (RankLoadedHealth) ranked under, in candidate order. Nil for
 	// health-blind decisions, so fault-free exports are unchanged.
 	Health []Health `json:",omitempty"`
+	// ObsCycles holds the per-candidate blended observed-cycles
+	// estimate an adaptive pick ranked with (0 where the candidate's
+	// bucket was cold and the analytic prior stood alone), in candidate
+	// order. Nil for static decisions, so adaptive-off exports are
+	// unchanged.
+	ObsCycles []float64 `json:",omitempty"`
+	// BucketSamples holds the per-candidate observation count behind
+	// ObsCycles, in candidate order. Nil for static decisions.
+	BucketSamples []uint64 `json:",omitempty"`
+	// RouteMode records how the pick was made: "" for static (analytic
+	// model only), "adaptive" when observed cycles were blended in.
+	RouteMode string `json:",omitempty"`
+	// Explored reports that the deterministic exploration floor
+	// overrode the blended ranking for this request.
+	Explored bool `json:",omitempty"`
 	// Chosen is the predicted-fastest candidate's plan.
 	Chosen query.Plan
 	// ChosenIndex is its position in Estimates.
@@ -171,11 +186,15 @@ func estimateShardedWith(pr Params, shards []*db.Table, caches []*profileCache, 
 // PLUS the candidate replica's current virtual-time queue depth, so an
 // idle slower pool can beat a backed-up faster one. Estimates keep the
 // pure model predictions; the queue penalties are recorded on the
-// decision (QueueCycles) so every pick stays auditable. Ties break
-// toward the earlier candidate — deterministic for a fixed candidate
-// order at any worker count.
-func RankLoaded(sel float64, ests []Estimate, queue []float64) (*Decision, error) {
-	return RankLoadedHealth(sel, ests, queue, nil)
+// decision (QueueCycles) so every pick stays auditable. The obs slice
+// carries per-candidate blended observed cycles from adaptive routing
+// (Adaptive.Blended); a positive entry replaces that candidate's
+// analytic prediction in the score, a zero entry means the bucket was
+// cold and the prior stands, and a nil slice is a fully static pick.
+// Ties break toward the earlier candidate — deterministic for a fixed
+// candidate order at any worker count.
+func RankLoaded(sel float64, ests []Estimate, queue []float64, obs []float64) (*Decision, error) {
+	return RankLoadedHealth(sel, ests, queue, nil, obs)
 }
 
 // Health is one candidate replica's observed health at routing time:
@@ -205,11 +224,15 @@ var ErrAllDown = errors.New("cost: every candidate replica is down")
 // replicas have their predicted critical path inflated by the observed
 // slowdown factor before the queue penalty is added — so a nominally
 // faster but straggling pool loses to a healthy one the model ranks
-// close. A nil health slice degenerates to RankLoaded exactly. The
-// health snapshot is recorded on the decision (Decision.Health) so
-// failover picks stay auditable; when every candidate is down the
-// error wraps ErrAllDown. Ties break toward the earlier candidate.
-func RankLoadedHealth(sel float64, ests []Estimate, queue []float64, health []Health) (*Decision, error) {
+// close. A nil health slice degenerates to RankLoaded exactly, and a
+// nil obs slice keeps the analytic prediction as every candidate's
+// base cost (see RankLoaded for the obs contract). The health snapshot
+// and blended observations are recorded on the decision
+// (Decision.Health, Decision.ObsCycles, Decision.RouteMode) so
+// failover and adaptive picks stay auditable; when every candidate is
+// down the error wraps ErrAllDown. Ties break toward the earlier
+// candidate.
+func RankLoadedHealth(sel float64, ests []Estimate, queue []float64, health []Health, obs []float64) (*Decision, error) {
 	if len(ests) == 0 {
 		return nil, fmt.Errorf("cost: no candidate estimates")
 	}
@@ -218,6 +241,9 @@ func RankLoadedHealth(sel float64, ests []Estimate, queue []float64, health []He
 	}
 	if health != nil && len(health) != len(ests) {
 		return nil, fmt.Errorf("cost: %d health entries for %d candidates", len(health), len(ests))
+	}
+	if obs != nil && len(obs) != len(ests) {
+		return nil, fmt.Errorf("cost: %d observed-cycle entries for %d candidates", len(obs), len(ests))
 	}
 	d := &Decision{
 		Selectivity: sel,
@@ -228,14 +254,22 @@ func RankLoadedHealth(sel float64, ests []Estimate, queue []float64, health []He
 	if health != nil {
 		d.Health = append([]Health(nil), health...)
 	}
+	if obs != nil {
+		d.ObsCycles = append([]float64(nil), obs...)
+		d.RouteMode = "adaptive"
+	}
 	var best float64
 	for i := range ests {
 		if health != nil && health[i].Down {
 			continue
 		}
-		score := ests[i].Cycles + queue[i]
+		base := ests[i].Cycles
+		if obs != nil && obs[i] > 0 {
+			base = obs[i]
+		}
+		score := base + queue[i]
 		if health != nil {
-			score = ests[i].Cycles*health[i].penalty() + queue[i]
+			score = base*health[i].penalty() + queue[i]
 		}
 		if d.ChosenIndex < 0 || score < best {
 			best = score

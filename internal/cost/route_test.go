@@ -58,14 +58,14 @@ func TestRankLoadedQueueAwareness(t *testing.T) {
 		{Plan: bestPlan(query.HIPE), Cycles: 1000},
 		{Plan: bestPlan(query.X86), Cycles: 3000},
 	}
-	d, err := cost.RankLoaded(0.02, ests, []float64{0, 0})
+	d, err := cost.RankLoaded(0.02, ests, []float64{0, 0}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.ChosenIndex != 0 || d.Chosen.Arch != query.HIPE {
 		t.Fatalf("idle pick %d (%s), want the fast candidate", d.ChosenIndex, d.Chosen.Arch)
 	}
-	d, err = cost.RankLoaded(0.02, ests, []float64{5000, 0})
+	d, err = cost.RankLoaded(0.02, ests, []float64{5000, 0}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestRankLoadedQueueAwareness(t *testing.T) {
 		t.Fatal("estimates must stay the pure model predictions")
 	}
 	// Exact tie: earlier candidate wins.
-	d, err = cost.RankLoaded(0.02, ests, []float64{2000, 0})
+	d, err = cost.RankLoaded(0.02, ests, []float64{2000, 0}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,11 @@ func TestRankLoadedQueueAwareness(t *testing.T) {
 }
 
 func TestRankLoadedRejectsMalformedInput(t *testing.T) {
-	if _, err := cost.RankLoaded(0, nil, nil); err == nil {
+	if _, err := cost.RankLoaded(0, nil, nil, nil); err == nil {
 		t.Fatal("empty candidate list accepted")
 	}
 	ests := []cost.Estimate{{Plan: bestPlan(query.HIPE), Cycles: 1}}
-	if _, err := cost.RankLoaded(0, ests, []float64{1, 2}); err == nil {
+	if _, err := cost.RankLoaded(0, ests, []float64{1, 2}, nil); err == nil {
 		t.Fatal("mismatched queue slice accepted")
 	}
 }
@@ -110,11 +110,11 @@ func TestRankLoadedHealthFailover(t *testing.T) {
 	queue := []float64{0, 0}
 
 	// Nil health degenerates to RankLoaded, including the decision.
-	plain, err := cost.RankLoaded(0.02, ests, queue)
+	plain, err := cost.RankLoaded(0.02, ests, queue, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nilHealth, err := cost.RankLoadedHealth(0.02, ests, queue, nil)
+	nilHealth, err := cost.RankLoadedHealth(0.02, ests, queue, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestRankLoadedHealthFailover(t *testing.T) {
 
 	// The fast candidate down: routing must exclude it outright even
 	// though its score dominates.
-	d, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {}})
+	d, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestRankLoadedHealthFailover(t *testing.T) {
 
 	// A slowdown big enough flips the pick to the slower healthy pool:
 	// 1000 * 4 > 3000.
-	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 4}, {}})
+	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 4}, {}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestRankLoadedHealthFailover(t *testing.T) {
 	}
 	// A slowdown below the flip point leaves the fast candidate in
 	// front; sub-unity slowdowns never reward a candidate.
-	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 2}, {Slowdown: 0.25}})
+	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 2}, {Slowdown: 0.25}}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +160,173 @@ func TestRankLoadedHealthFailover(t *testing.T) {
 
 	// Everything down: ErrAllDown, so the caller can queue for the
 	// earliest recovery instead.
-	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {Down: true}}); !errors.Is(err, cost.ErrAllDown) {
+	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Down: true}, {Down: true}}, nil); !errors.Is(err, cost.ErrAllDown) {
 		t.Fatalf("all-down error = %v, want ErrAllDown", err)
 	}
 
 	// Health slice length must match the candidate list.
-	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{}}); err == nil {
+	if _, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{}}, nil); err == nil {
 		t.Fatal("mismatched health slice accepted")
+	}
+}
+
+// TestRankLoadedHealthAllDownUnequalRecovery pins the all-down
+// contract end to end: the health-aware rank refuses the panel with
+// ErrAllDown, and the caller's documented fallback — health-blind
+// ranking with each pool's outage wait folded into its queue penalty —
+// queues for the earliest recovery, not the fastest model estimate.
+func TestRankLoadedHealthAllDownUnequalRecovery(t *testing.T) {
+	ests := []cost.Estimate{
+		{Plan: bestPlan(query.HIPE), Cycles: 1000},
+		{Plan: bestPlan(query.X86), Cycles: 3000},
+	}
+	// Both down; the fast pool recovers in 90k cycles, the slow one in 2k.
+	health := []cost.Health{{Down: true}, {Down: true}}
+	queue := []float64{90_000, 2_000}
+	if _, err := cost.RankLoadedHealth(0.02, ests, queue, health, nil); !errors.Is(err, cost.ErrAllDown) {
+		t.Fatalf("all-down error = %v, want ErrAllDown", err)
+	}
+	d, err := cost.RankLoaded(0.02, ests, queue, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 {
+		t.Fatalf("earliest-recovery fallback picked %d, want the sooner pool 1", d.ChosenIndex)
+	}
+	// Waits close enough that the model estimate still matters: 1000+4000
+	// beats 3000+2500.
+	d, err = cost.RankLoaded(0.02, ests, []float64{4_000, 2_500}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 0 {
+		t.Fatalf("recovery-wait fold ignored the model estimate (pick %d)", d.ChosenIndex)
+	}
+}
+
+// TestRankLoadedHealthStragglerCrossesThreshold replays the serve
+// layer's slowdown fold (slow = 0.75*slow + 0.25*observed) against the
+// rank: the pick must stay on the nominally faster pool until the EWMA
+// crosses the 3x break-even point mid-stream, then flip — and flip
+// back once healthy observations wash the episode out.
+func TestRankLoadedHealthStragglerCrossesThreshold(t *testing.T) {
+	ests := []cost.Estimate{
+		{Plan: bestPlan(query.HIPE), Cycles: 1000},
+		{Plan: bestPlan(query.X86), Cycles: 3000},
+	}
+	queue := []float64{0, 0}
+	pickAt := func(slow float64) int {
+		t.Helper()
+		d, err := cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: slow}, {}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.ChosenIndex
+	}
+	slow, flipped := 1.0, -1
+	for i := 0; i < 8; i++ {
+		if pickAt(slow) == 1 {
+			flipped = i
+			break
+		}
+		slow = 0.75*slow + 0.25*9 // straggling: every attempt observes 9x service
+	}
+	// 1.0 -> 3.0 (tie, earlier wins) -> 4.5: the flip lands on fold 2.
+	if flipped != 2 {
+		t.Fatalf("pick flipped after %d straggler folds, want 2 (EWMA crossing 3x)", flipped)
+	}
+	for i := 0; i < 16 && pickAt(slow) == 1; i++ {
+		slow = 0.75*slow + 0.25*1 // recovered: nominal observations decay the EWMA
+	}
+	if got := pickAt(slow); got != 0 {
+		t.Fatalf("pick never returned to the recovered pool (stuck on %d, slowdown %g)", got, slow)
+	}
+}
+
+// TestRankLoadedHealthTieBreakAcrossOrderings pins the tie-break
+// contract under reordering: equal-scored candidates always resolve to
+// the earliest input index, in every presentation order, on both the
+// health-aware and health-blind paths — so a fixed candidate order
+// yields one deterministic pick at any worker count.
+func TestRankLoadedHealthTieBreakAcrossOrderings(t *testing.T) {
+	hipe := cost.Estimate{Plan: bestPlan(query.HIPE), Cycles: 2000}
+	x86 := cost.Estimate{Plan: bestPlan(query.X86), Cycles: 2000}
+	hmc := cost.Estimate{Plan: bestPlan(query.HMC), Cycles: 2000}
+	orders := [][]cost.Estimate{
+		{hipe, x86, hmc},
+		{hmc, hipe, x86},
+		{x86, hmc, hipe},
+	}
+	for oi, ests := range orders {
+		queue := []float64{0, 0, 0}
+		for run := 0; run < 3; run++ {
+			d, err := cost.RankLoaded(0.02, ests, queue, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.ChosenIndex != 0 || d.Chosen.Arch != ests[0].Plan.Arch {
+				t.Fatalf("order %d run %d: tie broke to %d (%s), want index 0 (%s)",
+					oi, run, d.ChosenIndex, d.Chosen.Arch, ests[0].Plan.Arch)
+			}
+			h := []cost.Health{{Slowdown: 2}, {Slowdown: 2}, {Slowdown: 2}}
+			dh, err := cost.RankLoadedHealth(0.02, ests, queue, h, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dh.ChosenIndex != 0 {
+				t.Fatalf("order %d run %d: health-aware tie broke to %d, want 0", oi, run, dh.ChosenIndex)
+			}
+		}
+	}
+}
+
+// TestRankLoadedObservedCycles pins the adaptive input's ranking
+// contract: a positive observed entry replaces that candidate's
+// analytic prediction, a zero entry keeps the prior, nil keeps the
+// whole decision byte-identical to the static rank, provenance lands
+// on the decision, and a mismatched slice is rejected.
+func TestRankLoadedObservedCycles(t *testing.T) {
+	ests := []cost.Estimate{
+		{Plan: bestPlan(query.HIPE), Cycles: 1000},
+		{Plan: bestPlan(query.X86), Cycles: 3000},
+	}
+	queue := []float64{0, 0}
+
+	// The model thinks HIPE is 3x faster, but observation says it costs
+	// 5000 cycles here: the pick must flip to x86's analytic prior.
+	d, err := cost.RankLoaded(0.02, ests, queue, []float64{5000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 {
+		t.Fatalf("observed cycles did not flip the pick (got %d)", d.ChosenIndex)
+	}
+	if d.RouteMode != "adaptive" || len(d.ObsCycles) != 2 || d.ObsCycles[0] != 5000 {
+		t.Fatalf("adaptive provenance not recorded: mode %q obs %v", d.RouteMode, d.ObsCycles)
+	}
+	if d.Estimates[0].Cycles != 1000 {
+		t.Fatal("estimates must stay the pure model predictions")
+	}
+
+	// Observations inflate under the health penalty exactly like priors.
+	d, err = cost.RankLoadedHealth(0.02, ests, queue, []cost.Health{{Slowdown: 4}, {}}, []float64{800, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChosenIndex != 1 {
+		t.Fatalf("health penalty skipped the observed base (pick %d)", d.ChosenIndex)
+	}
+
+	// Nil observations: byte-identical static decision, no provenance.
+	d, err = cost.RankLoaded(0.02, ests, queue, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RouteMode != "" || d.ObsCycles != nil || d.Explored {
+		t.Fatalf("static decision grew adaptive provenance: %+v", d)
+	}
+
+	if _, err := cost.RankLoaded(0.02, ests, queue, []float64{1}); err == nil {
+		t.Fatal("mismatched observed-cycles slice accepted")
 	}
 }

@@ -73,6 +73,16 @@ func NewFleet(cfg sweep.Config, tab *db.Table, nShards int, pools []query.Arch) 
 // Pools reports the replica pools' pinned architectures, in pool order.
 func (f *Fleet) Pools() []query.Arch { return append([]query.Arch(nil), f.pools...) }
 
+// Calibrate replaces the fleet's routing cost model (see
+// Cluster.Calibrate) and additionally invalidates the cached sharded
+// estimates the fleet router ranks candidates by.
+func (f *Fleet) Calibrate(p cost.Params) {
+	f.Cluster.Calibrate(p)
+	f.estMu.Lock()
+	f.ests = make(map[query.Plan]poolEstimate)
+	f.estMu.Unlock()
+}
+
 // fleetCand is one routable (replica pool, plan) pair with its cached
 // cost estimate.
 type fleetCand struct {
@@ -152,15 +162,41 @@ func (f *Fleet) Admit(req Request) error {
 }
 
 // route ranks one request's candidates under the given queue penalties
-// and returns the decision plus the chosen candidate.
-func (f *Fleet) route(cands []fleetCand, queue []float64) (*cost.Decision, fleetCand, error) {
+// and returns the decision plus the chosen candidate. With adaptive
+// routing on (ad non-nil), each candidate's analytic prior is blended
+// with the observed-cycles EWMA of its (kind, backend, selectivity
+// bucket) cell, and the deterministic exploration floor may override
+// the pick for this request index; the decision records the blend and
+// the override so every adaptive pick stays auditable.
+func (f *Fleet) route(ad *cost.Adaptive, index int, cands []fleetCand, queue []float64) (*cost.Decision, fleetCand, error) {
 	ests := make([]cost.Estimate, len(cands))
 	for i, c := range cands {
 		ests[i] = c.est
 	}
-	d, err := cost.RankLoaded(cands[0].sel, ests, queue)
+	var obsCycles []float64
+	var samples []uint64
+	if ad != nil {
+		obsCycles = make([]float64, len(cands))
+		samples = make([]uint64, len(cands))
+		for i, c := range cands {
+			blended, _, n := ad.Blended(c.plan.Kind, c.plan.Arch, c.sel, c.est.Cycles)
+			if n > 0 {
+				obsCycles[i] = blended
+			}
+			samples[i] = n
+		}
+	}
+	d, err := cost.RankLoaded(cands[0].sel, ests, queue, obsCycles)
 	if err != nil {
 		return nil, fleetCand{}, err
+	}
+	if ad != nil {
+		d.BucketSamples = samples
+		if j, ok := ad.ExplorePick(index, len(cands)); ok {
+			d.ChosenIndex = j
+			d.Chosen = d.Estimates[j].Plan
+			d.Explored = true
+		}
 	}
 	return d, cands[d.ChosenIndex], nil
 }
@@ -181,13 +217,29 @@ func (f *Fleet) Query(req Request, opt Options) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, chosen, err := f.route(cands, make([]float64, len(cands)))
+	// Online adaptive state (EnableAdaptive): route under the lock so
+	// concurrent queries see a consistent observation snapshot, and take
+	// a sequence number for the deterministic exploration stream.
+	f.adaptMu.Lock()
+	ad := f.adapt
+	var adIndex int
+	if ad != nil {
+		adIndex = f.adaptSeq
+		f.adaptSeq++
+	}
+	d, chosen, err := f.route(ad, adIndex, cands, make([]float64, len(cands)))
+	f.adaptMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	resp, err := f.Cluster.Query(Request{Plan: chosen.plan, Class: req.Class}, opt)
 	if err != nil {
 		return nil, err
+	}
+	if ad != nil {
+		f.adaptMu.Lock()
+		ad.Observe(chosen.plan.Kind, chosen.plan.Arch, chosen.sel, float64(resp.Cycles))
+		f.adaptMu.Unlock()
 	}
 	resp.Routing = d
 	resp.Pool = &PoolPick{
@@ -316,6 +368,16 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 		poolFree:  make([][]uint64, len(f.pools)),
 		tr:        tr,
 	}
+	// Adaptive routing state is built fresh per load test from the spec:
+	// the replay is single-threaded, so observations fold in arrival
+	// order and the report is byte-identical at any worker count.
+	if spec.Adaptive != nil {
+		ad, err := cost.NewAdaptive(*spec.Adaptive)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		rp.ad = ad
+	}
 	for i := range rp.poolFree {
 		rp.poolFree[i] = make([]uint64, len(f.shards))
 	}
@@ -382,6 +444,13 @@ func (f *Fleet) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 			r.Counters.Add(rp.fstats.recoveryCounters(r.Shed))
 		}
 	}
+	if rp.ad != nil && opt.Counters && r.Counters != nil {
+		r.Counters.Add(obs.NewCounters(map[string]uint64{
+			"serve.adaptive_routed":       rp.adRouted,
+			"serve.adaptive_explored":     rp.adExplored,
+			"serve.adaptive_observations": rp.adObserved,
+		}))
+	}
 	return r, nil
 }
 
@@ -403,6 +472,15 @@ type fleetReplay struct {
 	// off). The replay is single-threaded, so recording is race-free
 	// and byte-deterministic.
 	tr *obs.Trace
+
+	// ad is the per-run adaptive routing state (LoadSpec.Adaptive); nil
+	// keeps routing fully static and the replay byte-identical to the
+	// pre-adaptive layer. adRouted/adExplored/adObserved total the
+	// feedback loop's events for the serve.* counter roll-up.
+	ad         *cost.Adaptive
+	adRouted   uint64
+	adExplored uint64
+	adObserved uint64
 
 	// Fault/recovery state (recovery.go); all nil on the legacy path.
 	// inj injects the scheduled faults; rec is the recovery policy;
@@ -455,9 +533,15 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 		return RequestTrace{}, nil
 	}
 
-	d, chosen, err := rp.fleet.route(cands, queue)
+	d, chosen, err := rp.fleet.route(rp.ad, index, cands, queue)
 	if err != nil {
 		return RequestTrace{}, fmt.Errorf("serve: request %d: %w", index, err)
+	}
+	if rp.ad != nil {
+		rp.adRouted++
+		if d.Explored {
+			rp.adExplored++
+		}
 	}
 	pi := rp.planIndex[chosen.plan]
 	parts := rp.byPlan[pi]
@@ -505,6 +589,7 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 	resp := rp.planResp[pi]
 	latency := completion - arrival
 	acc.observe(latency, spec.SLOCycles > 0)
+	rp.observeAdaptive(d, chosen, float64(resp.Cycles))
 	tr := RequestTrace{
 		Index:   index,
 		Client:  client,
@@ -525,6 +610,57 @@ func (rp *fleetReplay) dispatch(index, client int, arrival uint64, req Request, 
 	}
 	rp.report.Requests = append(rp.report.Requests, tr)
 	return tr, nil
+}
+
+// adaptiveInputs computes the per-candidate blended observed cycles
+// and bucket sample counts for one routing decision. Nil, nil when
+// adaptive routing is off, which keeps static ranking byte-identical.
+func (rp *fleetReplay) adaptiveInputs(cands []fleetCand) ([]float64, []uint64) {
+	if rp.ad == nil {
+		return nil, nil
+	}
+	obsCycles := make([]float64, len(cands))
+	samples := make([]uint64, len(cands))
+	for i, c := range cands {
+		blended, _, n := rp.ad.Blended(c.plan.Kind, c.plan.Arch, c.sel, c.est.Cycles)
+		if n > 0 {
+			obsCycles[i] = blended
+		}
+		samples[i] = n
+	}
+	return obsCycles, samples
+}
+
+// adaptivePick finalises one adaptive decision: records the bucket
+// sample counts and applies the deterministic exploration floor. An
+// exploration draw that lands on a down replica is dropped rather than
+// redirected, so the draw stays a pure function of (seed, index).
+func (rp *fleetReplay) adaptivePick(d *cost.Decision, index int, health []cost.Health, samples []uint64) {
+	if rp.ad == nil {
+		return
+	}
+	d.BucketSamples = samples
+	rp.adRouted++
+	if j, ok := rp.ad.ExplorePick(index, len(d.Estimates)); ok && (health == nil || !health[j].Down) {
+		d.ChosenIndex = j
+		d.Chosen = d.Estimates[j].Plan
+		d.Explored = true
+		rp.adExplored++
+	}
+}
+
+// observeAdaptive closes the feedback loop for one completed request:
+// the chosen backend's (kind, selectivity-bucket) cell absorbs the
+// observed nominal service cycles. Fault-driven inflation stays out of
+// the cells on purpose — the slowdown EWMA and health-aware routing
+// already carry it — so adaptive state converges on the workload, not
+// on transient faults.
+func (rp *fleetReplay) observeAdaptive(d *cost.Decision, chosen fleetCand, cycles float64) {
+	if rp.ad == nil || d == nil {
+		return
+	}
+	rp.ad.Observe(chosen.plan.Kind, chosen.plan.Arch, chosen.sel, cycles)
+	rp.adObserved++
 }
 
 // finishFleet derives the fleet-only aggregates: per-class rows and

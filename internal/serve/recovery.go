@@ -141,22 +141,26 @@ func (rp *fleetReplay) backlogAt(c fleetCand, t uint64) uint64 {
 // on, down pools are excluded and straggling pools penalised by the
 // observed slowdown; when every candidate is down the pick falls back
 // to queue-for-earliest-recovery: health-blind ranking with the outage
-// wait folded into each queue penalty. Returns the decision, the
-// chosen candidate, and whether the pick failed over (excluded at
+// wait folded into each queue penalty. Adaptive routing (rp.ad) blends
+// the observed-cycles EWMA into every leg, next to the health EWMA,
+// and may explore — never onto a down replica. Returns the decision,
+// the chosen candidate, and whether the pick failed over (excluded at
 // least one down pool).
-func (rp *fleetReplay) routeHealth(cands []fleetCand, t uint64) (*cost.Decision, fleetCand, bool, error) {
+func (rp *fleetReplay) routeHealth(index int, cands []fleetCand, t uint64) (*cost.Decision, fleetCand, bool, error) {
 	ests := make([]cost.Estimate, len(cands))
 	queue := make([]float64, len(cands))
 	for ci, c := range cands {
 		ests[ci] = c.est
 		queue[ci] = float64(rp.backlogAt(c, t))
 	}
+	obsCycles, samples := rp.adaptiveInputs(cands)
 	failover := rp.rec != nil && rp.rec.Failover
 	if !failover {
-		d, err := cost.RankLoaded(cands[0].sel, ests, queue)
+		d, err := cost.RankLoaded(cands[0].sel, ests, queue, obsCycles)
 		if err != nil {
 			return nil, fleetCand{}, false, err
 		}
+		rp.adaptivePick(d, index, nil, samples)
 		return d, cands[d.ChosenIndex], false, nil
 	}
 	health := make([]cost.Health, len(cands))
@@ -171,13 +175,14 @@ func (rp *fleetReplay) routeHealth(cands []fleetCand, t uint64) (*cost.Decision,
 			queue[ci] += float64(until - t)
 		}
 	}
-	d, err := cost.RankLoadedHealth(cands[0].sel, ests, queue, health)
+	d, err := cost.RankLoadedHealth(cands[0].sel, ests, queue, health, obsCycles)
 	if errors.Is(err, cost.ErrAllDown) {
-		d, err = cost.RankLoaded(cands[0].sel, ests, queue)
+		d, err = cost.RankLoaded(cands[0].sel, ests, queue, obsCycles)
 	}
 	if err != nil {
 		return nil, fleetCand{}, false, err
 	}
+	rp.adaptivePick(d, index, health, samples)
 	return d, cands[d.ChosenIndex], nDown > 0 && !health[d.ChosenIndex].Down, nil
 }
 
@@ -403,7 +408,7 @@ func (rp *fleetReplay) dispatchRecover(index, client int, arrival uint64, req Re
 	var d *cost.Decision
 	for {
 		attempts++
-		dec, cand, failedOver, err := rp.routeHealth(cands, t)
+		dec, cand, failedOver, err := rp.routeHealth(index, cands, t)
 		if err != nil {
 			return RequestTrace{}, fmt.Errorf("serve: request %d: %w", index, err)
 		}
@@ -503,6 +508,7 @@ func (rp *fleetReplay) dispatchRecover(index, client int, arrival uint64, req Re
 		}
 	}
 	acc.observeRecovered(latency, spec.SLOCycles > 0, degraded, covFrac, errRevenue)
+	rp.observeAdaptive(d, chosen, float64(resp.Cycles))
 	if rp.tr.On() {
 		rp.tr.Instant("merge", "merge", 0, 0, completion,
 			obs.Arg{Key: "matches", Val: strconv.Itoa(matches)})

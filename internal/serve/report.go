@@ -221,9 +221,42 @@ func FaultCSVHeader() []string {
 	return []string{"attempts", "hedges", "degraded", "coverage", "err_matches", "err_revenue"}
 }
 
+// AdaptiveCSVHeader returns the columns appended for adaptive-routing
+// reports: the pick's route mode ("adaptive", or "static" for rows the
+// feedback router never saw), the chosen candidate's blended observed
+// cycles (blank while its bucket was cold), its bucket's sample count,
+// and whether the exploration floor overrode the pick.
+func AdaptiveCSVHeader() []string {
+	return []string{"route_mode", "obs_cycles", "bucket_samples", "explored"}
+}
+
 // HasFaults reports whether the report came from a faulted/recovering
 // load test.
 func (r *Report) HasFaults() bool { return r.Faults != nil }
+
+// HasAdaptive reports whether any request in the report was routed
+// with observed-cycles feedback.
+func (r *Report) HasAdaptive() bool {
+	for i := range r.Requests {
+		if d := r.Requests[i].Routing; d != nil && d.RouteMode != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// adaptiveTotals counts the adaptively routed and explored requests.
+func (r *Report) adaptiveTotals() (routed, explored int) {
+	for i := range r.Requests {
+		if d := r.Requests[i].Routing; d != nil && d.RouteMode != "" {
+			routed++
+			if d.Explored {
+				explored++
+			}
+		}
+	}
+	return routed, explored
+}
 
 // HasRouting reports whether any request in the report was routed by
 // the adaptive planner.
@@ -244,18 +277,20 @@ func (r *Report) HasFleet() bool {
 // WriteCSV writes the per-request traces as CSV with CSVHeader's
 // columns (plus FleetCSVHeader for fleet reports, plus FaultCSVHeader
 // for faulted runs, plus RoutingCSVHeader when the report contains
-// routed requests, plus an exec_mode column for estimate-mode reports
+// routed requests, plus AdaptiveCSVHeader when any pick blended
+// observed cycles, plus an exec_mode column for estimate-mode reports
 // — in that order), in request-index order. Pre-fleet, exact,
 // fixed-architecture exports stay byte-identical to their original
-// form.
+// form, and adaptive-off exports to their pre-adaptive form.
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	routed := r.HasRouting()
 	fleet := r.HasFleet()
 	faults := r.HasFaults()
+	adaptive := r.HasAdaptive()
 	header := CSVHeader
 	backends := query.Backends()
-	if fleet || routed || faults || r.ExecMode != "" {
+	if fleet || routed || faults || adaptive || r.ExecMode != "" {
 		header = append([]string{}, CSVHeader...)
 		if fleet {
 			header = append(header, FleetCSVHeader()...)
@@ -265,6 +300,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		}
 		if routed {
 			header = append(header, RoutingCSVHeader()...)
+		}
+		if adaptive {
+			header = append(header, AdaptiveCSVHeader()...)
 		}
 		if r.ExecMode != "" {
 			header = append(header, "exec_mode")
@@ -312,6 +350,9 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		}
 		if routed {
 			rec = append(rec, routingColumns(tr.Routing, backends)...)
+		}
+		if adaptive {
+			rec = append(rec, adaptiveColumns(tr.Routing)...)
 		}
 		if r.ExecMode != "" {
 			rec = append(rec, r.ExecMode)
@@ -381,6 +422,25 @@ func routingColumns(d *cost.Decision, backends []query.Backend) []string {
 	return cols
 }
 
+// adaptiveColumns renders one trace's adaptive-routing cells. Rows the
+// feedback router never saw — fixed-architecture requests in a mixed
+// stream, or static decisions — read "static" with blank provenance.
+func adaptiveColumns(d *cost.Decision) []string {
+	if d == nil || d.RouteMode == "" {
+		return []string{"static", "", "", ""}
+	}
+	obsCell, samplesCell := "", ""
+	if d.ChosenIndex >= 0 && d.ChosenIndex < len(d.ObsCycles) {
+		if v := d.ObsCycles[d.ChosenIndex]; v > 0 {
+			obsCell = strconv.FormatFloat(v, 'f', 0, 64)
+		}
+	}
+	if d.ChosenIndex >= 0 && d.ChosenIndex < len(d.BucketSamples) {
+		samplesCell = strconv.FormatUint(d.BucketSamples[d.ChosenIndex], 10)
+	}
+	return []string{d.RouteMode, obsCell, samplesCell, strconv.FormatBool(d.Explored)}
+}
+
 // WriteChromeTrace writes the load test's span timeline in Chrome
 // trace_event JSON (loadable in Perfetto or chrome://tracing); with
 // tracing off it writes a valid empty trace document.
@@ -439,6 +499,10 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "latency mean/max     %.0f / %d cycles\n", r.LatencyMean, r.LatencyMax)
 	if r.Shed > 0 {
 		fmt.Fprintf(&b, "shed                 %d requests refused by admission control\n", r.Shed)
+	}
+	if routed, explored := r.adaptiveTotals(); routed > 0 {
+		fmt.Fprintf(&b, "adaptive routing     %d picks blended with observed cycles, %d explored\n",
+			routed, explored)
 	}
 	if r.Faults != nil {
 		fs := r.Faults

@@ -244,6 +244,14 @@ type Cluster struct {
 	// answers or timelines — it only stops the fleet from rebuilding
 	// (and re-allocating) the world once per shard task.
 	mpool *machine.Pool
+
+	// adaptMu guards the online feedback-routing state used by the
+	// concurrent Query paths (EnableAdaptive). Load-test replays never
+	// touch it — they build per-run state from LoadSpec.Adaptive so a
+	// load test stays a pure function of its inputs.
+	adaptMu  sync.Mutex
+	adapt    *cost.Adaptive
+	adaptSeq int
 }
 
 // New partitions tab into nShards contiguous shards (each a multiple of
@@ -277,6 +285,71 @@ func New(cfg sweep.Config, tab *db.Table, nShards int) (*Cluster, error) {
 		routes: make(map[routeKey]*cost.Decision),
 		mpool:  machine.NewPool(mc),
 	}, nil
+}
+
+// EnableAdaptive turns feedback-driven routing on for the online Query
+// paths: subsequent ArchAuto resolutions (and Fleet.Query routes) blend
+// each candidate's analytic prior with the observed-cycles EWMA of its
+// (kind, backend, selectivity-bucket) cell, completed queries feed
+// their observed service cycles back in, and the deterministic
+// exploration floor keeps sampling the candidates the blend would
+// starve. Load tests do not read this state — they take a per-run
+// cost.AdaptiveConfig on the LoadSpec instead, so a load test stays a
+// pure function of (spec, options).
+func (c *Cluster) EnableAdaptive(cfg cost.AdaptiveConfig) error {
+	a, err := cost.NewAdaptive(cfg)
+	if err != nil {
+		return err
+	}
+	c.adaptMu.Lock()
+	c.adapt = a
+	c.adaptSeq = 0
+	c.adaptMu.Unlock()
+	return nil
+}
+
+// Calibrate replaces the routing planner's cost model and drops every
+// cached routing decision. Answers and exact-mode service times are
+// untouched — the simulated machines keep their real timing — so a
+// drifted calibration changes only which backend the planner predicts
+// fastest. This is the hook mis-calibration experiments and the
+// adaptive-routing benchmarks use to pull the analytic prior away from
+// the served machine. Estimate-mode runs price service times from the
+// same model and would inherit the drift.
+func (c *Cluster) Calibrate(p cost.Params) {
+	c.mu.Lock()
+	c.params = p
+	c.routes = make(map[routeKey]*cost.Decision)
+	c.mu.Unlock()
+}
+
+// adaptiveRerank re-ranks a routing decision under adaptive state: the
+// candidate set and analytic estimates are reused, queue penalties are
+// zero (no replica backlog on a single cluster), and the blend and
+// exploration provenance land on a fresh decision, leaving the cached
+// static decision untouched.
+func adaptiveRerank(ad *cost.Adaptive, index int, d *cost.Decision) *cost.Decision {
+	kind := d.Chosen.Kind
+	obsCycles := make([]float64, len(d.Estimates))
+	samples := make([]uint64, len(d.Estimates))
+	for i := range d.Estimates {
+		blended, _, n := ad.Blended(kind, d.Estimates[i].Plan.Arch, d.Selectivity, d.Estimates[i].Cycles)
+		if n > 0 {
+			obsCycles[i] = blended
+		}
+		samples[i] = n
+	}
+	nd, err := cost.RankLoaded(d.Selectivity, d.Estimates, make([]float64, len(d.Estimates)), obsCycles)
+	if err != nil {
+		return d
+	}
+	nd.BucketSamples = samples
+	if j, ok := ad.ExplorePick(index, len(nd.Estimates)); ok {
+		nd.ChosenIndex = j
+		nd.Chosen = nd.Estimates[j].Plan
+		nd.Explored = true
+	}
+	return nd
 }
 
 // routeKey identifies one distinct routable query.
@@ -373,6 +446,16 @@ func (c *Cluster) resolve(req Request) (Request, *cost.Decision, error) {
 		c.routes[key] = d
 		c.mu.Unlock()
 	}
+	// With online adaptive routing enabled, the cached static decision
+	// only supplies the candidate set and analytic priors; the pick
+	// itself is re-made against the current observation state, so it can
+	// evolve as completed queries feed cycles back in.
+	c.adaptMu.Lock()
+	if c.adapt != nil {
+		d = adaptiveRerank(c.adapt, c.adaptSeq, d)
+		c.adaptSeq++
+	}
+	c.adaptMu.Unlock()
 	req.Plan = d.Chosen
 	return req, d, nil
 }
@@ -612,6 +695,16 @@ func (c *Cluster) Query(req Request, opt Options) (*Response, error) {
 		return nil, err
 	}
 	resp.Routing = routing
+	// Close the feedback loop for routed online queries: the observed
+	// critical-path cycles of the completed request update the chosen
+	// backend's (kind, selectivity-bucket) cell.
+	if routing != nil {
+		c.adaptMu.Lock()
+		if c.adapt != nil {
+			c.adapt.Observe(req.Plan.Kind, req.Plan.Arch, routing.Selectivity, float64(resp.Cycles))
+		}
+		c.adaptMu.Unlock()
+	}
 	if opt.Exec == sweep.ExecEstimate {
 		resp.ExecMode = opt.Exec.String()
 	}

@@ -188,6 +188,16 @@ type LoadSpec struct {
 	// retries, hedging, failover (nil = none; a faulted run with no
 	// recovery degrades on first failure).
 	Recovery *RecoverySpec
+
+	// Adaptive enables feedback-driven routing for this load test: each
+	// route blends the analytic prior with the observed-cycles EWMA of
+	// the candidate's (kind, backend, selectivity-bucket) cell, and
+	// completed requests feed their replay cycles back in during the
+	// single-threaded virtual-time replay — so adaptive reports stay
+	// byte-identical at any worker count. Only Fleet.LoadTest honours
+	// it; Cluster.LoadTest rejects specs that set it. Nil keeps routing
+	// fully static and exports byte-identical to the pre-adaptive layer.
+	Adaptive *cost.AdaptiveConfig
 }
 
 // OpenLoop declares an open-loop test: reqs arrive with exponential
@@ -378,6 +388,11 @@ func (s LoadSpec) validate() error {
 	if err := s.Recovery.validate(); err != nil {
 		return err
 	}
+	if s.Adaptive != nil {
+		if err := s.Adaptive.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -428,6 +443,9 @@ func (c *Cluster) LoadTest(spec LoadSpec, opt Options) (*Report, error) {
 	}
 	if spec.Faults != nil || spec.Recovery != nil {
 		return nil, fmt.Errorf("serve: fault injection and recovery need a replicated fleet (use Fleet.LoadTest)")
+	}
+	if spec.Adaptive != nil {
+		return nil, fmt.Errorf("serve: adaptive routing needs a replicated fleet (use Fleet.LoadTest)")
 	}
 	resolved := make([]Request, len(spec.Requests))
 	routings := make([]*cost.Decision, len(spec.Requests))

@@ -1,0 +1,44 @@
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average parameterised by a
+// half-life in samples: after HalfLife observations the weight of the
+// oldest sample has decayed to one half. The zero value is unusable —
+// construct with NewEWMA so the decay factor is derived once.
+//
+// It is a value type on purpose: callers embed it in map cells and
+// update it with load-modify-store, which keeps the observation path
+// free of allocations and pointer chasing.
+type EWMA struct {
+	alpha float64
+	value float64
+	count uint64
+}
+
+// NewEWMA returns an EWMA whose per-sample blend weight is derived from
+// the given half-life in samples (must be positive and finite).
+func NewEWMA(halfLife float64) EWMA {
+	if !(halfLife > 0) || math.IsInf(halfLife, 1) {
+		halfLife = 1
+	}
+	return EWMA{alpha: 1 - math.Exp2(-1/halfLife)}
+}
+
+// Observe folds one sample into the average. The first sample seeds the
+// average exactly, so a freshly warmed cell reports the observation it
+// saw rather than a decay from zero.
+func (e *EWMA) Observe(x float64) {
+	if e.count == 0 {
+		e.value = x
+	} else {
+		e.value += e.alpha * (x - e.value)
+	}
+	e.count++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns the number of samples folded in.
+func (e *EWMA) Count() uint64 { return e.count }

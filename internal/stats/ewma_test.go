@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMASeedAndDecay(t *testing.T) {
+	e := NewEWMA(4)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatalf("fresh EWMA not zero: value %g count %d", e.Value(), e.Count())
+	}
+	// The first sample seeds exactly — no decay from zero.
+	e.Observe(1000)
+	if e.Value() != 1000 || e.Count() != 1 {
+		t.Fatalf("first sample did not seed: value %g count %d", e.Value(), e.Count())
+	}
+	// Subsequent samples blend with alpha = 1 - 2^(-1/halfLife).
+	alpha := 1 - math.Exp2(-1.0/4)
+	e.Observe(2000)
+	want := 1000 + alpha*(2000-1000)
+	if math.Abs(e.Value()-want) > 1e-9 {
+		t.Fatalf("second sample blend = %g, want %g", e.Value(), want)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d, want 2", e.Count())
+	}
+}
+
+// TestEWMAHalfLife pins the parameterisation: after exactly HalfLife
+// further samples of a new level, the average has closed half the gap.
+func TestEWMAHalfLife(t *testing.T) {
+	const hl = 8
+	e := NewEWMA(hl)
+	e.Observe(0)
+	for i := 0; i < hl; i++ {
+		e.Observe(1)
+	}
+	// Distance remaining from the new level must be one half.
+	if got := 1 - e.Value(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("after %d samples the remaining gap is %g, want 0.5", hl, got)
+	}
+}
+
+func TestEWMADegenerateHalfLife(t *testing.T) {
+	for _, hl := range []float64{0, -3, math.Inf(1), math.NaN()} {
+		e := NewEWMA(hl)
+		e.Observe(10)
+		e.Observe(20)
+		v := e.Value()
+		if math.IsNaN(v) || v < 10 || v > 20 {
+			t.Fatalf("half-life %v produced value %g outside the sample range", hl, v)
+		}
+	}
+}

@@ -145,6 +145,28 @@ shardsweep "$many"
 cmp "$out/shard.1.csv" "$out/shard.$many.csv"
 cmp "$out/shard.1.json" "$out/shard.$many.json"
 
+echo "== adaptive fleet (feedback-driven routing): -workers 1 vs -workers $many =="
+adaptive() {
+  go run ./cmd/hipe-serve -workers "$1" \
+    -shards 4 -requests 24 -tuples 4096 -mode open -qps 250000 \
+    -pools hipe,x86 -archs auto -q1-every 3 \
+    -adaptive -explore-pct 10 -obs-halflife 4 -adapt-seed 11 -quiet \
+    -csv "$out/adaptive.$1.csv" -json "$out/adaptive.$1.json" >/dev/null
+}
+adaptive 1
+adaptive "$many"
+# The exploration draws and observation folds must replay identically at
+# any worker count: the epsilon stream is keyed on (seed, request index)
+# and observations fold in during the single-threaded replay.
+cmp "$out/adaptive.1.csv" "$out/adaptive.$many.csv"
+cmp "$out/adaptive.1.json" "$out/adaptive.$many.json"
+grep -q 'route_mode' "$out/adaptive.1.csv" || {
+  echo "adaptive CSV lacks the routing provenance columns" >&2; exit 1
+}
+grep -q ',adaptive,' "$out/adaptive.1.csv" || {
+  echo "adaptive CSV never routed a request adaptively" >&2; exit 1
+}
+
 echo "== estimate-mode serve report: -workers 1 vs -workers $many =="
 estserve() {
   go run ./cmd/hipe-serve -workers "$1" -exec estimate \
